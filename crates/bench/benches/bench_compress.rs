@@ -1,0 +1,98 @@
+//! Microbenchmarks for the compression substrates: LZ, byte-delta,
+//! and the full sub-chunk encode/decode path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rstore_bench::Xorshift;
+use rstore_compress::{apply_delta, diff, lz};
+use std::hint::black_box;
+
+fn json_corpus(records: usize, size: usize) -> Vec<u8> {
+    let mut rng = Xorshift::new(11);
+    let mut out = Vec::with_capacity(records * size);
+    for i in 0..records {
+        let mut data = String::with_capacity(size);
+        while data.len() < size - 40 {
+            data.push((b'a' + (rng.below(26)) as u8) as char);
+        }
+        out.extend_from_slice(
+            format!(r#"{{"pk":{i},"status":"active","data":"{data}"}}"#).as_bytes(),
+        );
+    }
+    out
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let corpus = json_corpus(256, 256);
+    let compressed = lz::compress(&corpus);
+    let mut g = c.benchmark_group("lz");
+    g.throughput(Throughput::Bytes(corpus.len() as u64));
+    g.bench_function("compress_64k_json", |b| {
+        b.iter(|| lz::compress(black_box(&corpus)))
+    });
+    g.throughput(Throughput::Bytes(compressed.len() as u64));
+    g.bench_function("decompress_64k_json", |b| {
+        b.iter(|| lz::decompress(black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let base = json_corpus(4, 512);
+    let mut target = base.clone();
+    // A small scattered mutation, like the generator's Pd updates.
+    for i in (100..target.len()).step_by(300) {
+        target[i] = b'x';
+    }
+    let delta = diff(&base, &target);
+    let mut g = c.benchmark_group("delta");
+    g.throughput(Throughput::Bytes(base.len() as u64));
+    g.bench_function("diff_2k_record", |b| {
+        b.iter(|| diff(black_box(&base), black_box(&target)))
+    });
+    g.bench_function("apply_2k_record", |b| {
+        b.iter(|| apply_delta(black_box(&base), black_box(&delta)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_subchunk(c: &mut Criterion) {
+    use rstore_core::chunk::SubChunk;
+    use rstore_core::model::{CompositeKey, VersionId};
+    // 25 near-identical versions of a 512-byte record.
+    let base = json_corpus(1, 512);
+    let mut versions = vec![base.clone()];
+    let mut rng = Xorshift::new(3);
+    for _ in 1..25 {
+        let mut next = versions.last().unwrap().clone();
+        let i = 50 + rng.below(next.len() - 60);
+        next[i] = b'z';
+        versions.push(next);
+    }
+    let records: Vec<(CompositeKey, &[u8])> = versions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (CompositeKey::new(7, VersionId(i as u32)), p.as_slice()))
+        .collect();
+    let built = SubChunk::build(&records);
+
+    let mut g = c.benchmark_group("subchunk");
+    g.bench_function("build_k25", |b| {
+        b.iter_batched(
+            || records.clone(),
+            |r| SubChunk::build(black_box(&r)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decode_all_k25", |b| b.iter(|| built.decode().unwrap()));
+    g.bench_function("decode_member_mid_k25", |b| {
+        b.iter(|| built.decode_member(12).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lz, bench_delta, bench_subchunk
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Index codec ablation: WAH bitmaps and gap-coded postings versus
+//! raw representations — the "standard techniques from inverted
+//! indexes literature" the paper leans on for its index-size claims.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rstore_compress::{Bitmap, PostingsList};
+use std::hint::black_box;
+
+fn bench_bitmap(c: &mut Criterion) {
+    // A dense chunk-map-like bitmap: 2000 records, 95% present.
+    let n = 2000;
+    let dense = Bitmap::from_indices(n, (0..n).filter(|i| i % 20 != 0));
+    let dense_bytes = dense.serialize();
+    // A sparse membership bitmap.
+    let sparse = Bitmap::from_indices(n, (0..n).step_by(50));
+    let sparse_bytes = sparse.serialize();
+
+    println!(
+        "bitmap sizes: dense {}B vs raw {}B ({:.1}x); sparse {}B ({:.1}x)",
+        dense_bytes.len(),
+        n / 8,
+        (n / 8) as f64 / dense_bytes.len() as f64,
+        sparse_bytes.len(),
+        (n / 8) as f64 / sparse_bytes.len() as f64,
+    );
+
+    let mut g = c.benchmark_group("bitmap");
+    g.bench_function("serialize_dense_2k", |b| b.iter(|| dense.serialize()));
+    g.bench_function("deserialize_dense_2k", |b| {
+        b.iter(|| Bitmap::deserialize(black_box(&dense_bytes)).unwrap())
+    });
+    g.bench_function("iter_ones_dense_2k", |b| {
+        b.iter(|| black_box(dense.iter_ones().count()))
+    });
+    g.finish();
+}
+
+fn bench_postings(c: &mut Criterion) {
+    // Chunk lists like the version→chunks projection: dense runs.
+    let ids: Vec<u64> = (0..500u64).map(|i| 1000 + i * 2).collect();
+    let p = PostingsList::from_sorted(&ids);
+    let bytes = p.serialize();
+    println!(
+        "postings: {} ids in {}B vs raw {}B ({:.1}x)",
+        ids.len(),
+        bytes.len(),
+        ids.len() * 8,
+        (ids.len() * 8) as f64 / bytes.len() as f64
+    );
+
+    let other = PostingsList::from_sorted(&(0..600u64).map(|i| 900 + i * 3).collect::<Vec<_>>());
+    let mut g = c.benchmark_group("postings");
+    g.bench_function("encode_500", |b| {
+        b.iter(|| PostingsList::from_sorted(black_box(&ids)))
+    });
+    g.bench_function("decode_500", |b| b.iter(|| black_box(p.decode())));
+    g.bench_function("intersect_500x600", |b| {
+        b.iter(|| black_box(p.intersect(&other)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bitmap, bench_postings
+}
+criterion_main!(benches);

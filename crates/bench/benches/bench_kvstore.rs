@@ -1,0 +1,98 @@
+//! Key-value cluster throughput: put/get/multi-get, engine ablation
+//! (in-memory vs log-structured), and ring routing.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rstore_kvstore::ring::Ring;
+use rstore_kvstore::{Cluster, EngineKind};
+use std::hint::black_box;
+
+fn bench_cluster_ops(c: &mut Criterion) {
+    let cluster = Cluster::builder().nodes(4).build();
+    let value = Bytes::from(vec![7u8; 1024]);
+    for i in 0..1000u32 {
+        cluster
+            .put(i.to_be_bytes().to_vec(), value.clone())
+            .unwrap();
+    }
+
+    let mut g = c.benchmark_group("cluster_mem_4n");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("get_1k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            black_box(cluster.get(&i.to_be_bytes()).unwrap())
+        })
+    });
+    g.bench_function("put_1k", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            cluster
+                .put(i.to_be_bytes().to_vec(), value.clone())
+                .unwrap()
+        })
+    });
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("multi_get_100", |b| {
+        let keys: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        b.iter(|| black_box(cluster.multi_get(&keys).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_engine_ablation(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("rstore-bench-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let value = Bytes::from(vec![7u8; 1024]);
+
+    let mut g = c.benchmark_group("engine_ablation_put1k");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("mem", |b| {
+        let cluster = Cluster::builder().nodes(1).build();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            cluster
+                .put(i.to_be_bytes().to_vec(), value.clone())
+                .unwrap()
+        })
+    });
+    g.bench_function("log", |b| {
+        let cluster = Cluster::builder()
+            .nodes(1)
+            .engine(EngineKind::Log { dir: dir.clone() })
+            .build();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            cluster
+                .put(i.to_be_bytes().to_vec(), value.clone())
+                .unwrap()
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ring = Ring::new(16, 128);
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("replicas_r3_16n", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(ring.replicas(&i.to_be_bytes(), 3))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cluster_ops, bench_engine_ablation, bench_ring
+}
+criterion_main!(benches);

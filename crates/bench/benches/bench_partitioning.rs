@@ -1,0 +1,57 @@
+//! Partitioning-algorithm throughput: the Fig. 8/Fig. 9 compute side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rstore_bench::Bundle;
+use rstore_core::partition::PartitionerKind;
+use rstore_vgraph::DatasetSpec;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut spec = DatasetSpec::tiny(2025);
+    spec.num_versions = 200;
+    spec.root_records = 400;
+    spec.branch_prob = 0.05;
+    spec.update_frac = 0.1;
+    let bundle = Bundle::new(&spec);
+    let input = bundle.input();
+
+    let mut g = c.benchmark_group("partition_200v_400r");
+    for (label, kind) in [
+        ("bottom_up", PartitionerKind::BottomUp { beta: usize::MAX }),
+        ("bottom_up_beta8", PartitionerKind::BottomUp { beta: 8 }),
+        ("shingle", PartitionerKind::Shingle { num_hashes: 4 }),
+        ("depth_first", PartitionerKind::DepthFirst),
+        ("breadth_first", PartitionerKind::BreadthFirst),
+    ] {
+        g.bench_function(label, |b| {
+            let p = kind.build(4096);
+            b.iter(|| p.partition(black_box(&input)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_subchunk_planning(c: &mut Criterion) {
+    use rstore_core::subchunk::SubchunkPlan;
+    let mut spec = DatasetSpec::tiny_chain(2026);
+    spec.num_versions = 100;
+    spec.root_records = 200;
+    spec.update_frac = 0.3;
+    let dataset = spec.generate();
+    let store = dataset.record_store();
+
+    let mut g = c.benchmark_group("subchunk_plan");
+    for k in [1usize, 5, 25] {
+        g.bench_function(format!("k{k}"), |b| {
+            b.iter(|| SubchunkPlan::build(black_box(&dataset), black_box(&store), k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_partitioners, bench_subchunk_planning
+}
+criterion_main!(benches);

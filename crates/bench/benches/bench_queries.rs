@@ -1,0 +1,106 @@
+//! End-to-end query benchmarks over a loaded store (the Fig. 11
+//! micro view): Q1 full version, Q2 range, Q3 evolution, point gets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rstore_bench::{make_store, Xorshift};
+use rstore_core::model::VersionId;
+use rstore_core::partition::PartitionerKind;
+use rstore_kvstore::NetworkModel;
+use rstore_vgraph::DatasetSpec;
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut spec = DatasetSpec::tiny(77);
+    spec.num_versions = 120;
+    spec.root_records = 300;
+    spec.branch_prob = 0.05;
+    spec.update_frac = 0.1;
+    spec.record_size = 128;
+    let dataset = spec.generate();
+    let mut store = make_store(
+        4,
+        PartitionerKind::BottomUp { beta: usize::MAX },
+        1,
+        8192,
+        NetworkModel::zero(),
+    );
+    store.load_dataset(&dataset).unwrap();
+    let n = dataset.graph.len();
+    let max_pk = dataset
+        .record_store()
+        .keys()
+        .iter()
+        .map(|ck| ck.pk)
+        .max()
+        .unwrap();
+
+    let mut g = c.benchmark_group("queries_120v_300r");
+    g.bench_function("q1_full_version", |b| {
+        let mut rng = Xorshift::new(1);
+        b.iter(|| {
+            let v = VersionId(rng.below(n) as u32);
+            black_box(store.get_version(v).unwrap())
+        })
+    });
+    g.bench_function("q2_range_10pct", |b| {
+        let mut rng = Xorshift::new(2);
+        b.iter(|| {
+            let v = VersionId(rng.below(n) as u32);
+            let lo = rng.below(max_pk as usize) as u64;
+            black_box(store.get_range(lo, lo + max_pk / 10, v).unwrap())
+        })
+    });
+    g.bench_function("q3_evolution", |b| {
+        let mut rng = Xorshift::new(3);
+        b.iter(|| {
+            let pk = rng.below(max_pk as usize) as u64;
+            black_box(store.get_evolution(pk).unwrap())
+        })
+    });
+    g.bench_function("point_get", |b| {
+        let mut rng = Xorshift::new(4);
+        b.iter(|| {
+            let v = VersionId(rng.below(n) as u32);
+            let pk = rng.below(max_pk as usize) as u64;
+            black_box(store.get_record(pk, v).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    use rstore_core::store::CommitRequest;
+    let mut g = c.benchmark_group("ingest");
+    g.bench_function("commit_10_changes_batch16", |b| {
+        let mut store = make_store(
+            2,
+            PartitionerKind::BottomUp { beta: usize::MAX },
+            1,
+            8192,
+            NetworkModel::zero(),
+        );
+        let root = store
+            .commit(CommitRequest::root(
+                (0u64..200).map(|pk| (pk, vec![pk as u8; 100])),
+            ))
+            .unwrap();
+        let mut head = root;
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut req = CommitRequest::child_of(head);
+            for j in 0..10u64 {
+                req = req.put((i * 10 + j) % 200, vec![(i + j) as u8; 100]);
+            }
+            i += 1;
+            head = store.commit(req).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_queries, bench_commit
+}
+criterion_main!(benches);

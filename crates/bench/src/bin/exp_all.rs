@@ -1,0 +1,59 @@
+//! Runs the full experiment suite in paper order.
+//!
+//! ```sh
+//! cargo run -p rstore-bench --release --bin exp_all
+//! # quick pass:
+//! RSTORE_BENCH_SCALE=0.25 cargo run -p rstore-bench --release --bin exp_all
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_cost_model",
+    "exp_datasets",
+    "exp_chunk_size",
+    "exp_fig8_span",
+    "exp_fig9_subtree",
+    "exp_fig10_compression",
+    "exp_fig11_queries",
+    "exp_fig12_scalability",
+    "exp_fig13_online",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current exe");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let t0 = Instant::now();
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n{}", "=".repeat(72));
+        println!("== {exp}");
+        println!("{}", "=".repeat(72));
+        let path = bin_dir.join(exp);
+        let t = Instant::now();
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("[{exp}: ok in {:.1}s]", t.elapsed().as_secs_f64());
+            }
+            Ok(s) => {
+                eprintln!("[{exp}: FAILED with {s}]");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("[{exp}: could not run ({e}); build with --bins first]");
+                failures.push(*exp);
+            }
+        }
+    }
+    println!(
+        "\n== suite finished in {:.1}s, {} failures {:?}",
+        t0.elapsed().as_secs_f64(),
+        failures.len(),
+        failures
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

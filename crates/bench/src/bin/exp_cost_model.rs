@@ -1,0 +1,74 @@
+//! Table 1: the analytical cost model of the four storage strategies.
+//!
+//! Evaluates the paper's closed-form expressions (storage, random
+//! full-version retrieval, point query) for the default parameter
+//! regime and prints the four rows of Table 1, then cross-checks the
+//! qualitative claims the paper draws from them.
+
+use rstore_bench::{fmt_bytes, print_table};
+use rstore_core::cost::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    println!("# Experiment: Table 1 cost model");
+    println!(
+        "n = {} versions (chain), m_v = {} records, d = {}, c = {}, s = {} B, s_c = {}",
+        model.n,
+        model.m_v,
+        model.d,
+        model.c,
+        model.s,
+        fmt_bytes(model.s_c as usize)
+    );
+
+    let rows: Vec<Vec<String>> = model
+        .all()
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                fmt_bytes(r.storage as usize),
+                fmt_bytes(r.version_data as usize),
+                format!("{:.0}", r.version_queries),
+                fmt_bytes(r.point_data as usize),
+                format!("{:.0}", r.point_queries),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: storage / random-version / point-query costs",
+        &[
+            "strategy",
+            "storage",
+            "version data",
+            "version queries",
+            "point data",
+            "point queries",
+        ],
+        &rows,
+    );
+
+    // The qualitative take-aways the paper derives.
+    let chunked = model.independent_chunked();
+    let delta = model.delta();
+    let subchunk = model.subchunk();
+    let single = model.single_address();
+    println!("\nClaims checked:");
+    println!(
+        "  chunking cuts version-query count {:.0}x vs per-record retrieval",
+        single.version_queries / chunked.version_queries
+    );
+    println!(
+        "  DELTA point queries are {:.0}x more expensive than SUBCHUNK",
+        delta.point_queries / subchunk.point_queries
+    );
+    println!(
+        "  SUBCHUNK has the best storage: {} vs {} (single-address)",
+        fmt_bytes(subchunk.storage as usize),
+        fmt_bytes(single.storage as usize)
+    );
+    assert!(single.version_queries / chunked.version_queries > 100.0);
+    assert!(delta.point_queries > subchunk.point_queries * 100.0);
+    assert!(subchunk.storage <= delta.storage);
+    println!("  all assertions hold");
+}

@@ -1,0 +1,183 @@
+//! Fig. 11: query-processing performance on datasets A0 and C0.
+//!
+//! Q1 (full version), Q2 (range) and Q3 (record evolution) against a
+//! random workload, for BOTTOM-UP / DFS / SHINGLE with max sub-chunk
+//! size k ∈ {1, 2, 5, 12, 25} and the DELTA engine at k = 1 (intra-
+//! record compression is impossible for DELTA, §5.4). SUBCHUNK is
+//! reported separately as in the paper's captions.
+//!
+//! Shapes to reproduce: BOTTOM-UP fastest on Q1/Q2; DELTA's Q2 ≥ its
+//! Q1 (reconstruct then filter); Q3 improves with k (fewer chunks per
+//! key history) and SUBCHUNK wins Q3 outright.
+
+use rstore_bench::{fmt_duration, make_store, print_table, scaled, Xorshift, CHUNK_CAPACITY};
+use rstore_core::model::VersionId;
+use rstore_core::partition::baselines::DeltaEngine;
+use rstore_core::partition::PartitionerKind;
+use rstore_core::store::RStore;
+use rstore_kvstore::{Cluster, NetworkModel};
+use rstore_vgraph::gen::presets;
+use rstore_vgraph::Dataset;
+use std::time::{Duration, Instant};
+
+const NODES: usize = 4;
+const Q1_SAMPLES: usize = 12;
+const Q2_SAMPLES: usize = 30;
+const Q3_SAMPLES: usize = 30;
+
+struct QueryTimes {
+    q1: Duration,
+    q2: Duration,
+    q3: Duration,
+}
+
+/// Runs the three query workloads against a loaded store; returns
+/// (wall + modeled network) per query class, averaged.
+fn run_workload(store: &RStore, dataset: &Dataset, max_pk: u64) -> QueryTimes {
+    let n = dataset.graph.len();
+    let mut rng = Xorshift::new(4242);
+
+    let mut q1 = Duration::ZERO;
+    for _ in 0..Q1_SAMPLES {
+        let v = VersionId(rng.below(n) as u32);
+        let (_, stats) = store.get_version_with_stats(v).unwrap();
+        q1 += stats.elapsed + stats.modeled_network / NODES as u32;
+    }
+
+    let mut q2 = Duration::ZERO;
+    for _ in 0..Q2_SAMPLES {
+        let v = VersionId(rng.below(n) as u32);
+        let lo = rng.below(max_pk as usize) as u64;
+        let hi = lo + max_pk / 10;
+        let (_, stats) = store.get_range_with_stats(lo, hi, v).unwrap();
+        q2 += stats.elapsed + stats.modeled_network / NODES as u32;
+    }
+
+    let mut q3 = Duration::ZERO;
+    for _ in 0..Q3_SAMPLES {
+        let pk = rng.below(max_pk as usize) as u64;
+        let (_, stats) = store.get_evolution_with_stats(pk).unwrap();
+        q3 += stats.elapsed + stats.modeled_network / NODES as u32;
+    }
+
+    QueryTimes {
+        q1: q1 / Q1_SAMPLES as u32,
+        q2: q2 / Q2_SAMPLES as u32,
+        q3: q3 / Q3_SAMPLES as u32,
+    }
+}
+
+fn main() {
+    println!("# Experiment: Fig. 11 query processing (Q1/Q2/Q3)");
+    let kinds = [
+        PartitionerKind::BottomUp { beta: usize::MAX },
+        PartitionerKind::DepthFirst,
+        PartitionerKind::Shingle { num_hashes: 4 },
+    ];
+    let ks = [1usize, 2, 5, 12, 25];
+
+    for base in [presets::a0(), presets::c0()] {
+        let mut spec = scaled(base);
+        spec.record_size = 256;
+        spec.pd = 0.05;
+        let dataset = spec.generate();
+        let max_pk = dataset
+            .record_store()
+            .keys()
+            .iter()
+            .map(|ck| ck.pk)
+            .max()
+            .unwrap_or(1);
+        println!(
+            "\n=== dataset {} ({} versions, {} unique records) ===",
+            spec.name,
+            dataset.graph.len(),
+            dataset.record_store().len()
+        );
+
+        let mut rows = Vec::new();
+        for kind in kinds {
+            for &k in &ks {
+                let mut store =
+                    make_store(NODES, kind, k, CHUNK_CAPACITY, NetworkModel::lan_virtual());
+                let report = store.load_dataset(&dataset).unwrap();
+                let times = run_workload(&store, &dataset, max_pk);
+                rows.push(vec![
+                    kind.name().to_string(),
+                    k.to_string(),
+                    fmt_duration(times.q1),
+                    fmt_duration(times.q2),
+                    fmt_duration(times.q3),
+                    format!("{:.2}x", report.compression_ratio()),
+                ]);
+            }
+        }
+
+        // DELTA at k = 1 only (no intra-record compression possible).
+        {
+            let cluster = Cluster::builder()
+                .nodes(NODES)
+                .network(NetworkModel::lan_virtual())
+                .build();
+            let engine = DeltaEngine::load(&dataset, &cluster).unwrap();
+            let n = dataset.graph.len();
+            let mut rng = Xorshift::new(4242);
+            let mut q1 = Duration::ZERO;
+            let net0 = cluster.stats().modeled_time;
+            let t0 = Instant::now();
+            for _ in 0..Q1_SAMPLES {
+                let v = VersionId(rng.below(n) as u32);
+                engine.get_version(&cluster, v).unwrap();
+            }
+            q1 += t0.elapsed() + (cluster.stats().modeled_time - net0) / NODES as u32;
+            let mut q2 = Duration::ZERO;
+            let net0 = cluster.stats().modeled_time;
+            let t0 = Instant::now();
+            for _ in 0..Q2_SAMPLES {
+                let v = VersionId(rng.below(n) as u32);
+                let lo = rng.below(max_pk as usize) as u64;
+                engine.get_range(&cluster, lo, lo + max_pk / 10, v).unwrap();
+            }
+            q2 += t0.elapsed() + (cluster.stats().modeled_time - net0) / NODES as u32;
+            rows.push(vec![
+                "DELTA".into(),
+                "1".into(),
+                fmt_duration(q1 / Q1_SAMPLES as u32),
+                fmt_duration(q2 / Q2_SAMPLES as u32),
+                "impractical".into(),
+                "-".into(),
+            ]);
+        }
+
+        // SUBCHUNK caption numbers.
+        {
+            let mut store = make_store(
+                NODES,
+                PartitionerKind::SubchunkBaseline,
+                usize::MAX,
+                CHUNK_CAPACITY,
+                NetworkModel::lan_virtual(),
+            );
+            store.load_dataset(&dataset).unwrap();
+            let times = run_workload(&store, &dataset, max_pk);
+            rows.push(vec![
+                "SUBCHUNK".into(),
+                "all".into(),
+                fmt_duration(times.q1),
+                fmt_duration(times.q2),
+                fmt_duration(times.q3),
+                "-".into(),
+            ]);
+        }
+
+        print_table(
+            &format!("Fig. 11 ({}): avg query time (wall + modeled network)", spec.name),
+            &["algorithm", "k", "Q1 full version", "Q2 range", "Q3 evolution", "compression"],
+            &rows,
+        );
+    }
+    println!(
+        "\nShape check (paper): BOTTOM-UP lowest Q1/Q2; DELTA Q2 ≥ DELTA Q1; \
+         Q3 falls as k grows; SUBCHUNK worst Q1/Q2 and best Q3."
+    );
+}

@@ -1,0 +1,81 @@
+//! Fig. 8: total version span without compression.
+//!
+//! For every dataset, run BOTTOM-UP, SHINGLE, DEPTHFIRST and
+//! BREADTHFIRST (chunk size fixed) and the DELTA baseline, and report
+//! the total version span (Σ over versions of chunks retrieved to
+//! reconstruct it). SUBCHUNK is omitted as in the paper ("the total
+//! version span for that approach is very high").
+//!
+//! Shapes to reproduce (paper §5.2):
+//! * BOTTOM-UP, SHINGLE and DEPTHFIRST beat DELTA everywhere
+//!   (BOTTOM-UP up to ~8x, ~3.6x on average),
+//! * SHINGLE degrades as average tree depth falls, DEPTHFIRST
+//!   improves,
+//! * BREADTHFIRST ≥ DEPTHFIRST except on chains (where they tie),
+//! * BOTTOM-UP is uniformly good.
+
+use rstore_bench::{print_table, table2_specs, Bundle, CHUNK_CAPACITY};
+use rstore_core::partition::baselines::DeltaLayout;
+use rstore_core::partition::PartitionerKind;
+use std::time::Instant;
+
+fn main() {
+    println!("# Experiment: Fig. 8 total version span (no compression)");
+    println!("chunk capacity = {} bytes", CHUNK_CAPACITY);
+
+    let kinds = [
+        PartitionerKind::BottomUp { beta: usize::MAX },
+        PartitionerKind::Shingle { num_hashes: 4 },
+        PartitionerKind::DepthFirst,
+        PartitionerKind::BreadthFirst,
+    ];
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for spec in table2_specs() {
+        let t0 = Instant::now();
+        let bundle = Bundle::new(&spec);
+        let mut row = vec![
+            spec.name.clone(),
+            format!("{:.0}", bundle.dataset.graph.avg_depth()),
+        ];
+        let mut bottom_up_span = 0usize;
+        for kind in kinds {
+            let p = kind.build(CHUNK_CAPACITY).partition(&bundle.input());
+            let span = bundle.total_span(&p);
+            if matches!(kind, PartitionerKind::BottomUp { .. }) {
+                bottom_up_span = span;
+            }
+            row.push(span.to_string());
+        }
+        let delta = DeltaLayout::build(&bundle.dataset, CHUNK_CAPACITY);
+        let delta_span = delta.total_version_span(&bundle.dataset);
+        row.push(delta_span.to_string());
+        let ratio = delta_span as f64 / bottom_up_span.max(1) as f64;
+        ratios.push(ratio);
+        row.push(format!("{ratio:.2}x"));
+        row.push(format!("{:.1}s", t0.elapsed().as_secs_f64()));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 8: total version span per algorithm",
+        &[
+            "dataset",
+            "avg depth",
+            "BOTTOM-UP",
+            "SHINGLE",
+            "DFS",
+            "BFS",
+            "DELTA",
+            "DELTA/BU",
+            "gen+part time",
+        ],
+        &rows,
+    );
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nDELTA vs BOTTOM-UP: average {avg:.2}x, max {max:.2}x \
+         (paper: 3.56x average, 8.21x max)."
+    );
+}

@@ -1,0 +1,81 @@
+//! Fig. 9: effect of the subtree limit β on BOTTOM-UP (dataset B0).
+//!
+//! As β shrinks, per-version processing gets cheaper but run-length
+//! groups are merged, degrading placement. The paper observes: total
+//! version span rises as β falls; total time first falls with β and
+//! rises again below β ≈ 20 (merging overhead dominates). Q1/Q2 spans
+//! and total partitioning time are reported per β.
+
+use rstore_bench::{print_table, scaled, Bundle, Xorshift, CHUNK_CAPACITY};
+use rstore_core::partition::{PartitionerKind, Partitioning};
+use rstore_vgraph::gen::presets;
+use std::time::Instant;
+
+/// Average partial-version (Q2) span: chunks holding the records of a
+/// random primary-key range (a tenth of the key space) in a random
+/// version.
+fn q2_span(bundle: &Bundle, p: &Partitioning, samples: usize) -> f64 {
+    let mut rng = Xorshift::new(99);
+    let n = bundle.dataset.graph.len();
+    let max_pk = bundle.item_pk.iter().copied().max().unwrap_or(1);
+    let width = (max_pk / 10).max(1);
+    let mut total = 0usize;
+    for _ in 0..samples {
+        let v = rng.below(n);
+        let lo = rng.below(max_pk as usize) as u64;
+        let hi = lo.saturating_add(width);
+        let mut chunks: Vec<u32> = bundle.version_items[v]
+            .iter()
+            .filter(|&&i| {
+                let pk = bundle.item_pk[i as usize];
+                pk >= lo && pk <= hi
+            })
+            .map(|&i| p.chunk_of[i as usize])
+            .collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        total += chunks.len();
+    }
+    total as f64 / samples as f64
+}
+
+fn main() {
+    println!("# Experiment: Fig. 9 subtree-size (β) sweep on BOTTOM-UP, dataset B0");
+    let spec = scaled(presets::b0());
+    let bundle = Bundle::new(&spec);
+    let n = bundle.dataset.graph.len();
+    println!(
+        "dataset: {} versions, avg depth {:.0}, {} unique records",
+        n,
+        bundle.dataset.graph.avg_depth(),
+        bundle.store.len()
+    );
+
+    let betas = [5usize, 10, 20, 40, 80, 160, 301];
+    let mut rows = Vec::new();
+    for &beta in &betas {
+        let t0 = Instant::now();
+        let p = PartitionerKind::BottomUp { beta }
+            .build(CHUNK_CAPACITY)
+            .partition(&bundle.input());
+        let elapsed = t0.elapsed();
+        let q1 = bundle.total_span(&p) as f64 / n as f64;
+        let q2 = q2_span(&bundle, &p, 200);
+        rows.push(vec![
+            beta.to_string(),
+            format!("{:.1}", q1),
+            format!("{:.1}", q2),
+            format!("{:.0} ms", elapsed.as_secs_f64() * 1e3),
+            p.num_chunks.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 9: Q1/Q2 average span and partitioning time vs β",
+        &["β", "avg Q1 span", "avg Q2 span", "partition time", "chunks"],
+        &rows,
+    );
+    println!(
+        "\nShape check (paper): span decreases as β grows; time is \
+         U-shaped with the minimum at moderate β."
+    );
+}

@@ -1,0 +1,254 @@
+//! Shared infrastructure for the RStore experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (§5) has a
+//! binary in `src/bin/` that regenerates it; this library holds the
+//! pieces they share: scaled dataset presets, store construction,
+//! partition-input assembly, random query workloads and plain-text
+//! table rendering. `EXPERIMENTS.md` at the workspace root records
+//! paper-vs-measured for each experiment.
+
+use rstore_core::model::VersionId;
+use rstore_core::partition::{PartitionInput, Partitioning, PartitionerKind};
+use rstore_core::store::RStore;
+use rstore_kvstore::{Cluster, NetworkModel};
+use rstore_vgraph::{gen::presets, Dataset, DatasetSpec, MaterializedVersions, RecordStore};
+
+/// Default chunk capacity for scaled datasets (the paper's 1 MB,
+/// scaled with the data: a version here is a few hundred KB).
+pub const CHUNK_CAPACITY: usize = 16 * 1024;
+
+/// A global scale factor for quick runs: `RSTORE_BENCH_SCALE=0.2`
+/// shrinks every dataset to 20% of its preset size.
+pub fn scale_factor() -> f64 {
+    std::env::var("RSTORE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&f: &f64| f > 0.0 && f <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies the global scale factor to a spec.
+pub fn scaled(mut spec: DatasetSpec) -> DatasetSpec {
+    let f = scale_factor();
+    if (f - 1.0).abs() > f64::EPSILON {
+        spec.num_versions = ((spec.num_versions as f64 * f) as usize).max(8);
+        spec.root_records = ((spec.root_records as f64 * f) as usize).max(16);
+    }
+    spec
+}
+
+/// The Table 2 presets, scaled.
+pub fn table2_specs() -> Vec<DatasetSpec> {
+    presets::table2().into_iter().map(scaled).collect()
+}
+
+/// A generated dataset together with its oracle structures.
+pub struct Bundle {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Interned records.
+    pub store: RecordStore,
+    /// Materialized version contents.
+    pub materialized: MaterializedVersions,
+    /// Sorted item (record) ordinals per version.
+    pub version_items: Vec<Vec<u32>>,
+    /// Record payload sizes.
+    pub item_sizes: Vec<u32>,
+    /// Record primary keys.
+    pub item_pk: Vec<u64>,
+}
+
+impl Bundle {
+    /// Generates and materializes a dataset.
+    pub fn new(spec: &DatasetSpec) -> Self {
+        let dataset = spec.generate();
+        let store = dataset.record_store();
+        let materialized = dataset.materialize(&store);
+        let version_items: Vec<Vec<u32>> = (0..dataset.graph.len())
+            .map(|v| {
+                let mut items: Vec<u32> = materialized
+                    .contents(VersionId(v as u32))
+                    .iter()
+                    .map(|&(_, ord)| ord)
+                    .collect();
+                items.sort_unstable();
+                items
+            })
+            .collect();
+        let item_sizes: Vec<u32> = (0..store.len() as u32)
+            .map(|o| store.payload(o).len() as u32)
+            .collect();
+        let item_pk: Vec<u64> = store.keys().iter().map(|ck| ck.pk).collect();
+        Self {
+            dataset,
+            store,
+            materialized,
+            version_items,
+            item_sizes,
+            item_pk,
+        }
+    }
+
+    /// The partitioner input view (record-level items, k = 1).
+    pub fn input(&self) -> PartitionInput<'_> {
+        PartitionInput {
+            tree: &self.dataset.graph,
+            version_items: &self.version_items,
+            item_sizes: &self.item_sizes,
+            item_pk: &self.item_pk,
+        }
+    }
+
+    /// Total version span of a partitioning over this bundle.
+    pub fn total_span(&self, p: &Partitioning) -> usize {
+        let mut span = 0usize;
+        let mut seen = vec![u32::MAX; p.num_chunks];
+        for (v, items) in self.version_items.iter().enumerate() {
+            for &i in items {
+                let c = p.chunk_of[i as usize] as usize;
+                if seen[c] != v as u32 {
+                    seen[c] = v as u32;
+                    span += 1;
+                }
+            }
+        }
+        span
+    }
+}
+
+/// Builds a fresh store over an in-memory cluster.
+pub fn make_store(
+    nodes: usize,
+    kind: PartitionerKind,
+    k: usize,
+    capacity: usize,
+    network: NetworkModel,
+) -> RStore {
+    let cluster = Cluster::builder().nodes(nodes).network(network).build();
+    RStore::builder()
+        .chunk_capacity(capacity)
+        .max_subchunk(k)
+        .partitioner(kind)
+        .build(cluster)
+}
+
+/// Deterministic xorshift for query workloads.
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeds the generator (0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform value in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Renders an aligned plain-text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a byte count human-readably.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_builds_and_span_computes() {
+        let spec = DatasetSpec::tiny(5);
+        let b = Bundle::new(&spec);
+        let p = PartitionerKind::DepthFirst
+            .build(1024)
+            .partition(&b.input());
+        let span = b.total_span(&p);
+        assert!(span >= b.dataset.graph.len());
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = Xorshift::new(7);
+        let mut b = Xorshift::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xorshift::new(9);
+        assert!(c.below(10) < 10);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert!(fmt_bytes(2048).contains("KB"));
+        assert!(fmt_duration(std::time::Duration::from_millis(5)).contains("ms"));
+    }
+
+    #[test]
+    fn scaled_respects_env_default() {
+        let spec = scaled(DatasetSpec::tiny(1));
+        assert!(spec.num_versions >= 8);
+    }
+}

@@ -1,0 +1,305 @@
+//! Byte-level delta encoding between two records.
+//!
+//! Inside a sub-chunk RStore stores one full record and delta-encodes
+//! the other versions of the same primary key against it ("all the
+//! sibling records would be delta-ed against their common parent",
+//! §3.4). The paper's generator mutates a bounded percentage `Pd` of a
+//! record's bytes, so deltas are tiny relative to records.
+//!
+//! The codec is a greedy block-copy diff: the encoder indexes the base
+//! by 8-byte anchors and emits a stream of
+//! `COPY{base_offset, len}` / `INSERT{bytes}` ops, each varint-framed.
+
+use crate::error::CodecError;
+use crate::varint;
+
+const COPY_TAG: u8 = 0x00;
+const INSERT_TAG: u8 = 0x01;
+
+/// Anchor width used to seed copy detection.
+const ANCHOR: usize = 8;
+/// Minimum copy worth emitting.
+const MIN_COPY: usize = 8;
+/// Hash-table slots (power of two).
+const SLOTS: usize = 1 << 14;
+
+/// One operation of a decoded delta, exposed for tests and tooling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Copy `len` bytes starting at `offset` in the base.
+    Copy {
+        /// Byte offset into the base.
+        offset: usize,
+        /// Number of bytes to copy.
+        len: usize,
+    },
+    /// Insert literal bytes.
+    Insert(Vec<u8>),
+}
+
+#[inline]
+fn hash8(bytes: &[u8]) -> usize {
+    let v = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    (v.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - 14)) as usize & (SLOTS - 1)
+}
+
+/// Computes a delta that transforms `base` into `target`.
+///
+/// The output always reproduces `target` exactly via [`apply_delta`];
+/// when the inputs are unrelated it degrades to a single INSERT of the
+/// whole target plus a few framing bytes.
+pub fn diff(base: &[u8], target: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    varint::write_u64(&mut out, target.len() as u64);
+
+    if target.is_empty() {
+        return out;
+    }
+    if base.len() < ANCHOR {
+        push_insert(&mut out, target);
+        return out;
+    }
+
+    // Index base positions by their 8-byte anchor. First writer wins:
+    // on repetitive content the earliest occurrence admits the longest
+    // forward extension. Collisions are verified byte-for-byte below.
+    let mut table = vec![u32::MAX; SLOTS];
+    let mut i = 0;
+    while i + ANCHOR <= base.len() {
+        let h = hash8(&base[i..]);
+        if table[h] == u32::MAX {
+            table[h] = i as u32;
+        }
+        i += 1;
+    }
+
+    let mut lit_start = 0usize;
+    let mut t = 0usize;
+    while t + ANCHOR <= target.len() {
+        let slot = table[hash8(&target[t..])];
+        if slot != u32::MAX {
+            let b = slot as usize;
+            // Extend the match forwards.
+            let mut len = 0usize;
+            let max = (base.len() - b).min(target.len() - t);
+            while len < max && base[b + len] == target[t + len] {
+                len += 1;
+            }
+            if len >= MIN_COPY {
+                // Extend backwards into pending literals.
+                let mut back = 0usize;
+                while back < t - lit_start
+                    && back < b
+                    && base[b - back - 1] == target[t - back - 1]
+                {
+                    back += 1;
+                }
+                let (b, t2, len) = (b - back, t - back, len + back);
+                push_insert(&mut out, &target[lit_start..t2]);
+                out.push(COPY_TAG);
+                varint::write_u64(&mut out, b as u64);
+                varint::write_u64(&mut out, len as u64);
+                t = t2 + len;
+                lit_start = t;
+                continue;
+            }
+        }
+        t += 1;
+    }
+    push_insert(&mut out, &target[lit_start..]);
+    out
+}
+
+fn push_insert(out: &mut Vec<u8>, bytes: &[u8]) {
+    if !bytes.is_empty() {
+        out.push(INSERT_TAG);
+        varint::write_u64(out, bytes.len() as u64);
+        out.extend_from_slice(bytes);
+    }
+}
+
+/// Applies a delta produced by [`diff`] to `base`, reproducing the
+/// target.
+pub fn apply_delta(base: &[u8], delta: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = varint::VarintReader::new(delta);
+    let expected = r.read_u64()? as usize;
+    // Cap the pre-allocation: the header is untrusted input.
+    let mut out = Vec::with_capacity(expected.min(1 << 20));
+    while !r.is_empty() {
+        let tag = r.read_bytes(1)?[0];
+        match tag {
+            COPY_TAG => {
+                let offset = r.read_u64()? as usize;
+                let len = r.read_u64()? as usize;
+                if offset.checked_add(len).is_none_or(|end| end > base.len()) {
+                    return Err(CodecError::BadCopyRange {
+                        start: offset,
+                        len,
+                        base_len: base.len(),
+                    });
+                }
+                if out.len() + len > expected {
+                    return Err(CodecError::LengthMismatch {
+                        expected,
+                        actual: out.len() + len,
+                    });
+                }
+                out.extend_from_slice(&base[offset..offset + len]);
+            }
+            INSERT_TAG => {
+                let len = r.read_u64()? as usize;
+                let bytes = r.read_bytes(len)?;
+                if out.len() + len > expected {
+                    return Err(CodecError::LengthMismatch {
+                        expected,
+                        actual: out.len() + len,
+                    });
+                }
+                out.extend_from_slice(bytes);
+            }
+            other => return Err(CodecError::BadTag(other)),
+        }
+    }
+    if out.len() != expected {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a delta into its op list (diagnostics / tests).
+pub fn parse_ops(delta: &[u8]) -> Result<Vec<DeltaOp>, CodecError> {
+    let mut r = varint::VarintReader::new(delta);
+    let _expected = r.read_u64()?;
+    let mut ops = Vec::new();
+    while !r.is_empty() {
+        let tag = r.read_bytes(1)?[0];
+        match tag {
+            COPY_TAG => {
+                let offset = r.read_u64()? as usize;
+                let len = r.read_u64()? as usize;
+                ops.push(DeltaOp::Copy { offset, len });
+            }
+            INSERT_TAG => {
+                let len = r.read_u64()? as usize;
+                ops.push(DeltaOp::Insert(r.read_bytes(len)?.to_vec()));
+            }
+            other => return Err(CodecError::BadTag(other)),
+        }
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(base: &[u8], target: &[u8]) -> usize {
+        let d = diff(base, target);
+        assert_eq!(apply_delta(base, &d).unwrap(), target);
+        d.len()
+    }
+
+    #[test]
+    fn identical_inputs_yield_tiny_delta() {
+        let data = vec![42u8; 4096];
+        let n = roundtrip(&data, &data);
+        assert!(n < 16, "identical 4k input produced {n}-byte delta");
+    }
+
+    #[test]
+    fn empty_cases() {
+        roundtrip(b"", b"");
+        roundtrip(b"abcdefgh", b"");
+        roundtrip(b"", b"abcdefgh");
+    }
+
+    #[test]
+    fn point_mutation_produces_small_delta() {
+        let base: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
+        let mut target = base.clone();
+        target[1000] ^= 0xff;
+        let n = roundtrip(&base, &target);
+        assert!(n < 64, "1-byte mutation produced {n}-byte delta");
+    }
+
+    #[test]
+    fn insertion_in_middle() {
+        let base: Vec<u8> = (0..1000u32).map(|i| (i % 241) as u8).collect();
+        let mut target = base[..500].to_vec();
+        target.extend_from_slice(b"INSERTED PAYLOAD");
+        target.extend_from_slice(&base[500..]);
+        let n = roundtrip(&base, &target);
+        assert!(n < 96, "16-byte insert produced {n}-byte delta");
+    }
+
+    #[test]
+    fn deletion_in_middle() {
+        let base: Vec<u8> = (0..1000u32).map(|i| (i % 239) as u8).collect();
+        let mut target = base[..300].to_vec();
+        target.extend_from_slice(&base[700..]);
+        let n = roundtrip(&base, &target);
+        assert!(n < 64, "deletion produced {n}-byte delta");
+    }
+
+    #[test]
+    fn unrelated_inputs_degrade_to_insert() {
+        let base = vec![0u8; 500];
+        let target: Vec<u8> = (0..500u32).map(|i| (i * 7 % 256) as u8).collect();
+        let d = diff(&base, &target);
+        assert_eq!(apply_delta(&base, &d).unwrap(), target);
+        assert!(d.len() <= target.len() + 16);
+    }
+
+    #[test]
+    fn small_base_falls_back_to_insert() {
+        roundtrip(b"abc", b"abcdefghij");
+    }
+
+    #[test]
+    fn json_field_update() {
+        let base = br#"{"id":17,"name":"ada lovelace","age":36,"notes":"analytical engine pioneer, first programmer","visits":[1,2,3,4,5]}"#;
+        let target = br#"{"id":17,"name":"ada lovelace","age":37,"notes":"analytical engine pioneer, first programmer","visits":[1,2,3,4,5,6]}"#;
+        let n = roundtrip(base, target);
+        assert!(n < base.len() / 2, "field update delta {n} too large");
+    }
+
+    #[test]
+    fn apply_rejects_bad_copy_range() {
+        let mut d = Vec::new();
+        varint::write_u64(&mut d, 10);
+        d.push(COPY_TAG);
+        varint::write_u64(&mut d, 5);
+        varint::write_u64(&mut d, 10); // 5..15 of an 8-byte base
+        assert!(matches!(
+            apply_delta(b"12345678", &d),
+            Err(CodecError::BadCopyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_overflowing_copy_range() {
+        let mut d = Vec::new();
+        varint::write_u64(&mut d, 10);
+        d.push(COPY_TAG);
+        varint::write_u64(&mut d, u64::MAX);
+        varint::write_u64(&mut d, 2);
+        assert!(matches!(
+            apply_delta(b"12345678", &d),
+            Err(CodecError::BadCopyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_ops_reports_structure() {
+        let base: Vec<u8> = (0..100u8).collect();
+        let mut target = base.clone();
+        target[50] = 0xff;
+        let d = diff(&base, &target);
+        let ops = parse_ops(&d).unwrap();
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::Copy { .. })));
+        assert!(ops.iter().any(|op| matches!(op, DeltaOp::Insert(_))));
+    }
+}

@@ -1,0 +1,341 @@
+//! A general-purpose LZ77-family byte compressor.
+//!
+//! RStore compresses sub-chunks (groups of similar records) before
+//! storing them in the backend key-value store (§2.2, §3.4). The paper
+//! uses an off-the-shelf tool; this is a from-scratch equivalent: a
+//! greedy LZ77 with a hash-chain match finder over a 64 KiB window and
+//! a varint-coded token stream.
+//!
+//! ## Format
+//!
+//! `varint(original_len)` followed by a sequence of tokens:
+//!
+//! * `tag 0x00, varint(len), len raw bytes` — a literal run,
+//! * `tag 0x01, varint(distance), varint(len)` — copy `len` bytes from
+//!   `distance` bytes back in the decoded output (overlapping copies
+//!   allowed, so runs compress well).
+//!
+//! The format favours decode speed and simplicity over ratio; on the
+//! JSON documents RStore stores it typically reaches 2-4x, and on
+//! near-duplicate record groups (the sub-chunk case) far more.
+
+use crate::error::CodecError;
+use crate::varint;
+
+const LITERAL_TAG: u8 = 0x00;
+const MATCH_TAG: u8 = 0x01;
+
+/// Minimum match length worth emitting; shorter matches cost more to
+/// encode than the literals they replace.
+const MIN_MATCH: usize = 4;
+/// Longest match we will emit in a single token.
+const MAX_MATCH: usize = 1 << 16;
+/// Sliding-window size: how far back a match may reach.
+const WINDOW: usize = 1 << 16;
+/// Number of head slots in the hash table (power of two).
+const HASH_SLOTS: usize = 1 << 15;
+/// How many chain links to follow before giving up on a better match.
+const MAX_CHAIN: usize = 32;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    // Multiplicative hash of the next four bytes.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - 15)) as usize & (HASH_SLOTS - 1)
+}
+
+/// Compresses `input` into a fresh buffer.
+///
+/// Never fails; incompressible input grows by a few bytes of framing
+/// per 64 KiB of literals.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    varint::write_u64(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h (+1; 0 = empty).
+    let mut head = vec![0u32; HASH_SLOTS];
+    // prev[i % WINDOW] = previous position with the same hash as i (+1).
+    let mut prev = vec![0u32; WINDOW];
+
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
+        if end > start {
+            out.push(LITERAL_TAG);
+            varint::write_u64(out, (end - start) as u64);
+            out.extend_from_slice(&input[start..end]);
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        // Walk the hash chain looking for the longest match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut candidate = head[h] as usize;
+        let mut chain = 0usize;
+        while candidate != 0 && chain < MAX_CHAIN {
+            let pos = candidate - 1;
+            if i - pos > WINDOW {
+                break;
+            }
+            let limit = (input.len() - i).min(MAX_MATCH);
+            let mut len = 0usize;
+            while len < limit && input[pos + len] == input[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = i - pos;
+                if len >= limit {
+                    break;
+                }
+            }
+            candidate = prev[pos % WINDOW] as usize;
+            chain += 1;
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i);
+            out.push(MATCH_TAG);
+            varint::write_u64(&mut out, best_dist as u64);
+            varint::write_u64(&mut out, best_len as u64);
+            // Insert hash entries for the matched region (sparsely for
+            // long matches: every position for short ones is overkill).
+            let end = i + best_len;
+            let step = if best_len > 64 { 4 } else { 1 };
+            let mut j = i;
+            while j + MIN_MATCH <= input.len() && j < end {
+                let hj = hash4(&input[j..]);
+                prev[j % WINDOW] = head[hj];
+                head[hj] = (j + 1) as u32;
+                j += step;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            prev[i % WINDOW] = head[h];
+            head[h] = (i + 1) as u32;
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = varint::VarintReader::new(input);
+    let expected = r.read_u64()? as usize;
+    // Never trust the header for pre-allocation; corrupt input could
+    // declare an absurd size. Growth is bounded by `expected` below.
+    let mut out = Vec::with_capacity(expected.min(1 << 20));
+    while !r.is_empty() {
+        let tag = r.read_bytes(1)?[0];
+        match tag {
+            LITERAL_TAG => {
+                let len = r.read_u64()? as usize;
+                if out.len().checked_add(len).is_none_or(|e| e > expected) {
+                    return Err(CodecError::LengthMismatch {
+                        expected,
+                        actual: out.len().saturating_add(len),
+                    });
+                }
+                out.extend_from_slice(r.read_bytes(len)?);
+            }
+            MATCH_TAG => {
+                let dist = r.read_u64()? as usize;
+                let len = r.read_u64()? as usize;
+                if out.len().checked_add(len).is_none_or(|e| e > expected) {
+                    return Err(CodecError::LengthMismatch {
+                        expected,
+                        actual: out.len().saturating_add(len),
+                    });
+                }
+                if dist == 0 || dist > out.len() {
+                    return Err(CodecError::BadBackReference {
+                        offset: dist,
+                        decoded: out.len(),
+                    });
+                }
+                // Overlapping copy: byte-at-a-time when ranges overlap.
+                let start = out.len() - dist;
+                if dist >= len {
+                    out.extend_from_within(start..start + len);
+                } else {
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+            other => return Err(CodecError::BadTag(other)),
+        }
+    }
+    if out.len() != expected {
+        return Err(CodecError::LengthMismatch {
+            expected,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Convenience: compression ratio (`original / compressed`) of a buffer.
+pub fn ratio(original_len: usize, compressed_len: usize) -> f64 {
+    if compressed_len == 0 {
+        return 1.0;
+    }
+    original_len as f64 / compressed_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn tiny_roundtrip() {
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repeated_bytes_compress_well() {
+        let data = vec![b'x'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 100, "run of 10k bytes took {} bytes", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn json_like_data_compresses() {
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.extend_from_slice(
+                format!(r#"{{"patient_id":{i},"age":52,"status":"stable"}}"#).as_bytes(),
+            );
+        }
+        let c = compress(&data);
+        assert!(
+            c.len() * 2 < data.len(),
+            "expected >2x ratio, got {} -> {}",
+            data.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes via an LCG (deterministic, no rand dep).
+        let mut state = 0x1234_5678_u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_roundtrips() {
+        // "abcabcabc..." forces dist < len copies.
+        let data: Vec<u8> = b"abc".iter().cycle().take(1000).copied().collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_input_roundtrips() {
+        let mut data = Vec::new();
+        for i in 0u32..50_000 {
+            data.extend_from_slice(&(i % 251).to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_bad_tag() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 4);
+        buf.push(0x77);
+        assert_eq!(decompress(&buf), Err(CodecError::BadTag(0x77)));
+    }
+
+    #[test]
+    fn decompress_rejects_bad_backreference() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 8);
+        buf.push(MATCH_TAG);
+        varint::write_u64(&mut buf, 5); // distance 5 with 0 decoded bytes
+        varint::write_u64(&mut buf, 4);
+        assert!(matches!(
+            decompress(&buf),
+            Err(CodecError::BadBackReference { .. })
+        ));
+    }
+
+    #[test]
+    fn decompress_rejects_length_mismatch() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 100); // declares 100 bytes
+        buf.push(LITERAL_TAG);
+        varint::write_u64(&mut buf, 3);
+        buf.extend_from_slice(b"abc");
+        assert_eq!(
+            decompress(&buf),
+            Err(CodecError::LengthMismatch {
+                expected: 100,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn decompress_rejects_truncated_literals() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 10);
+        buf.push(LITERAL_TAG);
+        varint::write_u64(&mut buf, 10);
+        buf.extend_from_slice(b"abc"); // only 3 of 10 bytes present
+        assert_eq!(decompress(&buf), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn near_duplicate_records_reach_high_ratio() {
+        // Simulates a sub-chunk: 20 versions of a 500-byte record with
+        // small point mutations.
+        let base: Vec<u8> = (0..500u32).map(|i| (i % 97) as u8).collect();
+        let mut group = Vec::new();
+        for v in 0..20u8 {
+            let mut rec = base.clone();
+            rec[10] = v;
+            rec[400] = v.wrapping_mul(3);
+            group.extend_from_slice(&rec);
+        }
+        let c = compress(&group);
+        assert!(
+            c.len() * 8 < group.len(),
+            "expected >8x on near-duplicates, got {} -> {}",
+            group.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), group);
+    }
+}

@@ -1,0 +1,301 @@
+//! Delta + varint compressed postings lists.
+//!
+//! The version→chunk and key→chunk projections are adjacency lists of
+//! sorted ids; the paper notes that "standard techniques from inverted
+//! indexes literature can be used to compress the adjacency lists
+//! without compromising performance" (§2.4). This module is that
+//! technique: gaps between consecutive ids, varint-coded.
+
+use crate::error::CodecError;
+use crate::varint;
+
+/// A compressed, sorted list of `u64` ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingsList {
+    /// Gap-encoded varint payload.
+    bytes: Vec<u8>,
+    /// Number of ids stored.
+    count: usize,
+    /// Last id appended (for append-mode encoding).
+    last: u64,
+}
+
+impl PostingsList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a list from a sorted, deduplicated slice.
+    ///
+    /// # Panics
+    /// Panics if `ids` is not strictly increasing.
+    pub fn from_sorted(ids: &[u64]) -> Self {
+        let mut p = Self::new();
+        for &id in ids {
+            p.push(id);
+        }
+        p
+    }
+
+    /// Appends an id strictly greater than every id already present.
+    ///
+    /// # Panics
+    /// Panics if `id` is not strictly greater than the current maximum.
+    pub fn push(&mut self, id: u64) {
+        if self.count == 0 {
+            varint::write_u64(&mut self.bytes, id);
+        } else {
+            assert!(id > self.last, "postings must be strictly increasing");
+            varint::write_u64(&mut self.bytes, id - self.last);
+        }
+        self.last = id;
+        self.count += 1;
+    }
+
+    /// Number of ids stored.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no ids are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the compressed payload in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes all ids.
+    pub fn decode(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.count);
+        let mut r = varint::VarintReader::new(&self.bytes);
+        let mut acc = 0u64;
+        for i in 0..self.count {
+            // Payload was produced by push(); decoding cannot fail.
+            let gap = r.read_u64().expect("corrupt postings payload");
+            acc = if i == 0 { gap } else { acc + gap };
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Iterates without materializing the whole list.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter {
+            reader: varint::VarintReader::new(&self.bytes),
+            remaining: self.count,
+            acc: 0,
+            first: true,
+        }
+    }
+
+    /// Membership test (linear scan; lists are short in practice).
+    pub fn contains(&self, id: u64) -> bool {
+        self.iter().any(|x| x == id)
+    }
+
+    /// Intersects two lists, returning the common ids.
+    pub fn intersect(&self, other: &PostingsList) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut a = self.iter().peekable();
+        let mut b = other.iter().peekable();
+        while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes to a self-describing byte buffer.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes.len() + 8);
+        varint::write_u64(&mut out, self.count as u64);
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Deserializes a buffer produced by [`PostingsList::serialize`].
+    pub fn deserialize(input: &[u8]) -> Result<Self, CodecError> {
+        let mut r = varint::VarintReader::new(input);
+        let count = r.read_u64()? as usize;
+        let payload = r.remaining().to_vec();
+        // Validate the payload fully and recover `last`.
+        let mut vr = varint::VarintReader::new(&payload);
+        let mut acc = 0u64;
+        for i in 0..count {
+            let gap = vr.read_u64()?;
+            if i > 0 && gap == 0 {
+                return Err(CodecError::BadTag(0));
+            }
+            acc = if i == 0 {
+                gap
+            } else {
+                acc.checked_add(gap).ok_or(CodecError::VarintOverflow)?
+            };
+        }
+        if !vr.is_empty() {
+            return Err(CodecError::LengthMismatch {
+                expected: count,
+                actual: count + 1,
+            });
+        }
+        Ok(Self {
+            bytes: payload,
+            count,
+            last: acc,
+        })
+    }
+}
+
+/// Streaming decoder for a [`PostingsList`].
+pub struct PostingsIter<'a> {
+    reader: varint::VarintReader<'a>,
+    remaining: usize,
+    acc: u64,
+    first: bool,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let gap = self.reader.read_u64().expect("corrupt postings payload");
+        self.acc = if self.first { gap } else { self.acc + gap };
+        self.first = false;
+        Some(self.acc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_list() {
+        let p = PostingsList::new();
+        assert!(p.is_empty());
+        assert_eq!(p.decode(), Vec::<u64>::new());
+        let d = PostingsList::deserialize(&p.serialize()).unwrap();
+        assert_eq!(d, p);
+    }
+
+    #[test]
+    fn push_and_decode() {
+        let p = PostingsList::from_sorted(&[1, 5, 6, 100, 10_000]);
+        assert_eq!(p.decode(), vec![1, 5, 6, 100, 10_000]);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn zero_first_id_allowed() {
+        let p = PostingsList::from_sorted(&[0, 1, 2]);
+        assert_eq!(p.decode(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_push_panics() {
+        let mut p = PostingsList::new();
+        p.push(5);
+        p.push(5);
+    }
+
+    #[test]
+    fn dense_lists_compress_to_one_byte_per_id() {
+        let ids: Vec<u64> = (1000..2000).collect();
+        let p = PostingsList::from_sorted(&ids);
+        assert!(
+            p.payload_bytes() <= ids.len() + 2,
+            "dense gaps should be 1 byte each, got {}",
+            p.payload_bytes()
+        );
+        assert_eq!(p.decode(), ids);
+    }
+
+    #[test]
+    fn iterator_matches_decode() {
+        let ids: Vec<u64> = (0..500).map(|i| i * 17 + 3).collect();
+        let p = PostingsList::from_sorted(&ids);
+        assert_eq!(p.iter().collect::<Vec<_>>(), ids);
+        assert_eq!(p.iter().size_hint(), (500, Some(500)));
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = PostingsList::from_sorted(&[1, 3, 5, 7, 9]);
+        let b = PostingsList::from_sorted(&[2, 3, 4, 7, 10]);
+        assert_eq!(a.intersect(&b), vec![3, 7]);
+        assert_eq!(b.intersect(&a), vec![3, 7]);
+    }
+
+    #[test]
+    fn intersect_disjoint_and_empty() {
+        let a = PostingsList::from_sorted(&[1, 2]);
+        let b = PostingsList::from_sorted(&[3, 4]);
+        assert!(a.intersect(&b).is_empty());
+        assert!(a.intersect(&PostingsList::new()).is_empty());
+    }
+
+    #[test]
+    fn contains_works() {
+        let p = PostingsList::from_sorted(&[10, 20, 30]);
+        assert!(p.contains(20));
+        assert!(!p.contains(25));
+    }
+
+    #[test]
+    fn serialize_roundtrip_preserves_append() {
+        let mut p = PostingsList::from_sorted(&[4, 8]);
+        let mut q = PostingsList::deserialize(&p.serialize()).unwrap();
+        p.push(15);
+        q.push(15);
+        assert_eq!(p.decode(), q.decode());
+    }
+
+    #[test]
+    fn deserialize_rejects_truncated() {
+        let p = PostingsList::from_sorted(&[1, 1000, 100_000]);
+        let s = p.serialize();
+        assert!(PostingsList::deserialize(&s[..s.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_trailing_garbage() {
+        let p = PostingsList::from_sorted(&[1, 2, 3]);
+        let mut s = p.serialize();
+        s.push(9);
+        assert!(PostingsList::deserialize(&s).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_duplicate_gap() {
+        // count=2, first id 5, gap 0 => duplicate.
+        let mut s = Vec::new();
+        varint::write_u64(&mut s, 2);
+        varint::write_u64(&mut s, 5);
+        varint::write_u64(&mut s, 0);
+        assert!(PostingsList::deserialize(&s).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based round-trip tests for every codec in rstore-compress.
+
+use proptest::prelude::*;
+use rstore_compress::{apply_delta, bitmap::Bitmap, diff, lz, postings::PostingsList, varint};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn varint_u64_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (decoded, n) = varint::read_u64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        varint::write_i64(&mut buf, v);
+        prop_assert_eq!(varint::read_i64(&buf).unwrap().0, v);
+    }
+
+    #[test]
+    fn varint_sequences_roundtrip(vs in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &vs {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut r = varint::VarintReader::new(&buf);
+        for &v in &vs {
+            prop_assert_eq!(r.read_u64().unwrap(), v);
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn lz_roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_roundtrip_low_entropy(data in prop::collection::vec(0u8..4, 0..8192)) {
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lz::decompress(&data);
+    }
+
+    #[test]
+    fn delta_roundtrip_arbitrary(
+        base in prop::collection::vec(any::<u8>(), 0..2048),
+        target in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let d = diff(&base, &target);
+        prop_assert_eq!(apply_delta(&base, &d).unwrap(), target);
+    }
+
+    #[test]
+    fn delta_roundtrip_mutations(
+        base in prop::collection::vec(any::<u8>(), 64..2048),
+        muts in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..16),
+    ) {
+        let mut target = base.clone();
+        for (idx, byte) in muts {
+            let i = idx.index(target.len());
+            target[i] = byte;
+        }
+        let d = diff(&base, &target);
+        prop_assert_eq!(apply_delta(&base, &d).unwrap(), &target[..]);
+        // Small mutations must not balloon the delta to full size + framing.
+        prop_assert!(d.len() <= target.len() + 16);
+    }
+
+    #[test]
+    fn delta_apply_never_panics_on_garbage(
+        base in prop::collection::vec(any::<u8>(), 0..256),
+        delta in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = apply_delta(&base, &delta);
+    }
+
+    #[test]
+    fn bitmap_roundtrip(
+        len in 0usize..5000,
+        seed_bits in prop::collection::vec(any::<prop::sample::Index>(), 0..128),
+    ) {
+        let indices: Vec<usize> = if len == 0 {
+            vec![]
+        } else {
+            seed_bits.iter().map(|ix| ix.index(len)).collect()
+        };
+        let b = Bitmap::from_indices(len, indices.iter().copied());
+        let d = Bitmap::deserialize(&b.serialize()).unwrap();
+        prop_assert_eq!(&d, &b);
+        for &i in &indices {
+            prop_assert!(d.get(i));
+        }
+    }
+
+    #[test]
+    fn bitmap_iter_matches_get(
+        len in 1usize..2000,
+        seed_bits in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let indices: Vec<usize> = seed_bits.iter().map(|ix| ix.index(len)).collect();
+        let b = Bitmap::from_indices(len, indices.iter().copied());
+        let ones: Vec<usize> = b.iter_ones().collect();
+        let expect: Vec<usize> = (0..len).filter(|&i| b.get(i)).collect();
+        prop_assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn bitmap_deserialize_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Bitmap::deserialize(&data);
+    }
+
+    #[test]
+    fn postings_roundtrip(mut ids in prop::collection::btree_set(any::<u32>(), 0..256)) {
+        let ids: Vec<u64> = std::mem::take(&mut ids).into_iter().map(u64::from).collect();
+        let p = PostingsList::from_sorted(&ids);
+        prop_assert_eq!(p.decode(), ids.clone());
+        let d = PostingsList::deserialize(&p.serialize()).unwrap();
+        prop_assert_eq!(d.decode(), ids);
+    }
+
+    #[test]
+    fn postings_intersect_matches_sets(
+        a in prop::collection::btree_set(0u64..500, 0..64),
+        b in prop::collection::btree_set(0u64..500, 0..64),
+    ) {
+        let pa = PostingsList::from_sorted(&a.iter().copied().collect::<Vec<_>>());
+        let pb = PostingsList::from_sorted(&b.iter().copied().collect::<Vec<_>>());
+        let expect: Vec<u64> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(pa.intersect(&pb), expect);
+    }
+
+    #[test]
+    fn postings_deserialize_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = PostingsList::deserialize(&data);
+    }
+}

@@ -1,0 +1,206 @@
+//! Chunk maps: the per-chunk slice of the 3-D mapping.
+//!
+//! The full mapping M |K|×|V|×|C| (paper Fig. 3a) records which record
+//! is stored in which chunk and belongs to which versions. RStore
+//! shards it by chunk: each chunk `Ci` carries `M_Ci`, mapping every
+//! version that touches the chunk to the set of chunk-local records
+//! belonging to it. "This allows us to extract the records that belong
+//! to any specific version after the chunk has been retrieved" (§2.4).
+//!
+//! The per-version sets are stored as WAH-compressed bitmaps over the
+//! chunk's local record ordinals ("The adjacency list in each chunk
+//! map file is then converted to a bitmap, compressed and stored in
+//! the KVS", §3.1).
+
+use crate::error::CoreError;
+use crate::model::VersionId;
+use rstore_compress::{varint, Bitmap};
+
+/// The `M_Ci` slice for one chunk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkMap {
+    /// `(version, members)` pairs sorted by version; `members` is a
+    /// bitmap over the chunk's local record ordinals.
+    entries: Vec<(VersionId, Bitmap)>,
+    /// Number of local records in the chunk (bitmap length).
+    num_records: usize,
+}
+
+impl ChunkMap {
+    /// Creates an empty map for a chunk with `num_records` records.
+    pub fn new(num_records: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            num_records,
+        }
+    }
+
+    /// Records that the chunk-local records `locals` belong to
+    /// version `v`. Must be called with strictly increasing versions.
+    ///
+    /// # Panics
+    /// Panics if `v` is not greater than the last inserted version or
+    /// a local ordinal is out of range.
+    pub fn push_version(&mut self, v: VersionId, locals: impl IntoIterator<Item = usize>) {
+        if let Some(&(last, _)) = self.entries.last() {
+            assert!(v > last, "versions must be inserted in increasing order");
+        }
+        let bitmap = Bitmap::from_indices(self.num_records, locals);
+        self.entries.push((v, bitmap));
+    }
+
+    /// Number of records the bitmaps cover.
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    /// Number of versions that touch this chunk.
+    pub fn num_versions(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The chunk-local ordinals belonging to `v`, if the version
+    /// touches this chunk.
+    pub fn locals_of(&self, v: VersionId) -> Option<Vec<usize>> {
+        self.entries
+            .binary_search_by_key(&v, |&(ver, _)| ver)
+            .ok()
+            .map(|i| self.entries[i].1.iter_ones().collect())
+    }
+
+    /// Iterates `(version, members)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VersionId, &Bitmap)> {
+        self.entries.iter().map(|(v, b)| (*v, b))
+    }
+
+    /// Serializes: `varint(num_records) varint(n_entries)` then per
+    /// entry `varint(version) varint(len) bitmap`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.num_records as u64);
+        varint::write_u64(&mut out, self.entries.len() as u64);
+        for (v, bitmap) in &self.entries {
+            varint::write_u32(&mut out, v.as_u32());
+            let bytes = bitmap.serialize();
+            varint::write_u64(&mut out, bytes.len() as u64);
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Deserializes a buffer produced by [`ChunkMap::serialize`].
+    pub fn deserialize(input: &[u8]) -> Result<Self, CoreError> {
+        let mut r = varint::VarintReader::new(input);
+        let num_records = r.read_u64()? as usize;
+        let n_entries = r.read_u64()? as usize;
+        if n_entries > input.len() {
+            return Err(CoreError::Codec("entry count exceeds input".into()));
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        let mut last: Option<VersionId> = None;
+        for _ in 0..n_entries {
+            let v = VersionId(r.read_u32()?);
+            if last.is_some_and(|l| v <= l) {
+                return Err(CoreError::Codec("versions out of order".into()));
+            }
+            last = Some(v);
+            let len = r.read_u64()? as usize;
+            let bitmap = Bitmap::deserialize(r.read_bytes(len)?)?;
+            if bitmap.len() != num_records {
+                return Err(CoreError::Codec(format!(
+                    "bitmap length {} != record count {num_records}",
+                    bitmap.len()
+                )));
+            }
+            entries.push((v, bitmap));
+        }
+        if !r.is_empty() {
+            return Err(CoreError::Codec("trailing bytes in chunk map".into()));
+        }
+        Ok(Self {
+            entries,
+            num_records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut m = ChunkMap::new(8);
+        m.push_version(VersionId(0), [0, 1, 2]);
+        m.push_version(VersionId(2), [1, 2, 3]);
+        m.push_version(VersionId(5), [7]);
+        assert_eq!(m.num_versions(), 3);
+        assert_eq!(m.locals_of(VersionId(0)).unwrap(), vec![0, 1, 2]);
+        assert_eq!(m.locals_of(VersionId(2)).unwrap(), vec![1, 2, 3]);
+        assert_eq!(m.locals_of(VersionId(5)).unwrap(), vec![7]);
+        assert_eq!(m.locals_of(VersionId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn out_of_order_push_panics() {
+        let mut m = ChunkMap::new(4);
+        m.push_version(VersionId(3), [0]);
+        m.push_version(VersionId(2), [1]);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut m = ChunkMap::new(100);
+        for v in (0..50).step_by(3) {
+            m.push_version(VersionId(v), (0..100).filter(|i| (i + v as usize).is_multiple_of(7)));
+        }
+        let bytes = m.serialize();
+        let d = ChunkMap::deserialize(&bytes).unwrap();
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn empty_map_roundtrip() {
+        let m = ChunkMap::new(0);
+        assert_eq!(ChunkMap::deserialize(&m.serialize()).unwrap(), m);
+    }
+
+    #[test]
+    fn dense_membership_compresses() {
+        // A chunk whose records all belong to 200 consecutive versions
+        // (the common case for well-partitioned chunks).
+        let mut m = ChunkMap::new(1000);
+        for v in 0..200 {
+            m.push_version(VersionId(v), 0..1000);
+        }
+        let bytes = m.serialize();
+        // Raw representation would be 200 * 1000 bits = 25 KB.
+        assert!(
+            bytes.len() < 4096,
+            "dense chunk map took {} bytes",
+            bytes.len()
+        );
+        assert_eq!(ChunkMap::deserialize(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn deserialize_rejects_corruption() {
+        let mut m = ChunkMap::new(10);
+        m.push_version(VersionId(1), [1, 2]);
+        let bytes = m.serialize();
+        assert!(ChunkMap::deserialize(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(7);
+        assert!(ChunkMap::deserialize(&extra).is_err());
+    }
+
+    #[test]
+    fn iter_yields_sorted_versions() {
+        let mut m = ChunkMap::new(4);
+        m.push_version(VersionId(1), [0]);
+        m.push_version(VersionId(9), [3]);
+        let versions: Vec<u32> = m.iter().map(|(v, _)| v.as_u32()).collect();
+        assert_eq!(versions, vec![1, 9]);
+    }
+}

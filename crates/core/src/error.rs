@@ -1,0 +1,48 @@
+//! Error type for the RStore layer.
+
+use rstore_kvstore::KvError;
+use std::fmt;
+
+/// Errors surfaced by RStore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The backend key-value store failed.
+    Kv(KvError),
+    /// A stored chunk or index failed to decode.
+    Codec(String),
+    /// A referenced version does not exist.
+    UnknownVersion(u32),
+    /// A referenced branch does not exist.
+    UnknownBranch(String),
+    /// A chunk referenced by an index is missing from the backend.
+    MissingChunk(u32),
+    /// A commit was malformed (duplicate keys, unknown parent, ...).
+    BadCommit(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Kv(e) => write!(f, "backend error: {e}"),
+            CoreError::Codec(msg) => write!(f, "decode error: {msg}"),
+            CoreError::UnknownVersion(v) => write!(f, "unknown version V{v}"),
+            CoreError::UnknownBranch(b) => write!(f, "unknown branch {b:?}"),
+            CoreError::MissingChunk(c) => write!(f, "chunk C{c} missing from backend"),
+            CoreError::BadCommit(msg) => write!(f, "bad commit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<KvError> for CoreError {
+    fn from(e: KvError) -> Self {
+        CoreError::Kv(e)
+    }
+}
+
+impl From<rstore_compress::CodecError> for CoreError {
+    fn from(e: rstore_compress::CodecError) -> Self {
+        CoreError::Codec(e.to_string())
+    }
+}

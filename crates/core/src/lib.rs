@@ -1,0 +1,46 @@
+//! RStore core: chunking, partitioning algorithms, indexes and query
+//! processing.
+//!
+//! This crate implements the primary contribution of *"RStore: A
+//! Distributed Multi-version Document Store"* (Bhattacherjee &
+//! Deshpande, ICDE 2018): a versioning layer over a distributed
+//! key-value store that
+//!
+//! * stores each distinct record exactly once, grouped into
+//!   approximately fixed-size **chunks** ([`chunk`]),
+//! * keeps per-chunk **chunk maps** recording which records belong to
+//!   which versions ([`chunkmap`]), plus two lossy in-memory
+//!   projections — version→chunks and key→chunks ([`index`]) — that
+//!   drive query planning,
+//! * decides record placement with the paper's **partitioning
+//!   algorithms** ([`partition`]): SHINGLE, BOTTOM-UP, DEPTH-FIRST and
+//!   BREADTH-FIRST, next to the DELTA / SUBCHUNK / single-address
+//!   baselines,
+//! * exploits intra-key similarity through **sub-chunks** of up to `k`
+//!   same-key records, delta-encoded and compressed ([`subchunk`]),
+//! * ingests new versions through a batched **online** path
+//!   ([`online`]) that never re-partitions placed records,
+//! * answers the four query classes of §2.1 — record, version, range
+//!   and evolution retrieval ([`store`], [`query`]),
+//! * and exposes VCS-style branch/commit/checkout commands
+//!   ([`server`]).
+//!
+//! The analytical cost model of paper Table 1 lives in [`cost`].
+
+pub mod chunk;
+pub mod chunkmap;
+pub mod cost;
+pub mod error;
+pub mod index;
+pub mod model;
+pub mod online;
+pub mod partition;
+pub mod query;
+pub mod server;
+pub mod store;
+pub mod subchunk;
+
+pub use error::CoreError;
+pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
+pub use partition::{Partitioner, PartitionerKind};
+pub use store::{CommitRequest, RStore, RStoreBuilder, StoreConfig};

@@ -1,0 +1,48 @@
+//! Core data-model types.
+//!
+//! The fundamental identifiers live in `rstore-vgraph` (they are part
+//! of the version-graph substrate); this module re-exports them and
+//! adds the chunk-level types of the RStore layer.
+
+use std::fmt;
+
+pub use rstore_vgraph::{CompositeKey, PrimaryKey, Record, VersionId};
+
+/// Identifies a chunk in the backend store.
+///
+/// "chunk-ids are generated internally and are not intended to be
+/// semantically meaningful" (§2.4); ours are dense `u32`s assigned in
+/// creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChunkId(pub u32);
+
+impl ChunkId {
+    /// Index form for dense per-chunk arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The backend key this chunk is stored under.
+    pub fn to_key(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_id_display_and_key() {
+        assert_eq!(ChunkId(3).to_string(), "C3");
+        assert_eq!(ChunkId(0x0102_0304).to_key(), [1, 2, 3, 4]);
+        assert_eq!(ChunkId(9).index(), 9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Online ingest helpers and quality measurement (paper §4).
+//!
+//! The batched ingest mechanics live in [`crate::store::RStore`]
+//! (`commit`/`flush_batch`); this module provides the replay and
+//! measurement utilities behind the Fig. 13 experiment: feed a
+//! generated dataset through the *online* path commit by commit with
+//! a given batch size, and compare the resulting total version span
+//! with the *offline* partitioning of the same data. The ratio ≥ 1
+//! quantifies the penalty of never re-partitioning placed records.
+
+use crate::error::CoreError;
+use crate::store::{CommitRequest, RStore};
+use rstore_vgraph::{Dataset, VersionId};
+use rustc_hash::FxHashSet;
+
+/// Online ingest settings (a view over [`crate::store::StoreConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineConfig {
+    /// Commits buffered in the delta store before a partitioning pass.
+    pub batch_size: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self { batch_size: 64 }
+    }
+}
+
+/// Replays a generated dataset through the online commit path. The
+/// store must be empty; version ids assigned by the store will match
+/// the dataset's (both are sequential).
+pub fn replay_commits(store: &mut RStore, dataset: &Dataset) -> Result<(), CoreError> {
+    for node in dataset.graph.nodes() {
+        let delta = &dataset.deltas[node.id.index()];
+        let puts = delta
+            .added
+            .iter()
+            .map(|r| (r.pk, r.payload.clone()))
+            .collect::<Vec<_>>();
+        // A removed key is a delete unless the same pk is re-added
+        // (then it is an update and the store resolves it itself).
+        let readded: FxHashSet<u64> = delta.added.iter().map(|r| r.pk).collect();
+        let mut req = if node.parents.is_empty() {
+            CommitRequest::root(puts)
+        } else {
+            let mut req = if node.parents.len() == 1 {
+                CommitRequest::child_of(node.parents[0])
+            } else {
+                CommitRequest::merge_of(node.parents[0], node.parents[1..].iter().copied())
+            };
+            for (pk, payload) in puts {
+                req = req.put(pk, payload);
+            }
+            req
+        };
+        for ck in &delta.removed {
+            if !readded.contains(&ck.pk) {
+                req = req.delete(ck.pk);
+            }
+        }
+        let assigned = store.commit(req)?;
+        debug_assert_eq!(assigned, node.id);
+    }
+    store.seal()
+}
+
+/// Replays only the first `limit` versions (Fig. 13 measures quality
+/// at checkpoints: 250, 500, 750, 1001 versions).
+pub fn replay_commits_prefix(
+    store: &mut RStore,
+    dataset: &Dataset,
+    limit: usize,
+) -> Result<(), CoreError> {
+    let truncated = truncate_dataset(dataset, limit);
+    replay_commits(store, &truncated)
+}
+
+/// Restricts a dataset to its first `limit` versions. Version ids are
+/// assigned in commit order, so the prefix is self-contained.
+pub fn truncate_dataset(dataset: &Dataset, limit: usize) -> Dataset {
+    let limit = limit.min(dataset.graph.len());
+    let mut graph = rstore_vgraph::VersionGraph::new();
+    for node in &dataset.graph.nodes()[..limit] {
+        if node.parents.is_empty() {
+            graph.add_root();
+        } else {
+            graph.add_version(&node.parents);
+        }
+    }
+    Dataset {
+        spec: dataset.spec.clone(),
+        graph,
+        deltas: dataset.deltas[..limit].to_vec(),
+    }
+}
+
+/// The Fig. 13 metric: total version span via online ingest at
+/// `batch_size`, divided by the span of an offline load of the same
+/// prefix. Both stores are built by `make_store` (fresh cluster each).
+pub fn online_offline_ratio(
+    dataset: &Dataset,
+    limit: usize,
+    batch_size: usize,
+    make_store: impl Fn(usize) -> RStore,
+) -> Result<f64, CoreError> {
+    let prefix = truncate_dataset(dataset, limit);
+    let mut online = make_store(batch_size);
+    replay_commits(&mut online, &prefix)?;
+    let online_span = online.total_version_span();
+
+    let mut offline = make_store(usize::MAX);
+    offline.load_dataset(&prefix)?;
+    let offline_span = offline.total_version_span();
+    Ok(online_span as f64 / offline_span.max(1) as f64)
+}
+
+/// Sanity helper for tests: the record sets visible through two
+/// stores must be identical for every version.
+pub fn stores_agree(a: &RStore, b: &RStore) -> Result<bool, CoreError> {
+    if a.version_count() != b.version_count() {
+        return Ok(false);
+    }
+    for v in 0..a.version_count() {
+        let v = VersionId(v as u32);
+        let ra = a.get_version(v)?;
+        let rb = b.get_version(v)?;
+        if ra.len() != rb.len() {
+            return Ok(false);
+        }
+        for (x, y) in ra.iter().zip(&rb) {
+            if x.pk != y.pk || x.origin != y.origin || x.payload != y.payload {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}

@@ -1,0 +1,181 @@
+//! Greedy depth-first / breadth-first partitioning — paper §3.3,
+//! Algorithm 4.
+//!
+//! Traverse the version tree from the root; the first time an item is
+//! encountered (it appears in the visited version but was not placed
+//! yet), append it to the open chunk. Depth-first keeps a branch's
+//! records contiguous, which the paper shows beats breadth-first
+//! (Example 5): a version's descendants can all use the records it
+//! appended, whereas interleaving sibling branches pollutes chunks
+//! with records the other branch never reads. On a linear chain both
+//! traversals coincide.
+
+use super::{ChunkPacker, PartitionInput, Partitioner, Partitioning};
+
+/// Traversal order for [`TraversalPartitioner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Order {
+    Depth,
+    Breadth,
+}
+
+/// The greedy traversal partitioner of §3.3.
+#[derive(Debug, Clone)]
+pub struct TraversalPartitioner {
+    order: Order,
+    capacity: usize,
+}
+
+impl TraversalPartitioner {
+    /// Depth-first variant (paper's DEPTHFIRST).
+    pub fn depth_first(capacity: usize) -> Self {
+        Self {
+            order: Order::Depth,
+            capacity,
+        }
+    }
+
+    /// Breadth-first variant (paper's BREADTHFIRST).
+    pub fn breadth_first(capacity: usize) -> Self {
+        Self {
+            order: Order::Breadth,
+            capacity,
+        }
+    }
+}
+
+impl Partitioner for TraversalPartitioner {
+    fn partition(&self, input: &PartitionInput<'_>) -> Partitioning {
+        let order = match self.order {
+            Order::Depth => input.tree.dfs_order(),
+            Order::Breadth => input.tree.bfs_order(),
+        };
+        let n = input.num_items();
+        let mut packer = ChunkPacker::new(n, self.capacity);
+        let mut placed = vec![false; n];
+        for v in order {
+            // Items first encountered at v: the delta's new records
+            // (Algorithm 4 reads ∆(u,v) and populates the chunk).
+            for &item in &input.version_items[v.index()] {
+                if !placed[item as usize] {
+                    placed[item as usize] = true;
+                    packer.add_item(item, input.item_sizes[item as usize]);
+                }
+            }
+        }
+        // Items never referenced by any version (possible for interned
+        // records whose versions were all pruned) each get a chunk.
+        for (item, was_placed) in placed.iter().enumerate() {
+            if !was_placed {
+                packer.add_item(item as u32, input.item_sizes[item]);
+            }
+        }
+        packer.finish()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.order {
+            Order::Depth => "DEPTHFIRST",
+            Order::Breadth => "BREADTHFIRST",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::testutil;
+    use rstore_vgraph::{DatasetSpec, VersionGraph};
+
+    #[test]
+    fn valid_on_random_dataset() {
+        let bundle = testutil::from_spec(&DatasetSpec::tiny(7));
+        for p in [
+            TraversalPartitioner::depth_first(512),
+            TraversalPartitioner::breadth_first(512),
+        ] {
+            let out = p.partition(&bundle.input());
+            out.validate(&bundle.item_sizes, 512, 0.25).unwrap();
+        }
+    }
+
+    #[test]
+    fn traversals_coincide_on_chains() {
+        let bundle = testutil::from_spec(&DatasetSpec::tiny_chain(8));
+        let input = bundle.input();
+        let dfs = TraversalPartitioner::depth_first(512).partition(&input);
+        let bfs = TraversalPartitioner::breadth_first(512).partition(&input);
+        assert_eq!(dfs, bfs, "paper: on linear chains they reduce to the same");
+    }
+
+    #[test]
+    fn dfs_no_worse_than_bfs_on_branched_trees() {
+        // Average over several branched datasets: DFS should win
+        // (paper: "BREADTHFIRST is always worse than DEPTHFIRST").
+        let mut dfs_total = 0usize;
+        let mut bfs_total = 0usize;
+        for seed in 0..5 {
+            let mut spec = DatasetSpec::tiny(100 + seed);
+            spec.branch_prob = 0.3;
+            spec.num_versions = 60;
+            let bundle = testutil::from_spec(&spec);
+            let input = bundle.input();
+            dfs_total +=
+                testutil::total_span(&input, &TraversalPartitioner::depth_first(512).partition(&input));
+            bfs_total += testutil::total_span(
+                &input,
+                &TraversalPartitioner::breadth_first(512).partition(&input),
+            );
+        }
+        assert!(
+            dfs_total <= bfs_total,
+            "DFS span {dfs_total} worse than BFS {bfs_total}"
+        );
+    }
+
+    #[test]
+    fn example5_shape() {
+        // Fig. 6-like tree: V0 root with records 0..4 (chunk size 4
+        // records), V1 and V2 siblings adding 2 records each, V3 child
+        // of V1 adding 2 records.
+        let mut tree = VersionGraph::new();
+        let v0 = tree.add_root();
+        let v1 = tree.add_version(&[v0]);
+        let _v2 = tree.add_version(&[v0]);
+        let _v3 = tree.add_version(&[v1]);
+        // Items: V0 → {0,1,2,3}; V1 adds {4,5}; V2 adds {6,7};
+        // V3 adds {8,9} and keeps V1's.
+        let version_items: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![0, 1, 2, 3, 6, 7],
+            vec![0, 1, 2, 3, 4, 5, 8, 9],
+        ];
+        let item_sizes = vec![1u32; 10];
+        let item_pk = vec![0u64; 10];
+        let input = PartitionInput {
+            tree: &tree,
+            version_items: &version_items,
+            item_sizes: &item_sizes,
+            item_pk: &item_pk,
+        };
+        // Chunk capacity 4 "records".
+        let dfs = TraversalPartitioner::depth_first(4).partition(&input);
+        // DFS visits V0, V1, V3, V2: chunk1 = {4,5,8,9} (V1's and V3's
+        // records together — option (b) in Example 5).
+        assert_eq!(dfs.chunk_of[4], dfs.chunk_of[5]);
+        assert_eq!(dfs.chunk_of[5], dfs.chunk_of[8]);
+        assert_eq!(dfs.chunk_of[8], dfs.chunk_of[9]);
+        let bfs = TraversalPartitioner::breadth_first(4).partition(&input);
+        // BFS visits V0, V1, V2, V3: chunk1 = {4,5,6,7} mixes branches.
+        assert_eq!(bfs.chunk_of[4], bfs.chunk_of[6]);
+        // And V3's records land in a third chunk, away from V1's.
+        assert_ne!(bfs.chunk_of[8], bfs.chunk_of[4]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TraversalPartitioner::depth_first(1).name(), "DEPTHFIRST");
+        assert_eq!(TraversalPartitioner::breadth_first(1).name(), "BREADTHFIRST");
+    }
+}

@@ -1,0 +1,150 @@
+//! Query statistics and chunk-decoding helpers.
+
+use crate::chunk::Chunk;
+use crate::chunkmap::ChunkMap;
+use crate::error::CoreError;
+use crate::model::{Record, VersionId};
+use std::time::Duration;
+
+/// Per-query cost accounting, mirroring the paper's metrics: the span
+/// (chunks retrieved), useful chunks (lossy projections may fetch
+/// chunks with no matching records, §2.4), bytes moved, and time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Chunks fetched from the backend — the query's *span*.
+    pub chunks_fetched: usize,
+    /// Chunks that actually contained requested records.
+    pub chunks_useful: usize,
+    /// Compressed bytes transferred.
+    pub bytes_fetched: usize,
+    /// Records produced.
+    pub records: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Modeled network time accrued at the backend (meaningful when
+    /// the cluster's network model is accounting-only).
+    pub modeled_network: Duration,
+}
+
+/// Extracts the records of `v` from a fetched chunk using its chunk
+/// map. Returns records in chunk-local order.
+pub fn extract_version_records(
+    chunk: &Chunk,
+    map: &ChunkMap,
+    v: VersionId,
+) -> Result<Vec<Record>, CoreError> {
+    let Some(locals) = map.locals_of(v) else {
+        return Ok(Vec::new());
+    };
+    extract_locals(chunk, &locals)
+}
+
+/// Extracts specific chunk-local record ordinals from a chunk,
+/// decompressing only the sub-chunks that contain requested members.
+pub fn extract_locals(chunk: &Chunk, locals: &[usize]) -> Result<Vec<Record>, CoreError> {
+    let mut out = Vec::with_capacity(locals.len());
+    let mut cursor = 0usize; // next local to satisfy
+    let mut base = 0usize; // local ordinal of current sub-chunk start
+    for sc in &chunk.subchunks {
+        let end = base + sc.members.len();
+        if cursor >= locals.len() {
+            break;
+        }
+        if locals[cursor] < end {
+            // At least one requested member in this sub-chunk.
+            let payloads = sc.decode()?;
+            while cursor < locals.len() && locals[cursor] < end {
+                let member = locals[cursor] - base;
+                let ck = sc.members[member];
+                out.push(Record::new(ck.pk, ck.origin, payloads[member].clone()));
+                cursor += 1;
+            }
+        }
+        base = end;
+    }
+    if cursor < locals.len() {
+        return Err(CoreError::Codec(format!(
+            "chunk map references local {} beyond chunk size {}",
+            locals[cursor], base
+        )));
+    }
+    Ok(out)
+}
+
+/// Extracts every record in the chunk (used by evolution queries).
+pub fn extract_all(chunk: &Chunk) -> Result<Vec<Record>, CoreError> {
+    let locals: Vec<usize> = (0..chunk.record_count()).collect();
+    extract_locals(chunk, &locals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::SubChunk;
+    use crate::model::CompositeKey;
+
+    fn sample_chunk() -> Chunk {
+        let p = |tag: u8| vec![tag; 40];
+        Chunk {
+            subchunks: vec![
+                SubChunk::build(&[
+                    (CompositeKey::new(1, VersionId(0)), p(1).as_slice()),
+                    (CompositeKey::new(1, VersionId(2)), p(2).as_slice()),
+                ]),
+                SubChunk::build(&[(CompositeKey::new(2, VersionId(0)), p(3).as_slice())]),
+                SubChunk::build(&[
+                    (CompositeKey::new(3, VersionId(1)), p(4).as_slice()),
+                    (CompositeKey::new(3, VersionId(2)), p(5).as_slice()),
+                ]),
+            ],
+        }
+    }
+
+    #[test]
+    fn extract_locals_spans_subchunks() {
+        let chunk = sample_chunk();
+        // Locals: 0 = ⟨1,V0⟩, 1 = ⟨1,V2⟩, 2 = ⟨2,V0⟩, 3 = ⟨3,V1⟩, 4 = ⟨3,V2⟩.
+        let recs = extract_locals(&chunk, &[1, 2, 4]).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].composite_key(), CompositeKey::new(1, VersionId(2)));
+        assert_eq!(recs[0].payload, vec![2u8; 40]);
+        assert_eq!(recs[1].composite_key(), CompositeKey::new(2, VersionId(0)));
+        assert_eq!(recs[2].payload, vec![5u8; 40]);
+    }
+
+    #[test]
+    fn extract_with_chunk_map() {
+        let chunk = sample_chunk();
+        let mut map = ChunkMap::new(5);
+        map.push_version(VersionId(0), [0, 2]);
+        map.push_version(VersionId(2), [1, 2, 4]);
+        let v0 = extract_version_records(&chunk, &map, VersionId(0)).unwrap();
+        assert_eq!(v0.len(), 2);
+        assert!(v0.iter().all(|r| r.origin == VersionId(0)));
+        let v2 = extract_version_records(&chunk, &map, VersionId(2)).unwrap();
+        assert_eq!(v2.len(), 3);
+        // A version the chunk map does not know yields nothing.
+        assert!(extract_version_records(&chunk, &map, VersionId(7))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn extract_all_returns_every_member() {
+        let chunk = sample_chunk();
+        let recs = extract_all(&chunk).unwrap();
+        assert_eq!(recs.len(), 5);
+    }
+
+    #[test]
+    fn out_of_range_local_is_error() {
+        let chunk = sample_chunk();
+        assert!(extract_locals(&chunk, &[99]).is_err());
+    }
+
+    #[test]
+    fn empty_locals_cheap() {
+        let chunk = sample_chunk();
+        assert!(extract_locals(&chunk, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,999 @@
+//! The RStore application layer: bulk load, online commits, queries.
+//!
+//! [`RStore`] is the paper's application server (§2.4) minus the
+//! network front-end: it owns the version graph, the in-memory
+//! projections and chunk maps, and a handle to the backend cluster.
+//! Chunks live in the backend's `chunks` table, chunk maps in
+//! `cmaps`, raw ingest deltas in `deltas`, and serialized indexes in
+//! `meta` — "the chunks and associated indexes are stored in the KVS
+//! separately, in two distinct tables".
+//!
+//! Two ingestion paths exist, as in the paper:
+//!
+//! * [`RStore::load_dataset`] — offline: materialize every version,
+//!   build sub-chunks (`k > 1`), run the configured partitioner over
+//!   the whole version tree, and bulk-write chunks + indexes.
+//! * [`RStore::commit`] — online (§4): deltas accumulate in a write
+//!   buffer (the *delta store*) and are partitioned in batches; placed
+//!   records are never re-partitioned, and each touched chunk map is
+//!   rewritten once per batch from the in-memory copy.
+
+use crate::chunk::{Chunk, SubChunk};
+use crate::chunkmap::ChunkMap;
+use crate::error::CoreError;
+use crate::index::Projections;
+use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
+use crate::partition::{PartitionInput, PartitionerKind};
+use crate::query::{self, QueryStats};
+use crate::subchunk::SubchunkPlan;
+use bytes::Bytes;
+use rstore_kvstore::{table_key, Cluster};
+use rstore_vgraph::{Dataset, VersionDelta, VersionGraph};
+use rustc_hash::FxHashMap;
+use std::time::{Duration, Instant};
+
+/// Backend table holding serialized chunks.
+pub const CHUNK_TABLE: &str = "chunks";
+/// Backend table holding serialized chunk maps.
+pub const CMAP_TABLE: &str = "cmaps";
+/// Backend table holding raw ingest deltas (the durable delta store).
+pub const DELTA_TABLE: &str = "deltas";
+/// Backend table holding serialized indexes and metadata.
+pub const META_TABLE: &str = "meta";
+
+/// Store configuration knobs (the paper's tuning parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Target chunk size `C` in bytes (paper default: 1 MB; ours is
+    /// smaller because datasets are scaled down).
+    pub chunk_capacity: usize,
+    /// Allowed chunk overflow fraction (§2.5: 25%).
+    pub slack: f64,
+    /// Max records per sub-chunk `k` (1 = no record-level
+    /// compression).
+    pub max_subchunk: usize,
+    /// Partitioning algorithm.
+    pub partitioner: PartitionerKind,
+    /// Online ingest batch size (§4): deltas buffered before a
+    /// partitioning pass.
+    pub batch_size: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            chunk_capacity: 64 * 1024,
+            slack: 0.25,
+            max_subchunk: 1,
+            partitioner: PartitionerKind::BottomUp { beta: usize::MAX },
+            batch_size: 64,
+        }
+    }
+}
+
+/// Builder for [`RStore`].
+#[derive(Debug, Clone, Default)]
+pub struct RStoreBuilder {
+    config: StoreConfig,
+}
+
+impl RStoreBuilder {
+    /// Sets the chunk capacity in bytes.
+    pub fn chunk_capacity(mut self, bytes: usize) -> Self {
+        self.config.chunk_capacity = bytes.max(1);
+        self
+    }
+
+    /// Sets the slack fraction.
+    pub fn slack(mut self, slack: f64) -> Self {
+        self.config.slack = slack.max(0.0);
+        self
+    }
+
+    /// Sets the sub-chunk size limit `k`.
+    pub fn max_subchunk(mut self, k: usize) -> Self {
+        self.config.max_subchunk = k.max(1);
+        self
+    }
+
+    /// Sets the partitioning algorithm.
+    pub fn partitioner(mut self, kind: PartitionerKind) -> Self {
+        self.config.partitioner = kind;
+        self
+    }
+
+    /// Sets the online ingest batch size.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.config.batch_size = n.max(1);
+        self
+    }
+
+    /// Finishes the builder against a backend cluster.
+    pub fn build(self, cluster: Cluster) -> RStore {
+        RStore {
+            cluster,
+            config: self.config,
+            graph: VersionGraph::new(),
+            contents: Vec::new(),
+            projections: Projections::new(),
+            locator: FxHashMap::default(),
+            chunk_maps: Vec::new(),
+            chunk_sizes: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Report from an offline bulk load.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Chunks created.
+    pub num_chunks: usize,
+    /// Distinct records stored.
+    pub num_records: usize,
+    /// Sub-chunks created.
+    pub num_subchunks: usize,
+    /// Total version span after load (Fig. 8 metric).
+    pub total_version_span: usize,
+    /// Uncompressed record bytes.
+    pub raw_bytes: usize,
+    /// Compressed bytes written as chunks.
+    pub compressed_bytes: usize,
+    /// Time spent inside the partitioning algorithm.
+    pub partition_time: Duration,
+    /// End-to-end load time.
+    pub total_time: Duration,
+}
+
+impl LoadReport {
+    /// Compression ratio (raw / compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.compressed_bytes as f64
+    }
+}
+
+/// Report from an online batch flush.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlushReport {
+    /// Versions in the flushed batch.
+    pub versions: usize,
+    /// New records placed.
+    pub new_records: usize,
+    /// New chunks created.
+    pub new_chunks: usize,
+    /// Existing chunk maps rewritten.
+    pub maps_rewritten: usize,
+}
+
+/// Outcome of commit resolution: the assigned version id, the
+/// validated delta, and the new version's sorted contents.
+type ResolvedCommit = (VersionId, VersionDelta, Vec<(PrimaryKey, VersionId)>);
+
+/// A commit: a new version described relative to its parent.
+#[derive(Debug, Clone, Default)]
+pub struct CommitRequest {
+    parents: Vec<VersionId>,
+    is_root: bool,
+    puts: Vec<(PrimaryKey, Vec<u8>)>,
+    deletes: Vec<PrimaryKey>,
+}
+
+impl CommitRequest {
+    /// A root commit carrying the initial records.
+    pub fn root(records: impl IntoIterator<Item = (PrimaryKey, Vec<u8>)>) -> Self {
+        Self {
+            is_root: true,
+            puts: records.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// A commit derived from `parent`.
+    pub fn child_of(parent: VersionId) -> Self {
+        Self {
+            parents: vec![parent],
+            ..Self::default()
+        }
+    }
+
+    /// A merge commit; the delta is interpreted relative to `primary`
+    /// (paper Fig. 4: partitioning uses the primary-parent tree).
+    pub fn merge_of(primary: VersionId, others: impl IntoIterator<Item = VersionId>) -> Self {
+        let mut parents = vec![primary];
+        parents.extend(others);
+        Self {
+            parents,
+            ..Self::default()
+        }
+    }
+
+    /// Adds or replaces the record for `pk`.
+    pub fn put(mut self, pk: PrimaryKey, payload: Vec<u8>) -> Self {
+        self.puts.push((pk, payload));
+        self
+    }
+
+    /// Alias of [`CommitRequest::put`] for inserts.
+    pub fn insert(self, pk: PrimaryKey, payload: Vec<u8>) -> Self {
+        self.put(pk, payload)
+    }
+
+    /// Alias of [`CommitRequest::put`] for updates.
+    pub fn update(self, pk: PrimaryKey, payload: Vec<u8>) -> Self {
+        self.put(pk, payload)
+    }
+
+    /// Deletes `pk`.
+    pub fn delete(mut self, pk: PrimaryKey) -> Self {
+        self.deletes.push(pk);
+        self
+    }
+}
+
+/// The RStore instance (application-server state + backend handle).
+pub struct RStore {
+    cluster: Cluster,
+    config: StoreConfig,
+    graph: VersionGraph,
+    /// Per version: sorted `(pk, origin)` pairs.
+    contents: Vec<Vec<(PrimaryKey, VersionId)>>,
+    projections: Projections,
+    /// Composite key → (chunk, chunk-local ordinal).
+    locator: FxHashMap<CompositeKey, (u32, u32)>,
+    /// In-memory chunk maps (authoritative; persisted per batch).
+    chunk_maps: Vec<ChunkMap>,
+    /// Compressed bytes per chunk.
+    chunk_sizes: Vec<usize>,
+    /// The delta store: commits awaiting a partitioning pass.
+    pending: Vec<(VersionId, VersionDelta)>,
+}
+
+impl RStore {
+    /// Starts a builder.
+    pub fn builder() -> RStoreBuilder {
+        RStoreBuilder::default()
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The version graph.
+    pub fn graph(&self) -> &VersionGraph {
+        &self.graph
+    }
+
+    /// Backend cluster handle.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Number of chunks in the backend.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_maps.len()
+    }
+
+    /// Number of versions committed or loaded.
+    pub fn version_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Records in version `v`.
+    pub fn version_record_count(&self, v: VersionId) -> Result<usize, CoreError> {
+        self.check_version(v)?;
+        Ok(self.contents[v.index()].len())
+    }
+
+    /// The span of version `v` (chunks a full retrieval touches).
+    pub fn version_span(&self, v: VersionId) -> usize {
+        self.projections.version_span(v)
+    }
+
+    /// Σ_v span(v) — the Fig. 8 metric.
+    pub fn total_version_span(&self) -> usize {
+        self.projections.total_version_span()
+    }
+
+    /// The key span of `pk` (Fig. 12 metric).
+    pub fn key_span(&self, pk: PrimaryKey) -> usize {
+        self.projections.key_span(pk)
+    }
+
+    /// Serialized sizes of the two projections (§2.4 accounting).
+    pub fn index_bytes(&self) -> (usize, usize) {
+        self.projections.serialized_bytes()
+    }
+
+    /// Total compressed chunk bytes (storage-cost proxy, §2.5).
+    pub fn storage_bytes(&self) -> usize {
+        self.chunk_sizes.iter().sum()
+    }
+
+    fn check_version(&self, v: VersionId) -> Result<(), CoreError> {
+        if self.graph.contains(v) {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownVersion(v.as_u32()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Offline bulk load
+    // ------------------------------------------------------------------
+
+    /// Bulk-loads a generated dataset: sub-chunking, partitioning,
+    /// chunk/index construction and backend writes.
+    ///
+    /// The store must be empty.
+    pub fn load_dataset(&mut self, dataset: &Dataset) -> Result<LoadReport, CoreError> {
+        if !self.graph.is_empty() {
+            return Err(CoreError::BadCommit("store is not empty".into()));
+        }
+        let t0 = Instant::now();
+        let record_store = dataset.record_store();
+        let materialized = dataset.materialize(&record_store);
+
+        // Sub-chunk plan (k = 1 ⇒ one record per sub-chunk).
+        let plan = SubchunkPlan::build(dataset, &record_store, self.config.max_subchunk);
+        let subchunks = plan.materialize(&record_store);
+        let (raw_bytes, compressed_bytes) = plan.compression(&subchunks);
+
+        // Partition sub-chunks over the version tree.
+        let tree = dataset.graph.to_tree();
+        let version_items = plan.group_version_items(&materialized);
+        let item_sizes: Vec<u32> = subchunks
+            .iter()
+            .map(|s| s.compressed_bytes() as u32)
+            .collect();
+        let item_pk: Vec<u64> = plan
+            .groups
+            .iter()
+            .map(|g| record_store.key(g[0]).pk)
+            .collect();
+        let input = PartitionInput {
+            tree: &tree,
+            version_items: &version_items,
+            item_sizes: &item_sizes,
+            item_pk: &item_pk,
+        };
+        let partitioner = self.config.partitioner.build(self.config.chunk_capacity);
+        let t_part = Instant::now();
+        let partitioning = partitioner.partition(&input);
+        let partition_time = t_part.elapsed();
+
+        // Assemble chunks; item order within a chunk is ascending.
+        let chunk_items = partitioning.chunk_items();
+        let mut subchunk_slots: Vec<Option<SubChunk>> = subchunks.into_iter().map(Some).collect();
+        let mut chunk_writes: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(chunk_items.len());
+        for (chunk_idx, items) in chunk_items.iter().enumerate() {
+            let chunk_id = ChunkId(chunk_idx as u32);
+            let mut chunk = Chunk::new();
+            let mut local = 0u32;
+            for &g in items {
+                let sc = subchunk_slots[g as usize].take().expect("item in one chunk");
+                for &member in &plan.groups[g as usize] {
+                    self.locator
+                        .insert(record_store.key(member), (chunk_idx as u32, local));
+                    local += 1;
+                }
+                chunk.subchunks.push(sc);
+            }
+            self.chunk_sizes.push(chunk.compressed_bytes());
+            self.chunk_maps.push(ChunkMap::new(local as usize));
+            chunk_writes.push((
+                table_key(CHUNK_TABLE, &chunk_id.to_key()),
+                Bytes::from(chunk.serialize()),
+            ));
+        }
+        self.cluster.multi_put(chunk_writes)?;
+
+        // Adopt graph and contents, then index every version.
+        self.graph = dataset.graph.clone();
+        self.contents = (0..self.graph.len())
+            .map(|v| {
+                materialized
+                    .contents(VersionId(v as u32))
+                    .iter()
+                    .map(|&(pk, ord)| (pk, record_store.key(ord).origin))
+                    .collect()
+            })
+            .collect();
+        let num_records = record_store.len();
+        let versions: Vec<VersionId> = self.graph.ids().collect();
+        self.index_versions(&versions)?;
+        self.persist_meta()?;
+
+        Ok(LoadReport {
+            num_chunks: self.chunk_maps.len(),
+            num_records,
+            num_subchunks: plan.num_groups(),
+            total_version_span: self.total_version_span(),
+            raw_bytes,
+            compressed_bytes,
+            partition_time,
+            total_time: t0.elapsed(),
+        })
+    }
+
+    /// Adds chunk-map entries and projections for `versions` (ids in
+    /// ascending order), then persists the touched chunk maps — once
+    /// each, rebuilt from memory, exactly the §4 batching trick.
+    fn index_versions(&mut self, versions: &[VersionId]) -> Result<usize, CoreError> {
+        let mut dirty_flag = vec![false; self.chunk_maps.len()];
+        let mut dirty: Vec<u32> = Vec::new();
+        let mut per_chunk: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for &v in versions {
+            per_chunk.clear();
+            for &(pk, origin) in &self.contents[v.index()] {
+                let ck = CompositeKey::new(pk, origin);
+                let &(chunk, local) = self
+                    .locator
+                    .get(&ck)
+                    .unwrap_or_else(|| panic!("record {ck} not placed"));
+                per_chunk.entry(chunk).or_default().push(local as usize);
+            }
+            for (&chunk, locals) in per_chunk.iter_mut() {
+                locals.sort_unstable();
+                self.chunk_maps[chunk as usize].push_version(v, locals.iter().copied());
+                self.projections.add_version_chunk(v, ChunkId(chunk));
+                if !dirty_flag[chunk as usize] {
+                    dirty_flag[chunk as usize] = true;
+                    dirty.push(chunk);
+                }
+            }
+            self.projections.ensure_version(v);
+        }
+        // Key projection: every placed record's key points at its chunk.
+        for &v in versions {
+            for &(pk, origin) in &self.contents[v.index()] {
+                let ck = CompositeKey::new(pk, origin);
+                let &(chunk, _) = &self.locator[&ck];
+                self.projections.add_key_chunk(pk, ChunkId(chunk));
+            }
+        }
+        // Persist each dirty chunk map once.
+        let writes: Vec<(Vec<u8>, Bytes)> = dirty
+            .iter()
+            .map(|&c| {
+                (
+                    table_key(CMAP_TABLE, &ChunkId(c).to_key()),
+                    Bytes::from(self.chunk_maps[c as usize].serialize()),
+                )
+            })
+            .collect();
+        self.cluster.multi_put(writes)?;
+        Ok(dirty.len())
+    }
+
+    fn persist_meta(&self) -> Result<(), CoreError> {
+        self.cluster.put(
+            table_key(META_TABLE, b"projections"),
+            Bytes::from(self.projections.serialize()),
+        )?;
+        let graph_bytes = serde_json::to_vec(&self.graph)
+            .map_err(|e| CoreError::Codec(e.to_string()))?;
+        self.cluster
+            .put(table_key(META_TABLE, b"graph"), Bytes::from(graph_bytes))?;
+        self.cluster.put(
+            table_key(META_TABLE, b"chunk_count"),
+            Bytes::from((self.chunk_maps.len() as u64).to_be_bytes().to_vec()),
+        )?;
+        Ok(())
+    }
+
+    /// Reopens a store over a cluster that already holds RStore data
+    /// (e.g. a restarted log-engine cluster): reads the persisted
+    /// version graph, projections and chunk count, then rebuilds the
+    /// in-memory locator, chunk maps and per-version contents from
+    /// the stored chunks. Pending (unsealed) deltas are not replayed.
+    pub fn reopen(config: StoreConfig, cluster: Cluster) -> Result<Self, CoreError> {
+        let graph_bytes = cluster
+            .get(&table_key(META_TABLE, b"graph"))?
+            .ok_or_else(|| CoreError::Codec("no persisted graph".into()))?;
+        let graph: VersionGraph = serde_json::from_slice(&graph_bytes)
+            .map_err(|e| CoreError::Codec(e.to_string()))?;
+        let proj_bytes = cluster
+            .get(&table_key(META_TABLE, b"projections"))?
+            .ok_or_else(|| CoreError::Codec("no persisted projections".into()))?;
+        let projections = Projections::deserialize(&proj_bytes)?;
+        let count_bytes = cluster
+            .get(&table_key(META_TABLE, b"chunk_count"))?
+            .ok_or_else(|| CoreError::Codec("no persisted chunk count".into()))?;
+        let chunk_count = u64::from_be_bytes(
+            count_bytes
+                .as_ref()
+                .try_into()
+                .map_err(|_| CoreError::Codec("bad chunk count".into()))?,
+        ) as usize;
+
+        let mut store = RStore {
+            cluster,
+            config,
+            graph,
+            contents: Vec::new(),
+            projections,
+            locator: FxHashMap::default(),
+            chunk_maps: Vec::with_capacity(chunk_count),
+            chunk_sizes: Vec::with_capacity(chunk_count),
+            pending: Vec::new(),
+        };
+
+        // Rebuild chunk-derived state with one scan over all chunks.
+        let ids: Vec<u32> = (0..chunk_count as u32).collect();
+        let (fetched, _) = store.fetch_chunks(&ids)?;
+        let mut contents_maps: Vec<FxHashMap<PrimaryKey, VersionId>> =
+            vec![FxHashMap::default(); store.graph.len()];
+        for (c, (chunk, map)) in fetched.into_iter().enumerate() {
+            let keys = chunk.local_keys();
+            for (local, ck) in keys.iter().enumerate() {
+                store.locator.insert(*ck, (c as u32, local as u32));
+            }
+            for (v, bitmap) in map.iter() {
+                for local in bitmap.iter_ones() {
+                    let ck = keys[local];
+                    contents_maps[v.index()].insert(ck.pk, ck.origin);
+                }
+            }
+            store.chunk_sizes.push(chunk.compressed_bytes());
+            store.chunk_maps.push(map);
+        }
+        store.contents = contents_maps
+            .into_iter()
+            .map(|m| {
+                let mut list: Vec<(PrimaryKey, VersionId)> = m.into_iter().collect();
+                list.sort_unstable();
+                list
+            })
+            .collect();
+        Ok(store)
+    }
+
+    // ------------------------------------------------------------------
+    // Online commits (§4)
+    // ------------------------------------------------------------------
+
+    /// Commits a new version; returns its id. The delta goes to the
+    /// write buffer (delta store) and is partitioned when the batch
+    /// fills ([`StoreConfig::batch_size`]) or on [`RStore::seal`].
+    pub fn commit(&mut self, req: CommitRequest) -> Result<VersionId, CoreError> {
+        // Resolve the request into a validated VersionDelta.
+        let (v, delta, new_contents) = self.resolve_commit(&req)?;
+        // Durable delta store write (the paper's "separate storage
+        // area" for received deltas).
+        let mut delta_bytes = Vec::new();
+        for rec in &delta.added {
+            delta_bytes.extend_from_slice(&rec.composite_key().to_bytes());
+            delta_bytes.extend_from_slice(&(rec.payload.len() as u64).to_le_bytes());
+            delta_bytes.extend_from_slice(&rec.payload);
+        }
+        for ck in &delta.removed {
+            delta_bytes.extend_from_slice(&ck.to_bytes());
+        }
+        self.cluster.put(
+            table_key(DELTA_TABLE, &v.as_u32().to_be_bytes()),
+            Bytes::from(delta_bytes),
+        )?;
+
+        self.contents.push(new_contents);
+        self.pending.push((v, delta));
+        if self.pending.len() >= self.config.batch_size {
+            self.flush_batch()?;
+        }
+        Ok(v)
+    }
+
+    fn resolve_commit(
+        &mut self,
+        req: &CommitRequest,
+    ) -> Result<ResolvedCommit, CoreError> {
+        // Validate everything before mutating the graph, so a failed
+        // commit leaves the store untouched.
+        if req.is_root {
+            if !self.graph.is_empty() {
+                return Err(CoreError::BadCommit(
+                    "root commit on a non-empty store".into(),
+                ));
+            }
+        } else {
+            if req.parents.is_empty() {
+                return Err(CoreError::BadCommit("commit without parent".into()));
+            }
+            for &p in &req.parents {
+                self.check_version(p)?;
+            }
+        }
+        let v = VersionId(self.graph.len() as u32);
+
+        let parent_contents: &[(PrimaryKey, VersionId)] = if req.is_root {
+            &[]
+        } else {
+            &self.contents[req.parents[0].index()]
+        };
+        let lookup = |pk: PrimaryKey| -> Option<VersionId> {
+            parent_contents
+                .binary_search_by_key(&pk, |&(k, _)| k)
+                .ok()
+                .map(|i| parent_contents[i].1)
+        };
+
+        let mut added = Vec::with_capacity(req.puts.len());
+        let mut removed = Vec::with_capacity(req.puts.len() + req.deletes.len());
+        let mut seen: FxHashMap<PrimaryKey, ()> = FxHashMap::default();
+        for (pk, payload) in &req.puts {
+            if seen.insert(*pk, ()).is_some() {
+                return Err(CoreError::BadCommit(format!("K{pk} written twice")));
+            }
+            if let Some(origin) = lookup(*pk) {
+                removed.push(CompositeKey::new(*pk, origin));
+            }
+            added.push(Record::new(*pk, v, payload.clone()));
+        }
+        for pk in &req.deletes {
+            if seen.insert(*pk, ()).is_some() {
+                return Err(CoreError::BadCommit(format!("K{pk} written and deleted")));
+            }
+            match lookup(*pk) {
+                Some(origin) => removed.push(CompositeKey::new(*pk, origin)),
+                None => {
+                    return Err(CoreError::BadCommit(format!(
+                        "K{pk} deleted but absent from parent"
+                    )))
+                }
+            }
+        }
+        let delta = VersionDelta::from_parts(added, removed);
+        delta
+            .validate(v)
+            .map_err(|e| CoreError::BadCommit(e.to_string()))?;
+
+        // New contents = parent ± delta, kept sorted by pk.
+        let mut map: FxHashMap<PrimaryKey, VersionId> =
+            parent_contents.iter().copied().collect();
+        for ck in &delta.removed {
+            map.remove(&ck.pk);
+        }
+        for rec in &delta.added {
+            map.insert(rec.pk, v);
+        }
+        let mut contents: Vec<(PrimaryKey, VersionId)> = map.into_iter().collect();
+        contents.sort_unstable();
+
+        // All checks passed: record the version in the graph.
+        let assigned = if req.is_root {
+            self.graph.add_root()
+        } else {
+            self.graph.add_version(&req.parents)
+        };
+        debug_assert_eq!(assigned, v);
+        Ok((v, delta, contents))
+    }
+
+    /// Number of commits waiting in the delta store.
+    pub fn pending_commits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flushes the delta store: partitions the batch's new records
+    /// into fresh chunks (never re-partitioning placed records, §4),
+    /// updates chunk maps and projections, and persists everything.
+    pub fn flush_batch(&mut self) -> Result<FlushReport, CoreError> {
+        if self.pending.is_empty() {
+            return Ok(FlushReport::default());
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let versions: Vec<VersionId> = batch.iter().map(|&(v, _)| v).collect();
+
+        // Gather the batch's new records and give them batch-local
+        // item ordinals.
+        let mut batch_ord: FxHashMap<CompositeKey, u32> = FxHashMap::default();
+        let mut records: Vec<&Record> = Vec::new();
+        for (_, delta) in &batch {
+            for rec in &delta.added {
+                batch_ord.insert(rec.composite_key(), records.len() as u32);
+                records.push(rec);
+            }
+        }
+        let new_records = records.len();
+
+        let mut new_chunks = 0usize;
+        if new_records > 0 {
+            // Build singleton sub-chunks (online compression applies
+            // within the record itself; cross-record grouping happens
+            // on periodic full repartitions, which the paper leaves as
+            // future work).
+            let built: Vec<SubChunk> = records
+                .iter()
+                .map(|r| SubChunk::build(&[(r.composite_key(), r.payload.as_slice())]))
+                .collect();
+            let item_sizes: Vec<u32> = built.iter().map(|s| s.compressed_bytes() as u32).collect();
+            let item_pk: Vec<u64> = records.iter().map(|r| r.pk).collect();
+
+            // version_items over the full tree: new records appear only
+            // in batch versions.
+            let mut version_items: Vec<Vec<u32>> = vec![Vec::new(); self.graph.len()];
+            for &v in &versions {
+                let mut items: Vec<u32> = self.contents[v.index()]
+                    .iter()
+                    .filter_map(|&(pk, origin)| {
+                        batch_ord.get(&CompositeKey::new(pk, origin)).copied()
+                    })
+                    .collect();
+                items.sort_unstable();
+                version_items[v.index()] = items;
+            }
+            let tree = self.graph.to_tree();
+            let input = PartitionInput {
+                tree: &tree,
+                version_items: &version_items,
+                item_sizes: &item_sizes,
+                item_pk: &item_pk,
+            };
+            let partitioner = self.config.partitioner.build(self.config.chunk_capacity);
+            let partitioning = partitioner.partition(&input);
+
+            // Materialize the new chunks after the existing ones.
+            let base_chunk = self.chunk_maps.len() as u32;
+            let mut subchunk_slots: Vec<Option<SubChunk>> = built.into_iter().map(Some).collect();
+            let mut writes = Vec::with_capacity(partitioning.num_chunks);
+            for (ci, items) in partitioning.chunk_items().iter().enumerate() {
+                let chunk_id = ChunkId(base_chunk + ci as u32);
+                let mut chunk = Chunk::new();
+                for (local, &item) in items.iter().enumerate() {
+                    let sc = subchunk_slots[item as usize].take().expect("one chunk");
+                    self.locator.insert(
+                        records[item as usize].composite_key(),
+                        (chunk_id.0, local as u32),
+                    );
+                    chunk.subchunks.push(sc);
+                }
+                self.chunk_sizes.push(chunk.compressed_bytes());
+                self.chunk_maps.push(ChunkMap::new(items.len()));
+                writes.push((
+                    table_key(CHUNK_TABLE, &chunk_id.to_key()),
+                    Bytes::from(chunk.serialize()),
+                ));
+            }
+            new_chunks = partitioning.num_chunks;
+            self.cluster.multi_put(writes)?;
+        }
+
+        // Index the batch versions (updates old and new chunk maps,
+        // each persisted once).
+        let maps_rewritten = self.index_versions(&versions)?;
+        self.persist_meta()?;
+        Ok(FlushReport {
+            versions: versions.len(),
+            new_records,
+            new_chunks,
+            maps_rewritten,
+        })
+    }
+
+    /// Flushes any pending commits (call before querying fresh data).
+    pub fn seal(&mut self) -> Result<(), CoreError> {
+        self.flush_batch().map(|_| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (§2.1 / §2.4)
+    // ------------------------------------------------------------------
+
+    /// Fetches chunks and their maps from the backend in parallel,
+    /// then decodes them in parallel. The paper's prototype
+    /// "processes the retrieved chunks sequentially" and lists
+    /// parallelizing the end-to-end path as future work; decoding is
+    /// the CPU-bound half of that, implemented here with rayon.
+    fn fetch_chunks(
+        &self,
+        chunk_ids: &[u32],
+    ) -> Result<(Vec<(Chunk, ChunkMap)>, usize), CoreError> {
+        use rayon::prelude::*;
+        let mut keys = Vec::with_capacity(chunk_ids.len() * 2);
+        for &c in chunk_ids {
+            keys.push(table_key(CHUNK_TABLE, &ChunkId(c).to_key()));
+        }
+        for &c in chunk_ids {
+            keys.push(table_key(CMAP_TABLE, &ChunkId(c).to_key()));
+        }
+        let values = self.cluster.multi_get(&keys)?;
+        let bytes = values
+            .iter()
+            .map(|v| v.as_ref().map_or(0, |b| b.len()))
+            .sum();
+        let out: Result<Vec<(Chunk, ChunkMap)>, CoreError> = chunk_ids
+            .par_iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let chunk_bytes = values[i].as_ref().ok_or(CoreError::MissingChunk(c))?;
+                let map_bytes = values[chunk_ids.len() + i]
+                    .as_ref()
+                    .ok_or(CoreError::MissingChunk(c))?;
+                Ok((
+                    Chunk::deserialize(chunk_bytes)?,
+                    ChunkMap::deserialize(map_bytes)?,
+                ))
+            })
+            .collect();
+        Ok((out?, bytes))
+    }
+
+    /// Full version retrieval with cost accounting.
+    pub fn get_version_with_stats(
+        &self,
+        v: VersionId,
+    ) -> Result<(Vec<Record>, QueryStats), CoreError> {
+        self.check_version(v)?;
+        let t0 = Instant::now();
+        let net0 = self.cluster.stats().modeled_time;
+        let chunk_ids = self.projections.chunks_of_version(v).to_vec();
+        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let mut records = Vec::new();
+        let mut useful = 0usize;
+        for (chunk, map) in &fetched {
+            let recs = query::extract_version_records(chunk, map, v)?;
+            if !recs.is_empty() {
+                useful += 1;
+            }
+            records.extend(recs);
+        }
+        records.sort_unstable_by_key(|r| r.pk);
+        let stats = QueryStats {
+            chunks_fetched: chunk_ids.len(),
+            chunks_useful: useful,
+            bytes_fetched: bytes,
+            records: records.len(),
+            elapsed: t0.elapsed(),
+            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
+        };
+        Ok((records, stats))
+    }
+
+    /// Full version retrieval.
+    pub fn get_version(&self, v: VersionId) -> Result<Vec<Record>, CoreError> {
+        self.get_version_with_stats(v).map(|(r, _)| r)
+    }
+
+    /// Record retrieval: the value of `pk` in version `v`.
+    pub fn get_record_with_stats(
+        &self,
+        pk: PrimaryKey,
+        v: VersionId,
+    ) -> Result<(Option<Record>, QueryStats), CoreError> {
+        self.check_version(v)?;
+        let t0 = Instant::now();
+        let net0 = self.cluster.stats().modeled_time;
+        // Index-ANDing of the two projections (§2.4).
+        let chunk_ids = self.projections.chunks_of_key_and_version(pk, v);
+        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let mut found = None;
+        let mut useful = 0usize;
+        for (chunk, map) in &fetched {
+            let Some(locals) = map.locals_of(v) else {
+                continue;
+            };
+            let keys = chunk.local_keys();
+            let wanted: Vec<usize> = locals
+                .into_iter()
+                .filter(|&l| keys[l].pk == pk)
+                .collect();
+            if wanted.is_empty() {
+                continue;
+            }
+            useful += 1;
+            let mut recs = query::extract_locals(chunk, &wanted)?;
+            if let Some(rec) = recs.pop() {
+                found = Some(rec);
+            }
+        }
+        let stats = QueryStats {
+            chunks_fetched: chunk_ids.len(),
+            chunks_useful: useful,
+            bytes_fetched: bytes,
+            records: usize::from(found.is_some()),
+            elapsed: t0.elapsed(),
+            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
+        };
+        Ok((found, stats))
+    }
+
+    /// Record retrieval.
+    pub fn get_record(&self, pk: PrimaryKey, v: VersionId) -> Result<Option<Record>, CoreError> {
+        self.get_record_with_stats(pk, v).map(|(r, _)| r)
+    }
+
+    /// Range retrieval: records of `v` with `lo ≤ pk ≤ hi`.
+    pub fn get_range_with_stats(
+        &self,
+        lo: PrimaryKey,
+        hi: PrimaryKey,
+        v: VersionId,
+    ) -> Result<(Vec<Record>, QueryStats), CoreError> {
+        self.check_version(v)?;
+        let t0 = Instant::now();
+        let net0 = self.cluster.stats().modeled_time;
+        let chunk_ids = self.projections.chunks_of_range(lo, hi, v);
+        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let mut records = Vec::new();
+        let mut useful = 0usize;
+        for (chunk, map) in &fetched {
+            let Some(locals) = map.locals_of(v) else {
+                continue;
+            };
+            let keys = chunk.local_keys();
+            let wanted: Vec<usize> = locals
+                .into_iter()
+                .filter(|&l| {
+                    let k = keys[l].pk;
+                    k >= lo && k <= hi
+                })
+                .collect();
+            if wanted.is_empty() {
+                continue;
+            }
+            useful += 1;
+            records.extend(query::extract_locals(chunk, &wanted)?);
+        }
+        records.sort_unstable_by_key(|r| r.pk);
+        let stats = QueryStats {
+            chunks_fetched: chunk_ids.len(),
+            chunks_useful: useful,
+            bytes_fetched: bytes,
+            records: records.len(),
+            elapsed: t0.elapsed(),
+            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
+        };
+        Ok((records, stats))
+    }
+
+    /// Range retrieval.
+    pub fn get_range(
+        &self,
+        lo: PrimaryKey,
+        hi: PrimaryKey,
+        v: VersionId,
+    ) -> Result<Vec<Record>, CoreError> {
+        self.get_range_with_stats(lo, hi, v).map(|(r, _)| r)
+    }
+
+    /// Record evolution: every distinct value `pk` ever had, ordered
+    /// by origin version.
+    pub fn get_evolution_with_stats(
+        &self,
+        pk: PrimaryKey,
+    ) -> Result<(Vec<Record>, QueryStats), CoreError> {
+        let t0 = Instant::now();
+        let net0 = self.cluster.stats().modeled_time;
+        let chunk_ids = self.projections.chunks_of_key(pk).to_vec();
+        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let mut records = Vec::new();
+        let mut useful = 0usize;
+        for (chunk, _) in &fetched {
+            let keys = chunk.local_keys();
+            let wanted: Vec<usize> = (0..keys.len()).filter(|&l| keys[l].pk == pk).collect();
+            if wanted.is_empty() {
+                continue;
+            }
+            useful += 1;
+            records.extend(query::extract_locals(chunk, &wanted)?);
+        }
+        records.sort_unstable_by_key(|r| r.origin);
+        let stats = QueryStats {
+            chunks_fetched: chunk_ids.len(),
+            chunks_useful: useful,
+            bytes_fetched: bytes,
+            records: records.len(),
+            elapsed: t0.elapsed(),
+            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
+        };
+        Ok((records, stats))
+    }
+
+    /// Record evolution.
+    pub fn get_evolution(&self, pk: PrimaryKey) -> Result<Vec<Record>, CoreError> {
+        self.get_evolution_with_stats(pk).map(|(r, _)| r)
+    }
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the RStore core invariants:
+//!
+//! * every partitioner produces a *valid* partitioning (each item in
+//!   exactly one chunk; chunk sizes within the 25% slack) on random
+//!   version graphs,
+//! * chunk / chunk-map / projection serialization round-trips,
+//! * query results over a fully loaded store match the
+//!   materialization oracle for random datasets and partitioners,
+//! * random commit sequences keep the store consistent.
+
+use proptest::prelude::*;
+use rstore_core::chunk::{Chunk, SubChunk};
+use rstore_core::chunkmap::ChunkMap;
+use rstore_core::model::{CompositeKey, VersionId};
+use rstore_core::partition::PartitionerKind;
+use rstore_core::store::{CommitRequest, RStore};
+use rstore_kvstore::Cluster;
+use rstore_vgraph::{DatasetSpec, SelectionKind};
+
+/// A strategy over dataset specs small enough to load per test case.
+fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
+    (
+        1u64..1000,         // seed
+        8usize..24,         // versions
+        10usize..40,        // root records
+        0.0f64..0.4,        // branch probability
+        0.05f64..0.4,       // update fraction
+        prop::bool::ANY,    // zipf?
+        32usize..128,       // record size
+    )
+        .prop_map(|(seed, nv, rr, bp, uf, zipf, rs)| DatasetSpec {
+            name: format!("prop-{seed}"),
+            num_versions: nv,
+            root_records: rr,
+            branch_prob: bp,
+            update_frac: uf,
+            insert_frac: 0.05,
+            delete_frac: 0.05,
+            selection: if zipf {
+                SelectionKind::Zipf { theta: 1.0 }
+            } else {
+                SelectionKind::Uniform
+            },
+            record_size: rs,
+            pd: 0.1,
+            seed,
+        })
+}
+
+fn all_kinds() -> Vec<PartitionerKind> {
+    vec![
+        PartitionerKind::BottomUp { beta: usize::MAX },
+        PartitionerKind::BottomUp { beta: 3 },
+        PartitionerKind::Shingle { num_hashes: 3 },
+        PartitionerKind::DepthFirst,
+        PartitionerKind::BreadthFirst,
+        PartitionerKind::SubchunkBaseline,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partitioners_produce_valid_partitionings(spec in spec_strategy()) {
+        let ds = spec.generate();
+        let store = ds.record_store();
+        let m = ds.materialize(&store);
+        let version_items: Vec<Vec<u32>> = (0..ds.graph.len())
+            .map(|v| {
+                let mut items: Vec<u32> = m
+                    .contents(VersionId(v as u32))
+                    .iter()
+                    .map(|&(_, ord)| ord)
+                    .collect();
+                items.sort_unstable();
+                items
+            })
+            .collect();
+        let item_sizes: Vec<u32> = (0..store.len() as u32)
+            .map(|o| store.payload(o).len() as u32)
+            .collect();
+        let item_pk: Vec<u64> = store.keys().iter().map(|ck| ck.pk).collect();
+        let input = rstore_core::partition::PartitionInput {
+            tree: &ds.graph,
+            version_items: &version_items,
+            item_sizes: &item_sizes,
+            item_pk: &item_pk,
+        };
+        for kind in all_kinds() {
+            let p = kind.build(512).partition(&input);
+            // Baselines ignore capacity, so only capacity-aware kinds
+            // must satisfy the size bound.
+            match kind {
+                PartitionerKind::SubchunkBaseline | PartitionerKind::SingleAddress => {
+                    // Still: every item assigned exactly once.
+                    prop_assert_eq!(p.chunk_of.len(), store.len());
+                }
+                _ => p
+                    .validate(&item_sizes, 512, 0.25)
+                    .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?,
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_store_answers_random_queries_correctly(
+        spec in spec_strategy(),
+        kind_idx in 0usize..5,
+        k in prop::sample::select(vec![1usize, 3, 8]),
+    ) {
+        let ds = spec.generate();
+        let kind = all_kinds()[kind_idx];
+        let cluster = Cluster::builder().nodes(2).build();
+        let mut store = RStore::builder()
+            .chunk_capacity(1024)
+            .max_subchunk(k)
+            .partitioner(kind)
+            .build(cluster);
+        store.load_dataset(&ds).unwrap();
+
+        let rstore = ds.record_store();
+        let oracle = ds.materialize(&rstore);
+        // Spot-check a version, a range, a record and an evolution.
+        let v = VersionId((ds.graph.len() / 2) as u32);
+        let got = store.get_version(v).unwrap();
+        let expect = oracle.contents(v);
+        prop_assert_eq!(got.len(), expect.len());
+        for (rec, &(pk, ord)) in got.iter().zip(expect) {
+            prop_assert_eq!(rec.pk, pk);
+            prop_assert_eq!(&rec.payload[..], rstore.payload(ord));
+        }
+
+        let lo = 2u64;
+        let hi = 15u64;
+        let got = store.get_range(lo, hi, v).unwrap();
+        prop_assert_eq!(got.len(), oracle.range(v, lo, hi).len());
+
+        let pk = expect.first().map(|&(pk, _)| pk).unwrap_or(0);
+        let rec = store.get_record(pk, v).unwrap();
+        match oracle.lookup(v, pk) {
+            Some(ord) => {
+                prop_assert_eq!(&rec.unwrap().payload[..], rstore.payload(ord));
+            }
+            None => prop_assert!(rec.is_none()),
+        }
+
+        let evo = store.get_evolution(pk).unwrap();
+        let expect_count = rstore.keys().iter().filter(|ck| ck.pk == pk).count();
+        prop_assert_eq!(evo.len(), expect_count);
+    }
+
+    #[test]
+    fn chunk_roundtrip_random_payloads(
+        payload_groups in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 1..100), 1..5),
+            1..8,
+        )
+    ) {
+        let mut chunk = Chunk::new();
+        for (g, payloads) in payload_groups.iter().enumerate() {
+            let records: Vec<(CompositeKey, &[u8])> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (CompositeKey::new(g as u64, VersionId(i as u32)), p.as_slice()))
+                .collect();
+            chunk.subchunks.push(SubChunk::build(&records));
+        }
+        let decoded = Chunk::deserialize(&chunk.serialize()).unwrap();
+        prop_assert_eq!(&decoded, &chunk);
+        // Every member decodes to its original payload.
+        for (sc, payloads) in decoded.subchunks.iter().zip(&payload_groups) {
+            let members = sc.decode().unwrap();
+            prop_assert_eq!(&members, payloads);
+            for (i, p) in payloads.iter().enumerate() {
+                prop_assert_eq!(&sc.decode_member(i).unwrap(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_deserialize_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Chunk::deserialize(&bytes);
+        let _ = ChunkMap::deserialize(&bytes);
+        let _ = rstore_core::index::Projections::deserialize(&bytes);
+    }
+
+    #[test]
+    fn chunkmap_roundtrip_random(
+        num_records in 1usize..200,
+        version_sets in prop::collection::vec(
+            prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+            0..20,
+        ),
+    ) {
+        let mut map = ChunkMap::new(num_records);
+        for (vi, indices) in version_sets.iter().enumerate() {
+            let locals: std::collections::BTreeSet<usize> =
+                indices.iter().map(|ix| ix.index(num_records)).collect();
+            map.push_version(VersionId(vi as u32), locals);
+        }
+        let decoded = ChunkMap::deserialize(&map.serialize()).unwrap();
+        prop_assert_eq!(&decoded, &map);
+    }
+
+    #[test]
+    fn random_commit_sequences_stay_consistent(
+        seed in 1u64..500,
+        steps in 2usize..12,
+        batch in 1usize..6,
+    ) {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cluster = Cluster::builder().nodes(2).build();
+        let mut store = RStore::builder()
+            .chunk_capacity(512)
+            .batch_size(batch)
+            .build(cluster);
+
+        // Shadow model: contents per version.
+        let mut model: Vec<std::collections::BTreeMap<u64, Vec<u8>>> = Vec::new();
+        let root_recs: Vec<(u64, Vec<u8>)> = (0u64..10)
+            .map(|pk| (pk, vec![rng.random::<u8>(); 20]))
+            .collect();
+        store.commit(CommitRequest::root(root_recs.clone())).unwrap();
+        model.push(root_recs.into_iter().collect());
+
+        for _ in 0..steps {
+            let parent = rng.random_range(0..model.len());
+            let parent_model = model[parent].clone();
+            let mut req = CommitRequest::child_of(VersionId(parent as u32));
+            let mut next = parent_model.clone();
+            // A few random puts (distinct keys within one commit).
+            let mut touched = std::collections::BTreeSet::new();
+            for _ in 0..rng.random_range(1..4) {
+                let pk = rng.random_range(0..20u64);
+                if !touched.insert(pk) {
+                    continue;
+                }
+                let payload = vec![rng.random::<u8>(); 20];
+                req = req.put(pk, payload.clone());
+                next.insert(pk, payload);
+            }
+            // Maybe a delete of an existing key not already touched.
+            let deletable: Vec<u64> = parent_model
+                .keys()
+                .copied()
+                .filter(|pk| !touched.contains(pk))
+                .collect();
+            if !deletable.is_empty() && rng.random_bool(0.5) {
+                let pk = deletable[rng.random_range(0..deletable.len())];
+                req = req.delete(pk);
+                next.remove(&pk);
+            }
+            store.commit(req).unwrap();
+            model.push(next);
+        }
+        store.seal().unwrap();
+
+        for (vi, expect) in model.iter().enumerate() {
+            let got = store.get_version(VersionId(vi as u32)).unwrap();
+            prop_assert_eq!(got.len(), expect.len(), "version {}", vi);
+            for rec in got {
+                prop_assert_eq!(&rec.payload, expect.get(&rec.pk).unwrap());
+            }
+        }
+    }
+}

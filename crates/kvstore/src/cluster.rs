@@ -1,0 +1,659 @@
+//! The cluster: node threads, routing client, failure injection.
+//!
+//! [`Cluster`] owns one OS thread per simulated storage node and a
+//! consistent-hash ring that routes keys to nodes, with writes
+//! replicated to `replication` successive nodes and reads served by
+//! the first live replica. The client issues multi-key reads in
+//! parallel across nodes (one batch message per node, processed
+//! concurrently by the node threads) — mirroring how RStore "issues
+//! queries in parallel to the backend store" (§2.4).
+
+use crate::engine::{LogEngine, MemEngine, StorageEngine};
+use crate::error::KvError;
+use crate::msg::{NodeInfo, Request};
+use crate::netmodel::NetworkModel;
+use crate::ring::Ring;
+use crate::stats::{ClusterStats, StatsSnapshot};
+use crate::types::{Key, Value};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which storage engine each node runs.
+#[derive(Debug, Clone, Default)]
+pub enum EngineKind {
+    /// In-memory hash map (default; experiments focus on the network).
+    #[default]
+    Mem,
+    /// Append-only log-structured engine, one log file per node in
+    /// the given directory.
+    Log {
+        /// Directory for per-node log files.
+        dir: PathBuf,
+    },
+}
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    replication: usize,
+    vnodes: usize,
+    engine: EngineKind,
+    network: NetworkModel,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self {
+            nodes: 1,
+            replication: 1,
+            vnodes: 64,
+            engine: EngineKind::Mem,
+            network: NetworkModel::zero(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of nodes (default 1).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Replication factor (default 1; clamped to the node count).
+    pub fn replication(mut self, r: usize) -> Self {
+        self.replication = r;
+        self
+    }
+
+    /// Virtual nodes per physical node (default 64).
+    pub fn vnodes(mut self, v: usize) -> Self {
+        self.vnodes = v;
+        self
+    }
+
+    /// Storage engine (default in-memory).
+    pub fn engine(mut self, e: EngineKind) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Network cost model (default [`NetworkModel::zero`]).
+    pub fn network(mut self, m: NetworkModel) -> Self {
+        self.network = m;
+        self
+    }
+
+    /// Starts the node threads and returns the cluster handle.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero or a log engine fails to open.
+    pub fn build(self) -> Cluster {
+        assert!(self.nodes > 0, "cluster needs at least one node");
+        let stats = ClusterStats::new_shared();
+        let ring = Ring::new(self.nodes, self.vnodes);
+        let mut senders = Vec::with_capacity(self.nodes);
+        let mut handles = Vec::with_capacity(self.nodes);
+        for node_id in 0..self.nodes {
+            let (tx, rx) = unbounded::<Request>();
+            let engine: Box<dyn StorageEngine> = match &self.engine {
+                EngineKind::Mem => Box::new(MemEngine::new()),
+                EngineKind::Log { dir } => Box::new(
+                    LogEngine::open(dir.join(format!("node-{node_id}.log")))
+                        .expect("open node log"),
+                ),
+            };
+            let stats = Arc::clone(&stats);
+            let network = self.network;
+            let handle = std::thread::Builder::new()
+                .name(format!("kv-node-{node_id}"))
+                .spawn(move || node_loop(node_id, engine, rx, stats, network))
+                .expect("spawn node thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Cluster {
+            senders,
+            handles,
+            ring,
+            stats,
+            replication: self.replication.clamp(1, self.nodes),
+            down: (0..self.nodes).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
+
+/// One simulated node's event loop.
+fn node_loop(
+    node_id: usize,
+    mut engine: Box<dyn StorageEngine>,
+    rx: crossbeam::channel::Receiver<Request>,
+    stats: Arc<ClusterStats>,
+    network: NetworkModel,
+) {
+    let mut down = false;
+    let charge = |bytes: usize| {
+        let d = network.charge(bytes);
+        stats.record_modeled(d);
+        if network.real_sleep && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    };
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Get { key, reply } => {
+                if down {
+                    let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                let result = engine.get(&key);
+                if let Ok(v) = &result {
+                    let n = v.as_ref().map(Value::len);
+                    stats.record_get(n);
+                    charge(n.unwrap_or(0));
+                }
+                let _ = reply.send(result);
+            }
+            Request::MultiGet { keys, reply } => {
+                if down {
+                    let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                let mut out = Vec::with_capacity(keys.len());
+                let mut failed = None;
+                for key in &keys {
+                    match engine.get(key) {
+                        Ok(v) => {
+                            let n = v.as_ref().map(Value::len);
+                            stats.record_get(n);
+                            charge(n.unwrap_or(0));
+                            out.push(v);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let _ = reply.send(match failed {
+                    Some(e) => Err(e),
+                    None => Ok(out),
+                });
+            }
+            Request::Put { key, value, reply } => {
+                if down {
+                    let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                let n = key.len() + value.len();
+                let result = engine.put(key, value);
+                if result.is_ok() {
+                    stats.record_put(n);
+                    charge(n);
+                }
+                let _ = reply.send(result);
+            }
+            Request::MultiPut { pairs, reply } => {
+                if down {
+                    let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                let mut result = Ok(());
+                for (key, value) in pairs {
+                    let n = key.len() + value.len();
+                    match engine.put(key, value) {
+                        Ok(()) => {
+                            stats.record_put(n);
+                            charge(n);
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                let _ = reply.send(result);
+            }
+            Request::Delete { key, reply } => {
+                if down {
+                    let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                let result = engine.delete(&key);
+                if result.is_ok() {
+                    stats.record_delete();
+                    charge(0);
+                }
+                let _ = reply.send(result);
+            }
+            Request::SetDown(flag) => down = flag,
+            Request::Info { reply } => {
+                let _ = reply.send(NodeInfo {
+                    keys: engine.len(),
+                    live_bytes: engine.live_bytes(),
+                });
+            }
+            Request::Shutdown => break,
+        }
+    }
+}
+
+/// A running multi-node key-value cluster.
+pub struct Cluster {
+    senders: Vec<Sender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+    ring: Ring,
+    stats: Arc<ClusterStats>,
+    replication: usize,
+    down: Vec<AtomicBool>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Replication factor in effect.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Shared request/byte counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Marks a node down (true) or back up (false). Reads fail over
+    /// to the next replica; writes to a down node are skipped.
+    pub fn set_node_down(&self, node: usize, down: bool) {
+        self.down[node].store(down, Ordering::Relaxed);
+        let _ = self.senders[node].send(Request::SetDown(down));
+    }
+
+    fn is_down(&self, node: usize) -> bool {
+        self.down[node].load(Ordering::Relaxed)
+    }
+
+    /// Stores `value` under `key` on every live replica.
+    ///
+    /// Fails only if *no* replica accepted the write.
+    pub fn put(&self, key: Key, value: Value) -> Result<(), KvError> {
+        let replicas = self.ring.replicas(&key, self.replication);
+        let mut any_ok = false;
+        let mut replies = Vec::with_capacity(replicas.len());
+        for &node in &replicas {
+            if self.is_down(node) {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::Put {
+                    key: key.clone(),
+                    value: value.clone(),
+                    reply: tx,
+                })
+                .map_err(|_| KvError::NodeGone(node))?;
+            replies.push((node, rx));
+        }
+        for (node, rx) in replies {
+            match rx.recv() {
+                Ok(Ok(())) => any_ok = true,
+                Ok(Err(_)) | Err(_) => {
+                    let _ = node;
+                }
+            }
+        }
+        if any_ok {
+            Ok(())
+        } else {
+            Err(KvError::AllReplicasDown {
+                tried: replicas,
+            })
+        }
+    }
+
+    /// Fetches `key` from the first live replica.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError> {
+        let replicas = self.ring.replicas(key, self.replication);
+        for &node in &replicas {
+            if self.is_down(node) {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::Get {
+                    key: key.to_vec(),
+                    reply: tx,
+                })
+                .map_err(|_| KvError::NodeGone(node))?;
+            match rx.recv() {
+                Ok(Ok(v)) => return Ok(v),
+                Ok(Err(KvError::NodeDown(_))) | Err(_) => continue,
+                Ok(Err(e)) => return Err(e),
+            }
+        }
+        Err(KvError::AllReplicasDown { tried: replicas })
+    }
+
+    /// Removes `key` from every live replica.
+    pub fn delete(&self, key: &[u8]) -> Result<(), KvError> {
+        let replicas = self.ring.replicas(key, self.replication);
+        let mut replies = Vec::with_capacity(replicas.len());
+        for &node in &replicas {
+            if self.is_down(node) {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::Delete {
+                    key: key.to_vec(),
+                    reply: tx,
+                })
+                .map_err(|_| KvError::NodeGone(node))?;
+            replies.push(rx);
+        }
+        for rx in replies {
+            let _ = rx.recv();
+        }
+        Ok(())
+    }
+
+    /// Fetches many keys, in parallel across nodes: each node gets one
+    /// batch message; node threads serve their batches concurrently.
+    /// Results are returned in input order.
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>, KvError> {
+        // Group key indices by serving node (first live replica).
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.node_count()];
+        for (i, key) in keys.iter().enumerate() {
+            let replicas = self.ring.replicas(key, self.replication);
+            let node = replicas
+                .iter()
+                .copied()
+                .find(|&n| !self.is_down(n))
+                .ok_or(KvError::AllReplicasDown {
+                    tried: replicas.clone(),
+                })?;
+            per_node[node].push(i);
+        }
+        // Send all batches first (parallel service), then collect.
+        let mut pending = Vec::new();
+        for (node, indices) in per_node.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let batch: Vec<Key> = indices.iter().map(|&i| keys[i].clone()).collect();
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::MultiGet {
+                    keys: batch,
+                    reply: tx,
+                })
+                .map_err(|_| KvError::NodeGone(node))?;
+            pending.push((node, indices, rx));
+        }
+        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
+        for (node, indices, rx) in pending {
+            let values = rx.recv().map_err(|_| KvError::NodeGone(node))??;
+            for (slot, value) in indices.into_iter().zip(values) {
+                out[slot] = value;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stores many pairs, batched per primary-replica node. Replicas
+    /// beyond the primary are written with their own batches too.
+    pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<(), KvError> {
+        let mut per_node: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.node_count()];
+        for (key, value) in pairs {
+            for &node in &self.ring.replicas(&key, self.replication) {
+                if !self.is_down(node) {
+                    per_node[node].push((key.clone(), value.clone()));
+                }
+            }
+        }
+        let mut pending = Vec::new();
+        for (node, batch) in per_node.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::MultiPut { pairs: batch, reply: tx })
+                .map_err(|_| KvError::NodeGone(node))?;
+            pending.push((node, rx));
+        }
+        for (node, rx) in pending {
+            rx.recv().map_err(|_| KvError::NodeGone(node))??;
+        }
+        Ok(())
+    }
+
+    /// Aggregated engine statistics across live nodes.
+    pub fn info(&self) -> NodeInfo {
+        let mut total = NodeInfo::default();
+        let mut pending = Vec::new();
+        for sender in &self.senders {
+            let (tx, rx) = bounded(1);
+            if sender.send(Request::Info { reply: tx }).is_ok() {
+                pending.push(rx);
+            }
+        }
+        for rx in pending {
+            if let Ok(info) = rx.recv() {
+                total.keys += info.keys;
+                total.live_bytes += info.live_bytes;
+            }
+        }
+        total
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for sender in &self.senders {
+            let _ = sender.send(Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn small_cluster(nodes: usize, replication: usize) -> Cluster {
+        Cluster::builder()
+            .nodes(nodes)
+            .replication(replication)
+            .build()
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let c = small_cluster(4, 1);
+        c.put(b"k1".to_vec(), Bytes::from_static(b"v1")).unwrap();
+        assert_eq!(c.get(b"k1").unwrap(), Some(Bytes::from_static(b"v1")));
+        c.delete(b"k1").unwrap();
+        assert_eq!(c.get(b"k1").unwrap(), None);
+    }
+
+    #[test]
+    fn data_spreads_across_nodes() {
+        let c = small_cluster(4, 1);
+        for i in 0..200u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let info = c.info();
+        assert_eq!(info.keys, 200);
+    }
+
+    #[test]
+    fn replication_stores_copies() {
+        let c = small_cluster(4, 3);
+        for i in 0..100u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        // 3 replicas per key.
+        assert_eq!(c.info().keys, 300);
+    }
+
+    #[test]
+    fn multi_get_preserves_order_and_misses() {
+        let c = small_cluster(4, 1);
+        for i in 0..50u32 {
+            c.put(
+                i.to_be_bytes().to_vec(),
+                Bytes::from(i.to_le_bytes().to_vec()),
+            )
+            .unwrap();
+        }
+        let keys: Vec<Key> = (0..60u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let values = c.multi_get(&keys).unwrap();
+        assert_eq!(values.len(), 60);
+        for (i, v) in values.iter().enumerate() {
+            if i < 50 {
+                let got = u32::from_le_bytes(v.as_ref().unwrap()[..4].try_into().unwrap());
+                assert_eq!(got, i as u32);
+            } else {
+                assert!(v.is_none(), "key {i} should miss");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_put_then_multi_get() {
+        let c = small_cluster(3, 2);
+        let pairs: Vec<(Key, Value)> = (0..100u32)
+            .map(|i| (i.to_be_bytes().to_vec(), Bytes::from(vec![i as u8; 8])))
+            .collect();
+        c.multi_put(pairs).unwrap();
+        let keys: Vec<Key> = (0..100u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let values = c.multi_get(&keys).unwrap();
+        assert!(values.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn failover_reads_from_replica() {
+        let c = small_cluster(3, 2);
+        for i in 0..60u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        c.set_node_down(0, true);
+        // Every key must still be readable through its second replica.
+        for i in 0..60u32 {
+            assert_eq!(
+                c.get(&i.to_be_bytes()).unwrap(),
+                Some(Bytes::from_static(b"v")),
+                "key {i} lost after node 0 went down"
+            );
+        }
+        c.set_node_down(0, false);
+    }
+
+    #[test]
+    fn unreplicated_cluster_loses_access_when_node_down() {
+        let c = small_cluster(2, 1);
+        for i in 0..20u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        c.set_node_down(0, true);
+        let lost = (0..20u32)
+            .filter(|i| c.get(&i.to_be_bytes()).is_err())
+            .count();
+        assert!(lost > 0, "some keys must be unreachable");
+        c.set_node_down(0, false);
+        for i in 0..20u32 {
+            assert!(c.get(&i.to_be_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn stats_count_requests_and_bytes() {
+        let c = small_cluster(2, 1);
+        c.reset_stats();
+        c.put(b"a".to_vec(), Bytes::from(vec![0u8; 100])).unwrap();
+        let _ = c.get(b"a").unwrap();
+        let _ = c.get(b"missing").unwrap();
+        let s = c.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.bytes_written, 101);
+        assert_eq!(s.bytes_read, 100);
+    }
+
+    #[test]
+    fn modeled_time_accumulates_without_sleeping() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .network(NetworkModel::lan_virtual())
+            .build();
+        c.put(b"a".to_vec(), Bytes::from(vec![0u8; 1000])).unwrap();
+        let _ = c.get(b"a").unwrap();
+        let s = c.stats();
+        assert!(s.modeled_time >= std::time::Duration::from_micros(500));
+    }
+
+    #[test]
+    fn log_engine_cluster_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rstore-cluster-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = Cluster::builder()
+                .nodes(2)
+                .engine(EngineKind::Log { dir: dir.clone() })
+                .build();
+            for i in 0..50u32 {
+                c.put(i.to_be_bytes().to_vec(), Bytes::from(vec![1u8; 16]))
+                    .unwrap();
+            }
+        }
+        // Restart on the same directory: data must survive.
+        let c = Cluster::builder()
+            .nodes(2)
+            .engine(EngineKind::Log { dir: dir.clone() })
+            .build();
+        for i in 0..50u32 {
+            assert!(c.get(&i.to_be_bytes()).unwrap().is_some(), "key {i} lost");
+        }
+        drop(c);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_multi_get() {
+        let c = small_cluster(2, 1);
+        assert!(c.multi_get(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let c = small_cluster(3, 2);
+        c.put(b"k".to_vec(), Bytes::from_static(b"old")).unwrap();
+        c.put(b"k".to_vec(), Bytes::from_static(b"new")).unwrap();
+        assert_eq!(c.get(b"k").unwrap(), Some(Bytes::from_static(b"new")));
+    }
+}

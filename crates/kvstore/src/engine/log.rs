@@ -1,0 +1,450 @@
+//! An append-only log-structured storage engine (bitcask-style).
+//!
+//! Every put/delete is appended to a log file; an in-memory directory
+//! maps live keys to their latest log offset. On startup the log is
+//! replayed to rebuild the directory, so a crash loses at most a
+//! partially-written tail entry (detected by CRC and truncated).
+//! [`LogEngine::compact`] rewrites live entries into a fresh log,
+//! dropping garbage from overwrites and deletes.
+//!
+//! Entry layout (little-endian):
+//!
+//! ```text
+//! crc32(u32) | flags(u8) | key_len(u32) | val_len(u32) | key | value
+//! ```
+//!
+//! `flags` bit 0 set marks a tombstone (value empty).
+
+use crate::engine::StorageEngine;
+use crate::error::KvError;
+use crate::types::{Key, Value};
+use bytes::Bytes;
+use rustc_hash::FxHashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const HEADER_LEN: usize = 4 + 1 + 4 + 4;
+const TOMBSTONE: u8 = 0x01;
+
+/// CRC-32 (IEEE 802.3), table-driven, built from scratch.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table built on first use.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Location of a live value inside the log.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Offset of the value bytes (not the entry header).
+    value_offset: u64,
+    value_len: u32,
+    key_len: u32,
+}
+
+/// The log-structured engine.
+#[derive(Debug)]
+pub struct LogEngine {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    reader: File,
+    directory: FxHashMap<Key, Slot>,
+    /// Next append offset.
+    tail: u64,
+    /// Bytes occupied by dead (overwritten/deleted) entries.
+    garbage_bytes: u64,
+}
+
+impl LogEngine {
+    /// Opens (or creates) the log at `path`, replaying it to rebuild
+    /// the key directory. A corrupt or torn tail entry truncates the
+    /// log at the last valid entry.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, KvError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let (directory, valid_len, garbage) = Self::replay(&mut file)?;
+        let file_len = file.metadata()?.len();
+        if valid_len < file_len {
+            // Torn tail from a crash: truncate it away.
+            file.set_len(valid_len)?;
+        }
+        let reader = File::open(&path)?;
+        Ok(Self {
+            path,
+            writer: BufWriter::new(file),
+            reader,
+            directory,
+            tail: valid_len,
+            garbage_bytes: garbage,
+        })
+    }
+
+    /// Scans the log, returning the directory, the length of the valid
+    /// prefix, and the bytes of dead entries.
+    fn replay(file: &mut File) -> Result<(FxHashMap<Key, Slot>, u64, u64), KvError> {
+        file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut directory: FxHashMap<Key, Slot> = FxHashMap::default();
+        let mut garbage = 0u64;
+        let mut pos = 0usize;
+        let entry_len = |key_len: usize, val_len: usize| HEADER_LEN + key_len + val_len;
+        while pos + HEADER_LEN <= buf.len() {
+            let crc = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let flags = buf[pos + 4];
+            let key_len = u32::from_le_bytes(buf[pos + 5..pos + 9].try_into().unwrap()) as usize;
+            let val_len = u32::from_le_bytes(buf[pos + 9..pos + 13].try_into().unwrap()) as usize;
+            let total = entry_len(key_len, val_len);
+            if pos + total > buf.len() {
+                break; // torn tail
+            }
+            let body = &buf[pos + 4..pos + total];
+            if crc32(body) != crc {
+                break; // corrupt tail
+            }
+            let key = buf[pos + HEADER_LEN..pos + HEADER_LEN + key_len].to_vec();
+            let old = if flags & TOMBSTONE != 0 {
+                directory.remove(&key).map(|s| (s, true))
+            } else {
+                let slot = Slot {
+                    value_offset: (pos + HEADER_LEN + key_len) as u64,
+                    value_len: val_len as u32,
+                    key_len: key_len as u32,
+                };
+                directory.insert(key, slot).map(|s| (s, false))
+            };
+            if let Some((old_slot, _)) = old {
+                garbage +=
+                    entry_len(old_slot.key_len as usize, old_slot.value_len as usize) as u64;
+            }
+            if flags & TOMBSTONE != 0 {
+                // The tombstone itself is immediately garbage.
+                garbage += total as u64;
+            }
+            pos += total;
+        }
+        Ok((directory, pos as u64, garbage))
+    }
+
+    fn append(&mut self, flags: u8, key: &[u8], value: &[u8]) -> Result<u64, KvError> {
+        let mut body = Vec::with_capacity(HEADER_LEN - 4 + key.len() + value.len());
+        body.push(flags);
+        body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        body.extend_from_slice(key);
+        body.extend_from_slice(value);
+        let crc = crc32(&body);
+        self.writer.write_all(&crc.to_le_bytes())?;
+        self.writer.write_all(&body)?;
+        self.writer.flush()?;
+        let entry_start = self.tail;
+        self.tail += (4 + body.len()) as u64;
+        Ok(entry_start)
+    }
+
+    /// Fraction of the log occupied by dead entries.
+    pub fn garbage_ratio(&self) -> f64 {
+        if self.tail == 0 {
+            return 0.0;
+        }
+        self.garbage_bytes as f64 / self.tail as f64
+    }
+
+    /// Rewrites live entries into a fresh log, reclaiming garbage.
+    pub fn compact(&mut self) -> Result<(), KvError> {
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let tmp = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            let mut w = BufWriter::new(tmp);
+            // Stable iteration: copy the directory, then stream values.
+            let entries: Vec<(Key, Slot)> = self
+                .directory
+                .iter()
+                .map(|(k, s)| (k.clone(), *s))
+                .collect();
+            for (key, slot) in entries {
+                let value = self.read_slot(&slot)?;
+                let mut body =
+                    Vec::with_capacity(HEADER_LEN - 4 + key.len() + value.len());
+                body.push(0u8);
+                body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                body.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                body.extend_from_slice(&key);
+                body.extend_from_slice(&value);
+                w.write_all(&crc32(&body).to_le_bytes())?;
+                w.write_all(&body)?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen handles against the compacted log.
+        let mut file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        let (directory, valid_len, garbage) = Self::replay(&mut file)?;
+        self.reader = File::open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        self.directory = directory;
+        self.tail = valid_len;
+        self.garbage_bytes = garbage;
+        Ok(())
+    }
+
+    fn read_slot(&mut self, slot: &Slot) -> Result<Vec<u8>, KvError> {
+        let mut buf = vec![0u8; slot.value_len as usize];
+        self.reader.seek(SeekFrom::Start(slot.value_offset))?;
+        self.reader.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Total log size on disk.
+    pub fn log_bytes(&self) -> u64 {
+        self.tail
+    }
+}
+
+impl StorageEngine for LogEngine {
+    fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError> {
+        let Some(slot) = self.directory.get(key) else {
+            return Ok(None);
+        };
+        // Positioned reads need a mutable handle; clone a cheap view.
+        let mut reader = self.reader.try_clone()?;
+        let mut buf = vec![0u8; slot.value_len as usize];
+        reader.seek(SeekFrom::Start(slot.value_offset))?;
+        reader.read_exact(&mut buf)?;
+        Ok(Some(Bytes::from(buf)))
+    }
+
+    fn put(&mut self, key: Key, value: Value) -> Result<(), KvError> {
+        let entry_start = self.append(0, &key, &value)?;
+        let slot = Slot {
+            value_offset: entry_start + (HEADER_LEN + key.len()) as u64,
+            value_len: value.len() as u32,
+            key_len: key.len() as u32,
+        };
+        if let Some(old) = self.directory.insert(key, slot) {
+            self.garbage_bytes +=
+                (HEADER_LEN + old.key_len as usize + old.value_len as usize) as u64;
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        if let Some(old) = self.directory.remove(key) {
+            self.append(TOMBSTONE, key, &[])?;
+            self.garbage_bytes +=
+                (HEADER_LEN + old.key_len as usize + old.value_len as usize) as u64;
+            self.garbage_bytes += (HEADER_LEN + key.len()) as u64;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.directory
+            .iter()
+            .map(|(k, s)| k.len() + s.value_len as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::conformance;
+
+    fn temp_log(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "rstore-log-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_a686);
+    }
+
+    #[test]
+    fn conformance_basic() {
+        let p = temp_log("basic");
+        conformance::basic_ops(&mut LogEngine::open(&p).unwrap());
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn conformance_large() {
+        let p = temp_log("large");
+        conformance::large_values(&mut LogEngine::open(&p).unwrap());
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn conformance_empty() {
+        let p = temp_log("empty");
+        conformance::empty_key_and_value(&mut LogEngine::open(&p).unwrap());
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn reopen_recovers_state() {
+        let p = temp_log("recover");
+        {
+            let mut e = LogEngine::open(&p).unwrap();
+            e.put(b"a".to_vec(), Bytes::from_static(b"1")).unwrap();
+            e.put(b"b".to_vec(), Bytes::from_static(b"2")).unwrap();
+            e.put(b"a".to_vec(), Bytes::from_static(b"updated")).unwrap();
+            e.delete(b"b").unwrap();
+        }
+        let e = LogEngine::open(&p).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(b"a").unwrap(), Some(Bytes::from_static(b"updated")));
+        assert_eq!(e.get(b"b").unwrap(), None);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let p = temp_log("torn");
+        {
+            let mut e = LogEngine::open(&p).unwrap();
+            e.put(b"good".to_vec(), Bytes::from_static(b"value")).unwrap();
+        }
+        // Append half an entry (simulating a crash mid-write).
+        {
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        }
+        let e = LogEngine::open(&p).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(b"good").unwrap(), Some(Bytes::from_static(b"value")));
+        // The torn bytes are gone; appending still works.
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn corrupt_tail_crc_is_truncated() {
+        let p = temp_log("corrupt");
+        {
+            let mut e = LogEngine::open(&p).unwrap();
+            e.put(b"k1".to_vec(), Bytes::from_static(b"v1")).unwrap();
+            e.put(b"k2".to_vec(), Bytes::from_static(b"v2")).unwrap();
+        }
+        // Flip a byte in the last entry's value.
+        {
+            let mut f = OpenOptions::new().read(true).write(true).open(&p).unwrap();
+            let len = f.metadata().unwrap().len();
+            f.seek(SeekFrom::Start(len - 1)).unwrap();
+            f.write_all(&[0xff]).unwrap();
+        }
+        let e = LogEngine::open(&p).unwrap();
+        assert_eq!(e.len(), 1, "corrupt entry must be dropped");
+        assert_eq!(e.get(b"k1").unwrap(), Some(Bytes::from_static(b"v1")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn writes_after_torn_tail_recovery_survive() {
+        let p = temp_log("torn-write");
+        {
+            let mut e = LogEngine::open(&p).unwrap();
+            e.put(b"a".to_vec(), Bytes::from_static(b"1")).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        }
+        {
+            let mut e = LogEngine::open(&p).unwrap();
+            e.put(b"b".to_vec(), Bytes::from_static(b"2")).unwrap();
+        }
+        let e = LogEngine::open(&p).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(b"b").unwrap(), Some(Bytes::from_static(b"2")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn compaction_reclaims_garbage_and_preserves_data() {
+        let p = temp_log("compact");
+        let mut e = LogEngine::open(&p).unwrap();
+        for i in 0..100u32 {
+            e.put(b"hot".to_vec(), Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        e.put(b"cold".to_vec(), Bytes::from_static(b"stays")).unwrap();
+        e.delete(b"hot").unwrap();
+        assert!(e.garbage_ratio() > 0.9);
+        let before = e.log_bytes();
+        e.compact().unwrap();
+        assert!(e.log_bytes() < before / 10);
+        assert_eq!(e.garbage_ratio(), 0.0);
+        assert_eq!(e.get(b"cold").unwrap(), Some(Bytes::from_static(b"stays")));
+        assert_eq!(e.get(b"hot").unwrap(), None);
+        // Still usable after compaction.
+        e.put(b"new".to_vec(), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(e.get(b"new").unwrap(), Some(Bytes::from_static(b"x")));
+        drop(e);
+        // And recovery still works on the compacted log.
+        let e = LogEngine::open(&p).unwrap();
+        assert_eq!(e.len(), 2);
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn many_keys_survive_reopen() {
+        let p = temp_log("many");
+        {
+            let mut e = LogEngine::open(&p).unwrap();
+            for i in 0..500u32 {
+                e.put(
+                    i.to_le_bytes().to_vec(),
+                    Bytes::from(vec![i as u8; (i % 64) as usize]),
+                )
+                .unwrap();
+            }
+        }
+        let e = LogEngine::open(&p).unwrap();
+        assert_eq!(e.len(), 500);
+        for i in (0..500u32).step_by(37) {
+            let v = e.get(&i.to_le_bytes()).unwrap().unwrap();
+            assert_eq!(v.len(), (i % 64) as usize);
+        }
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,84 @@
+//! The in-memory storage engine.
+
+use crate::engine::StorageEngine;
+use crate::error::KvError;
+use crate::types::{Key, Value};
+use rustc_hash::FxHashMap;
+
+/// A hash-map engine; the default for experiments, where the paper's
+/// bottleneck of interest is the network, not the disk.
+#[derive(Debug, Default)]
+pub struct MemEngine {
+    map: FxHashMap<Key, Value>,
+    live_bytes: usize,
+}
+
+impl MemEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageEngine for MemEngine {
+    fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn put(&mut self, key: Key, value: Value) -> Result<(), KvError> {
+        let key_len = key.len();
+        self.live_bytes += key_len + value.len();
+        if let Some(old) = self.map.insert(key, value) {
+            self.live_bytes = self.live_bytes.saturating_sub(key_len + old.len());
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+        if let Some(old) = self.map.remove(key) {
+            self.live_bytes = self.live_bytes.saturating_sub(key.len() + old.len());
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::conformance;
+    use bytes::Bytes;
+
+    #[test]
+    fn conformance_basic() {
+        conformance::basic_ops(&mut MemEngine::new());
+    }
+
+    #[test]
+    fn conformance_large() {
+        conformance::large_values(&mut MemEngine::new());
+    }
+
+    #[test]
+    fn conformance_empty() {
+        conformance::empty_key_and_value(&mut MemEngine::new());
+    }
+
+    #[test]
+    fn live_bytes_tracks_overwrites_approximately() {
+        let mut e = MemEngine::new();
+        e.put(b"k".to_vec(), Bytes::from(vec![0u8; 100])).unwrap();
+        let before = e.live_bytes();
+        e.put(b"k".to_vec(), Bytes::from(vec![0u8; 10])).unwrap();
+        assert!(e.live_bytes() < before + 100);
+        e.delete(b"k").unwrap();
+        e.delete(b"k").unwrap();
+    }
+}

@@ -1,0 +1,76 @@
+//! Pluggable per-node storage engines.
+
+use crate::error::KvError;
+use crate::types::{Key, Value};
+
+pub mod log;
+pub mod mem;
+
+pub use log::LogEngine;
+pub use mem::MemEngine;
+
+/// The storage interface a node requires — deliberately just the
+/// `get`/`put` surface the paper assumes of the backend (§2.4).
+pub trait StorageEngine: Send {
+    /// Fetches the value for `key`, if present.
+    fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError>;
+
+    /// Stores `value` under `key`, replacing any existing value.
+    fn put(&mut self, key: Key, value: Value) -> Result<(), KvError>;
+
+    /// Removes `key`; succeeds silently when absent.
+    fn delete(&mut self, key: &[u8]) -> Result<(), KvError>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// True when no live keys exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate bytes of live data (keys + values).
+    fn live_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared engine conformance checks, run against both engines.
+
+    use super::*;
+    use bytes::Bytes;
+
+    pub(crate) fn basic_ops(engine: &mut dyn StorageEngine) {
+        assert!(engine.is_empty());
+        assert_eq!(engine.get(b"missing").unwrap(), None);
+
+        engine.put(b"a".to_vec(), Bytes::from_static(b"1")).unwrap();
+        engine.put(b"b".to_vec(), Bytes::from_static(b"2")).unwrap();
+        assert_eq!(engine.len(), 2);
+        assert_eq!(engine.get(b"a").unwrap(), Some(Bytes::from_static(b"1")));
+
+        // Overwrite.
+        engine.put(b"a".to_vec(), Bytes::from_static(b"10")).unwrap();
+        assert_eq!(engine.get(b"a").unwrap(), Some(Bytes::from_static(b"10")));
+        assert_eq!(engine.len(), 2);
+
+        // Delete present and absent keys.
+        engine.delete(b"a").unwrap();
+        assert_eq!(engine.get(b"a").unwrap(), None);
+        engine.delete(b"never-there").unwrap();
+        assert_eq!(engine.len(), 1);
+        assert!(engine.live_bytes() >= 2);
+    }
+
+    pub(crate) fn large_values(engine: &mut dyn StorageEngine) {
+        let big = vec![7u8; 1 << 20];
+        engine.put(b"big".to_vec(), Bytes::from(big.clone())).unwrap();
+        assert_eq!(engine.get(b"big").unwrap().unwrap().as_ref(), &big[..]);
+    }
+
+    pub(crate) fn empty_key_and_value(engine: &mut dyn StorageEngine) {
+        engine.put(Vec::new(), Bytes::new()).unwrap();
+        assert_eq!(engine.get(b"").unwrap(), Some(Bytes::new()));
+        assert_eq!(engine.len(), 1);
+    }
+}

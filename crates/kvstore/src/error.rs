@@ -1,0 +1,50 @@
+//! Error type for cluster operations.
+
+use std::fmt;
+
+/// An error from the key-value cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// Every replica responsible for the key was marked down.
+    AllReplicasDown {
+        /// Nodes that were tried.
+        tried: Vec<usize>,
+    },
+    /// A node thread disappeared (channel closed).
+    NodeGone(usize),
+    /// The node is administratively down (failure injection).
+    NodeDown(usize),
+    /// The underlying storage engine failed (log engine I/O).
+    Storage(String),
+    /// The log engine found a corrupt entry during recovery.
+    Corrupt {
+        /// Byte offset of the bad entry.
+        offset: u64,
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::AllReplicasDown { tried } => {
+                write!(f, "all replicas down (tried nodes {tried:?})")
+            }
+            KvError::NodeGone(n) => write!(f, "node {n} is gone"),
+            KvError::NodeDown(n) => write!(f, "node {n} is down"),
+            KvError::Storage(msg) => write!(f, "storage error: {msg}"),
+            KvError::Corrupt { offset, reason } => {
+                write!(f, "corrupt log entry at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Storage(e.to_string())
+    }
+}

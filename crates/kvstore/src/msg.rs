@@ -1,0 +1,67 @@
+//! Request/response messages between the client and node threads.
+
+use crate::error::KvError;
+use crate::types::{Key, Value};
+use crossbeam::channel::Sender;
+
+/// Summary a node reports about its engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeInfo {
+    /// Live keys on this node.
+    pub keys: usize,
+    /// Approximate live bytes on this node.
+    pub live_bytes: usize,
+}
+
+/// A request sent to a node thread.
+#[derive(Debug)]
+pub enum Request {
+    /// Fetch one value.
+    Get {
+        /// Key to fetch.
+        key: Key,
+        /// Where to send the result.
+        reply: Sender<Result<Option<Value>, KvError>>,
+    },
+    /// Fetch many values; each key is charged as its own query (the
+    /// backend has no large-IN support, exactly as the paper assumes
+    /// of Cassandra in §2.6).
+    MultiGet {
+        /// Keys to fetch.
+        keys: Vec<Key>,
+        /// Results in key order.
+        reply: Sender<Result<Vec<Option<Value>>, KvError>>,
+    },
+    /// Store one value.
+    Put {
+        /// Key to store under.
+        key: Key,
+        /// Value to store.
+        value: Value,
+        /// Completion signal.
+        reply: Sender<Result<(), KvError>>,
+    },
+    /// Store many values in one message (each charged as one query).
+    MultiPut {
+        /// Key/value pairs to store.
+        pairs: Vec<(Key, Value)>,
+        /// Completion signal.
+        reply: Sender<Result<(), KvError>>,
+    },
+    /// Remove one key.
+    Delete {
+        /// Key to remove.
+        key: Key,
+        /// Completion signal.
+        reply: Sender<Result<(), KvError>>,
+    },
+    /// Failure injection: mark the node down/up.
+    SetDown(bool),
+    /// Report engine statistics.
+    Info {
+        /// Where to send the info.
+        reply: Sender<NodeInfo>,
+    },
+    /// Stop the node thread.
+    Shutdown,
+}

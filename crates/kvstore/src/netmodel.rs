@@ -1,0 +1,85 @@
+//! The network cost model.
+//!
+//! The paper's experiments run against a real Cassandra cluster; ours
+//! run in-process. To preserve the retrieval-cost *shape* — dominated
+//! by the number of round trips (the "too many queries" problem,
+//! §2.3) plus bytes transferred — every request is charged
+//! `latency + bytes × per-byte time`. The charge can be applied as a
+//! real sleep on the serving node (measured experiments) or disabled
+//! (fast tests); either way the would-be cost is also accumulated in
+//! [`crate::stats::ClusterStats`] as virtual time.
+
+use std::time::Duration;
+
+/// Per-request network costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed round-trip cost per request.
+    pub latency: Duration,
+    /// Transfer time per payload byte.
+    pub per_byte: Duration,
+    /// Whether nodes actually sleep for the charge (true for
+    /// measured experiments) or only account it (fast tests).
+    pub real_sleep: bool,
+}
+
+impl NetworkModel {
+    /// No cost at all: instant network, accounting still active.
+    pub fn zero() -> Self {
+        Self {
+            latency: Duration::ZERO,
+            per_byte: Duration::ZERO,
+            real_sleep: false,
+        }
+    }
+
+    /// A LAN-like profile: 250 µs round trip, ~1 Gbit/s transfer.
+    pub fn lan() -> Self {
+        Self {
+            latency: Duration::from_micros(250),
+            per_byte: Duration::from_nanos(8),
+            real_sleep: true,
+        }
+    }
+
+    /// The LAN profile with sleeping disabled (virtual accounting
+    /// only); used where wall-clock time must stay small but modeled
+    /// time is still reported.
+    pub fn lan_virtual() -> Self {
+        Self {
+            real_sleep: false,
+            ..Self::lan()
+        }
+    }
+
+    /// Cost of one request carrying `bytes` of payload.
+    pub fn charge(&self, bytes: usize) -> Duration {
+        let transfer_nanos = (self.per_byte.as_nanos() as u64).saturating_mul(bytes as u64);
+        self.latency + Duration::from_nanos(transfer_nanos)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        assert_eq!(NetworkModel::zero().charge(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn lan_model_charges_latency_plus_transfer() {
+        let m = NetworkModel::lan();
+        let c = m.charge(1000);
+        assert!(c >= Duration::from_micros(250));
+        assert!(c >= m.charge(0));
+        assert!(m.charge(1_000_000) > m.charge(1000));
+    }
+}

@@ -1,0 +1,164 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Keys are routed the way a Cassandra driver routes them: each
+//! physical node owns many points ("virtual nodes") on a 64-bit hash
+//! ring; a key belongs to the first point clockwise from its hash,
+//! and its replicas are the next distinct physical nodes clockwise.
+
+/// FNV-1a with a splitmix64 finalizer, used both for ring points and
+/// key placement. FNV alone disperses short keys poorly (consecutive
+/// integer keys land on one ring segment); the finalizer's avalanche
+/// fixes that. A fixed, dependency-free hash keeps placement
+/// deterministic across runs.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring over `num_nodes` physical nodes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, node)` pairs sorted by point.
+    points: Vec<(u64, usize)>,
+    num_nodes: usize,
+}
+
+impl Ring {
+    /// Builds a ring with `vnodes` virtual nodes per physical node.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` or `vnodes` is zero.
+    pub fn new(num_nodes: usize, vnodes: usize) -> Self {
+        assert!(num_nodes > 0, "ring needs at least one node");
+        assert!(vnodes > 0, "ring needs at least one vnode per node");
+        let mut points = Vec::with_capacity(num_nodes * vnodes);
+        for node in 0..num_nodes {
+            for v in 0..vnodes {
+                let label = format!("node-{node}-vnode-{v}");
+                points.push((hash_bytes(label.as_bytes()), node));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Self { points, num_nodes }
+    }
+
+    /// Number of physical nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The primary node for `key`.
+    pub fn primary(&self, key: &[u8]) -> usize {
+        self.replicas(key, 1)[0]
+    }
+
+    /// The first `replication` distinct physical nodes clockwise from
+    /// the key's hash. Clamped to the node count.
+    pub fn replicas(&self, key: &[u8], replication: usize) -> Vec<usize> {
+        let want = replication.clamp(1, self.num_nodes);
+        let h = hash_bytes(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        let r1 = Ring::new(8, 64);
+        let r2 = Ring::new(8, 64);
+        for i in 0..100u32 {
+            let k = i.to_be_bytes();
+            assert_eq!(r1.primary(&k), r2.primary(&k));
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_clamped() {
+        let r = Ring::new(4, 32);
+        for i in 0..50u32 {
+            let reps = r.replicas(&i.to_be_bytes(), 3);
+            assert_eq!(reps.len(), 3);
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate replica in {reps:?}");
+        }
+        // Replication beyond the node count clamps.
+        assert_eq!(r.replicas(b"k", 10).len(), 4);
+    }
+
+    #[test]
+    fn single_node_ring_routes_everything_to_it() {
+        let r = Ring::new(1, 16);
+        for i in 0..20u32 {
+            assert_eq!(r.primary(&i.to_be_bytes()), 0);
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let r = Ring::new(8, 128);
+        let mut counts = [0usize; 8];
+        for i in 0..8000u32 {
+            counts[r.primary(&i.to_be_bytes())] += 1;
+        }
+        let (min, max) = (
+            counts.iter().min().unwrap(),
+            counts.iter().max().unwrap(),
+        );
+        // With 128 vnodes the spread should be well under 3x.
+        assert!(
+            max / min.max(&1) < 3,
+            "unbalanced ring: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn growing_the_ring_moves_few_keys() {
+        // Consistent hashing's defining property.
+        let r8 = Ring::new(8, 128);
+        let r9 = Ring::new(9, 128);
+        let moved = (0..10_000u32)
+            .filter(|i| {
+                let k = i.to_be_bytes();
+                let (a, b) = (r8.primary(&k), r9.primary(&k));
+                a != b && b != 8 // moved somewhere other than the new node
+            })
+            .count();
+        assert!(
+            moved < 1000,
+            "{moved} of 10000 keys moved between existing nodes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        Ring::new(0, 8);
+    }
+}

@@ -1,0 +1,158 @@
+//! Request and byte accounting.
+//!
+//! The paper's cost analysis (Table 1) is expressed in number of
+//! queries and amount of data retrieved; these counters make both
+//! observable for every experiment, alongside the modeled network
+//! time (useful when [`crate::NetworkModel::real_sleep`] is off).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared, lock-free counters for one cluster.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    requests: AtomicU64,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    modeled_nanos: AtomicU64,
+}
+
+impl ClusterStats {
+    /// Creates zeroed counters behind an `Arc`.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub(crate) fn record_get(&self, hit_bytes: Option<usize>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        match hit_bytes {
+            Some(n) => {
+                self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn record_put(&self, bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_modeled(&self, d: Duration) {
+        self.modeled_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            modeled_time: Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.modeled_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time view of [`ClusterStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total requests served.
+    pub requests: u64,
+    /// GET requests.
+    pub gets: u64,
+    /// PUT requests.
+    pub puts: u64,
+    /// DELETE requests.
+    pub deletes: u64,
+    /// GETs that found no value.
+    pub misses: u64,
+    /// Payload bytes returned by GETs.
+    pub bytes_read: u64,
+    /// Payload bytes accepted by PUTs.
+    pub bytes_written: u64,
+    /// Total modeled network time across all requests.
+    pub modeled_time: Duration,
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (self - earlier).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests - earlier.requests,
+            gets: self.gets - earlier.gets,
+            puts: self.puts - earlier.puts,
+            deletes: self.deletes - earlier.deletes,
+            misses: self.misses - earlier.misses,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            modeled_time: self.modeled_time.saturating_sub(earlier.modeled_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = ClusterStats::new_shared();
+        s.record_get(Some(100));
+        s.record_get(None);
+        s.record_put(50);
+        s.record_delete();
+        s.record_modeled(Duration::from_micros(3));
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 4);
+        assert_eq!(snap.gets, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.bytes_read, 100);
+        assert_eq!(snap.bytes_written, 50);
+        assert_eq!(snap.modeled_time, Duration::from_micros(3));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = ClusterStats::new_shared();
+        s.record_put(10);
+        let a = s.snapshot();
+        s.record_put(20);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.puts, 1);
+        assert_eq!(d.bytes_written, 20);
+    }
+}

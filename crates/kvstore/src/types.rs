@@ -1,0 +1,48 @@
+//! Key/value types and table namespacing.
+
+use bytes::Bytes;
+
+/// A raw key in the store.
+pub type Key = Vec<u8>;
+
+/// A raw value; cheaply cloneable.
+pub type Value = Bytes;
+
+/// Builds a namespaced key: RStore keeps chunks and indexes "in two
+/// distinct tables" (§2.4). A table is a short label prefixed to the
+/// key with a length byte so namespaces can never collide.
+///
+/// # Panics
+/// Panics if `table` is longer than 255 bytes.
+pub fn table_key(table: &str, key: &[u8]) -> Key {
+    assert!(table.len() <= 255, "table name too long");
+    let mut out = Vec::with_capacity(1 + table.len() + key.len());
+    out.push(table.len() as u8);
+    out.extend_from_slice(table.as_bytes());
+    out.extend_from_slice(key);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_never_collide() {
+        // ("ab", "c") vs ("a", "bc") must differ.
+        assert_ne!(table_key("ab", b"c"), table_key("a", b"bc"));
+        assert_eq!(table_key("t", b"k")[0], 1);
+    }
+
+    #[test]
+    fn same_inputs_same_key() {
+        assert_eq!(table_key("chunks", b"\x01\x02"), table_key("chunks", b"\x01\x02"));
+    }
+
+    #[test]
+    #[should_panic(expected = "table name too long")]
+    fn oversized_table_panics() {
+        let long = "x".repeat(256);
+        table_key(&long, b"k");
+    }
+}

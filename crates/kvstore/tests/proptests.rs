@@ -1,0 +1,183 @@
+//! Property-based tests for the key-value cluster: linearizable-ish
+//! single-client behaviour against a HashMap model, replication
+//! invariants, and log-engine recovery under random operation mixes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rstore_kvstore::engine::{LogEngine, StorageEngine};
+use rstore_kvstore::Cluster;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, Vec<u8>),
+    Delete(u16),
+    Get(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Put(k % 64, v)),
+        any::<u16>().prop_map(|k| Op::Delete(k % 64)),
+        any::<u16>().prop_map(|k| Op::Get(k % 64)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cluster_matches_hashmap_model(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        nodes in 1usize..5,
+        replication in 1usize..4,
+    ) {
+        let cluster = Cluster::builder()
+            .nodes(nodes)
+            .replication(replication)
+            .build();
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    cluster.put(k.to_be_bytes().to_vec(), Bytes::from(v.clone())).unwrap();
+                    model.insert(*k, v.clone());
+                }
+                Op::Delete(k) => {
+                    cluster.delete(&k.to_be_bytes()).unwrap();
+                    model.remove(k);
+                }
+                Op::Get(k) => {
+                    let got = cluster.get(&k.to_be_bytes()).unwrap();
+                    prop_assert_eq!(
+                        got.as_ref().map(|b| b.as_ref()),
+                        model.get(k).map(|v| v.as_slice())
+                    );
+                }
+            }
+        }
+        // Final multi-get over the whole key space agrees with the model.
+        let keys: Vec<Vec<u8>> = (0u16..64).map(|k| k.to_be_bytes().to_vec()).collect();
+        let values = cluster.multi_get(&keys).unwrap();
+        for (k, v) in (0u16..64).zip(values) {
+            prop_assert_eq!(
+                v.as_ref().map(|b| b.as_ref()),
+                model.get(&k).map(|x| x.as_slice())
+            );
+        }
+    }
+
+    #[test]
+    fn reads_survive_any_single_node_failure_with_r2(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        down in 0usize..3,
+    ) {
+        let cluster = Cluster::builder().nodes(3).replication(2).build();
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            if let Op::Put(k, v) = op {
+                cluster.put(k.to_be_bytes().to_vec(), Bytes::from(v.clone())).unwrap();
+                model.insert(*k, v.clone());
+            }
+        }
+        cluster.set_node_down(down, true);
+        for (k, v) in &model {
+            let got = cluster.get(&k.to_be_bytes()).unwrap();
+            prop_assert_eq!(got.as_ref().map(|b| b.as_ref()), Some(v.as_slice()));
+        }
+    }
+
+    #[test]
+    fn log_engine_recovery_matches_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        torn_bytes in prop::collection::vec(any::<u8>(), 0..7),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "rstore-prop-log-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        {
+            let mut engine = LogEngine::open(&path).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        engine.put(k.to_be_bytes().to_vec(), Bytes::from(v.clone())).unwrap();
+                        model.insert(*k, v.clone());
+                    }
+                    Op::Delete(k) => {
+                        engine.delete(&k.to_be_bytes()).unwrap();
+                        model.remove(k);
+                    }
+                    Op::Get(_) => {}
+                }
+            }
+        }
+        // Simulate a torn tail write, then recover.
+        if !torn_bytes.is_empty() {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&torn_bytes).unwrap();
+        }
+        let engine = LogEngine::open(&path).unwrap();
+        prop_assert_eq!(engine.len(), model.len());
+        for (k, v) in &model {
+            let got = engine.get(&k.to_be_bytes()).unwrap();
+            prop_assert_eq!(got.as_ref().map(|b| b.as_ref()), Some(v.as_slice()));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn log_engine_compaction_preserves_model(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "rstore-prop-compact-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut engine = LogEngine::open(&path).unwrap();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    engine.put(k.to_be_bytes().to_vec(), Bytes::from(v.clone())).unwrap();
+                    model.insert(*k, v.clone());
+                }
+                Op::Delete(k) => {
+                    engine.delete(&k.to_be_bytes()).unwrap();
+                    model.remove(k);
+                }
+                Op::Get(_) => {}
+            }
+        }
+        engine.compact().unwrap();
+        prop_assert_eq!(engine.garbage_ratio(), 0.0);
+        prop_assert_eq!(engine.len(), model.len());
+        for (k, v) in &model {
+            let got = engine.get(&k.to_be_bytes()).unwrap();
+            prop_assert_eq!(got.as_ref().map(|b| b.as_ref()), Some(v.as_slice()));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ring_routing_is_stable_under_any_key(key in prop::collection::vec(any::<u8>(), 0..64)) {
+        use rstore_kvstore::ring::Ring;
+        let ring = Ring::new(8, 64);
+        let a = ring.replicas(&key, 3);
+        let b = ring.replicas(&key, 3);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), 3);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), 3);
+        prop_assert_eq!(a[0], ring.primary(&key));
+    }
+}

@@ -1,0 +1,180 @@
+//! Version-to-version deltas (∆⁺ / ∆⁻).
+//!
+//! A new version is described by the set of changes from its parent
+//! (paper §2.1): records that were added or modified (each carrying a
+//! fresh composite key whose origin is the new version — the ∆⁺ set)
+//! and composite keys that disappeared (deleted outright, or replaced
+//! by a modification — the ∆⁻ set). Deltas must be *consistent*
+//! (∆⁺ ∩ ∆⁻ = ∅, the paper cites Heraclitus for the definition);
+//! consistency makes them
+//! symmetric: the same delta derives the parent from the child.
+
+use crate::ids::{CompositeKey, PrimaryKey, VersionId};
+use crate::record::Record;
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// The change set that derives one version from its parent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VersionDelta {
+    /// ∆⁺: records added or modified. Each record's `origin` must be
+    /// the derived version.
+    pub added: Vec<Record>,
+    /// ∆⁻: composite keys present in the parent but not in the child
+    /// (deletions, and the old values of modifications).
+    pub removed: Vec<CompositeKey>,
+}
+
+impl VersionDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a delta from parts.
+    pub fn from_parts(added: Vec<Record>, removed: Vec<CompositeKey>) -> Self {
+        Self { added, removed }
+    }
+
+    /// Total payload bytes carried by the ∆⁺ set.
+    pub fn added_bytes(&self) -> usize {
+        self.added.iter().map(Record::size).sum()
+    }
+
+    /// Number of changed entries (|∆⁺| + |∆⁻|).
+    pub fn change_count(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// True when the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Checks delta consistency for a commit deriving `child`:
+    ///
+    /// * every added record's origin is `child`,
+    /// * no composite key appears in both ∆⁺ and ∆⁻,
+    /// * no duplicate primary keys in ∆⁺ and no duplicate keys in ∆⁻.
+    pub fn validate(&self, child: VersionId) -> Result<(), DeltaError> {
+        let mut added_pks: FxHashSet<PrimaryKey> = FxHashSet::default();
+        for rec in &self.added {
+            if rec.origin != child {
+                return Err(DeltaError::WrongOrigin {
+                    key: rec.composite_key(),
+                    expected: child,
+                });
+            }
+            if !added_pks.insert(rec.pk) {
+                return Err(DeltaError::DuplicateAdd(rec.pk));
+            }
+        }
+        let mut removed_set: FxHashSet<CompositeKey> = FxHashSet::default();
+        for &ck in &self.removed {
+            if !removed_set.insert(ck) {
+                return Err(DeltaError::DuplicateRemove(ck));
+            }
+            // ∆⁺ entries all have origin == child while consistency
+            // forbids removing a key created in the same commit.
+            if ck.origin == child {
+                return Err(DeltaError::Inconsistent(ck));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validation failures for a [`VersionDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An added record's origin was not the derived version.
+    WrongOrigin {
+        /// The offending record's composite key.
+        key: CompositeKey,
+        /// The version being derived.
+        expected: VersionId,
+    },
+    /// The same primary key was added twice.
+    DuplicateAdd(PrimaryKey),
+    /// The same composite key was removed twice.
+    DuplicateRemove(CompositeKey),
+    /// A key appears in both ∆⁺ and ∆⁻ (∆⁺ ∩ ∆⁻ ≠ ∅).
+    Inconsistent(CompositeKey),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::WrongOrigin { key, expected } => {
+                write!(f, "record {key} must originate in {expected}")
+            }
+            DeltaError::DuplicateAdd(pk) => write!(f, "primary key K{pk} added twice"),
+            DeltaError::DuplicateRemove(ck) => write!(f, "composite key {ck} removed twice"),
+            DeltaError::Inconsistent(ck) => {
+                write!(f, "composite key {ck} in both delta-plus and delta-minus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pk: u64, v: u32) -> Record {
+        Record::new(pk, VersionId(v), vec![0u8; 4])
+    }
+
+    #[test]
+    fn valid_delta_passes() {
+        let d = VersionDelta::from_parts(
+            vec![rec(1, 5), rec(2, 5)],
+            vec![CompositeKey::new(1, VersionId(0))],
+        );
+        assert!(d.validate(VersionId(5)).is_ok());
+        assert_eq!(d.change_count(), 3);
+        assert_eq!(d.added_bytes(), 8);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn empty_delta_is_valid() {
+        assert!(VersionDelta::new().validate(VersionId(1)).is_ok());
+        assert!(VersionDelta::new().is_empty());
+    }
+
+    #[test]
+    fn wrong_origin_rejected() {
+        let d = VersionDelta::from_parts(vec![rec(1, 4)], vec![]);
+        assert!(matches!(
+            d.validate(VersionId(5)),
+            Err(DeltaError::WrongOrigin { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_add_rejected() {
+        let d = VersionDelta::from_parts(vec![rec(1, 5), rec(1, 5)], vec![]);
+        assert_eq!(d.validate(VersionId(5)), Err(DeltaError::DuplicateAdd(1)));
+    }
+
+    #[test]
+    fn duplicate_remove_rejected() {
+        let ck = CompositeKey::new(1, VersionId(0));
+        let d = VersionDelta::from_parts(vec![], vec![ck, ck]);
+        assert_eq!(
+            d.validate(VersionId(5)),
+            Err(DeltaError::DuplicateRemove(ck))
+        );
+    }
+
+    #[test]
+    fn inconsistent_delta_rejected() {
+        // Removing a key that originates in the child itself.
+        let ck = CompositeKey::new(9, VersionId(5));
+        let d = VersionDelta::from_parts(vec![], vec![ck]);
+        assert_eq!(d.validate(VersionId(5)), Err(DeltaError::Inconsistent(ck)));
+    }
+}

@@ -1,0 +1,378 @@
+//! The directed version graph and its tree conversion.
+//!
+//! Versions form a DAG rooted at `V0`: an edge `Vp → Vc` means `Vc`
+//! was derived from `Vp`. Merge commits have multiple parents. The
+//! partitioning algorithms of the paper operate on *version trees*
+//! (graphs with no merges); [`VersionGraph::to_tree`] implements the
+//! conversion of paper Fig. 4 — keep the edge to one (primary) parent
+//! and drop the rest. Records that arrived exclusively from dropped
+//! parents are already re-keyed as inserts by our per-primary-parent
+//! delta representation, matching the paper's "renamed to make them
+//! appear as newly inserted records". The original graph remains
+//! available to queries afterwards.
+
+use crate::ids::VersionId;
+use serde::{Deserialize, Serialize};
+
+/// One version in the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VersionNode {
+    /// This version's id.
+    pub id: VersionId,
+    /// Parent versions; the first entry is the *primary* parent the
+    /// stored delta is relative to. Empty for the root.
+    pub parents: Vec<VersionId>,
+    /// Versions derived from this one (primary-parent edges only).
+    pub children: Vec<VersionId>,
+    /// Distance from the root along primary-parent edges.
+    pub depth: u32,
+}
+
+impl VersionNode {
+    /// The primary parent, if any.
+    pub fn primary_parent(&self) -> Option<VersionId> {
+        self.parents.first().copied()
+    }
+}
+
+/// A rooted version DAG with dense `u32` version ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VersionGraph {
+    nodes: Vec<VersionNode>,
+}
+
+impl VersionGraph {
+    /// Creates an empty graph (no versions yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the root version; must be the first insertion.
+    ///
+    /// # Panics
+    /// Panics if a root already exists.
+    pub fn add_root(&mut self) -> VersionId {
+        assert!(self.nodes.is_empty(), "root already exists");
+        self.nodes.push(VersionNode {
+            id: VersionId::ROOT,
+            parents: vec![],
+            children: vec![],
+            depth: 0,
+        });
+        VersionId::ROOT
+    }
+
+    /// Adds a version derived from `parents` (first = primary).
+    ///
+    /// Returns the id assigned to the new version.
+    ///
+    /// # Panics
+    /// Panics if `parents` is empty or references unknown versions.
+    pub fn add_version(&mut self, parents: &[VersionId]) -> VersionId {
+        assert!(!parents.is_empty(), "non-root versions need a parent");
+        for p in parents {
+            assert!(
+                p.index() < self.nodes.len(),
+                "unknown parent version {p}"
+            );
+        }
+        let id = VersionId(self.nodes.len() as u32);
+        let depth = self.nodes[parents[0].index()].depth + 1;
+        self.nodes.push(VersionNode {
+            id,
+            parents: parents.to_vec(),
+            children: vec![],
+            depth,
+        });
+        let primary = parents[0];
+        self.nodes[primary.index()].children.push(id);
+        id
+    }
+
+    /// Number of versions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no versions exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    ///
+    /// # Panics
+    /// Panics if `v` is unknown.
+    pub fn node(&self, v: VersionId) -> &VersionNode {
+        &self.nodes[v.index()]
+    }
+
+    /// All nodes in id order (ids are assigned in commit order, so
+    /// this is also a topological order).
+    pub fn nodes(&self) -> &[VersionNode] {
+        &self.nodes
+    }
+
+    /// Iterates version ids in topological (commit) order.
+    pub fn ids(&self) -> impl Iterator<Item = VersionId> + '_ {
+        self.nodes.iter().map(|n| n.id)
+    }
+
+    /// True if the graph contains `v`.
+    pub fn contains(&self, v: VersionId) -> bool {
+        v.index() < self.nodes.len()
+    }
+
+    /// True if any version has more than one parent.
+    pub fn has_merges(&self) -> bool {
+        self.nodes.iter().any(|n| n.parents.len() > 1)
+    }
+
+    /// Leaves: versions without children.
+    pub fn leaves(&self) -> Vec<VersionId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.children.is_empty())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Average depth over all versions (a paper Table 2 statistic).
+    pub fn avg_depth(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.nodes.iter().map(|n| u64::from(n.depth)).sum();
+        total as f64 / self.nodes.len() as f64
+    }
+
+    /// Maximum depth of any version.
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Path from the root to `v` along primary parents, inclusive.
+    pub fn path_from_root(&self, v: VersionId) -> Vec<VersionId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.nodes[cur.index()].primary_parent() {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Converts the DAG to a version tree (paper Fig. 4): keeps only
+    /// the primary-parent edge of every merge node. Queries continue
+    /// to use the original graph; the tree is used for partitioning.
+    pub fn to_tree(&self) -> VersionGraph {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| VersionNode {
+                id: n.id,
+                parents: n.parents.first().map(|&p| vec![p]).unwrap_or_default(),
+                children: n.children.clone(),
+                depth: n.depth,
+            })
+            .collect();
+        VersionGraph { nodes }
+    }
+
+    /// Depth-first pre-order traversal from the root, children in
+    /// insertion order (the order Algorithm 4 visits versions).
+    pub fn dfs_order(&self) -> Vec<VersionId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        if self.nodes.is_empty() {
+            return order;
+        }
+        let mut stack = vec![VersionId::ROOT];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Push children reversed so the first child is visited first.
+            for &c in self.nodes[v.index()].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Breadth-first traversal from the root.
+    pub fn bfs_order(&self) -> Vec<VersionId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        if self.nodes.is_empty() {
+            return order;
+        }
+        let mut queue = std::collections::VecDeque::from([VersionId::ROOT]);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            queue.extend(self.nodes[v.index()].children.iter().copied());
+        }
+        order
+    }
+
+    /// Post-order traversal (children before parents), the order the
+    /// BOTTOM-UP partitioner processes versions.
+    pub fn post_order(&self) -> Vec<VersionId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        if self.nodes.is_empty() {
+            return order;
+        }
+        // Iterative post-order: (node, child cursor) stack.
+        let mut stack: Vec<(VersionId, usize)> = vec![(VersionId::ROOT, 0)];
+        while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+            let children = &self.nodes[v.index()].children;
+            if *cursor < children.len() {
+                let c = children[*cursor];
+                *cursor += 1;
+                stack.push((c, 0));
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the 5-version graph of paper Fig. 1:
+    /// V0 -> V1 -> V3, V0 -> V2 -> V4.
+    fn fig1_graph() -> VersionGraph {
+        let mut g = VersionGraph::new();
+        let v0 = g.add_root();
+        let v1 = g.add_version(&[v0]);
+        let v2 = g.add_version(&[v0]);
+        let _v3 = g.add_version(&[v1]);
+        let _v4 = g.add_version(&[v2]);
+        g
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let g = fig1_graph();
+        assert_eq!(g.len(), 5);
+        assert!(!g.has_merges());
+        assert_eq!(g.node(VersionId(0)).children, vec![VersionId(1), VersionId(2)]);
+        assert_eq!(g.node(VersionId(3)).primary_parent(), Some(VersionId(1)));
+        assert_eq!(g.node(VersionId(3)).depth, 2);
+        assert_eq!(g.leaves(), vec![VersionId(3), VersionId(4)]);
+        assert_eq!(g.max_depth(), 2);
+        assert!((g.avg_depth() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "root already exists")]
+    fn double_root_panics() {
+        let mut g = VersionGraph::new();
+        g.add_root();
+        g.add_root();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        let mut g = VersionGraph::new();
+        g.add_root();
+        g.add_version(&[VersionId(42)]);
+    }
+
+    #[test]
+    fn path_from_root() {
+        let g = fig1_graph();
+        assert_eq!(
+            g.path_from_root(VersionId(4)),
+            vec![VersionId(0), VersionId(2), VersionId(4)]
+        );
+        assert_eq!(g.path_from_root(VersionId(0)), vec![VersionId(0)]);
+    }
+
+    #[test]
+    fn dfs_visits_first_branch_deep() {
+        let g = fig1_graph();
+        assert_eq!(
+            g.dfs_order(),
+            vec![
+                VersionId(0),
+                VersionId(1),
+                VersionId(3),
+                VersionId(2),
+                VersionId(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn bfs_visits_level_by_level() {
+        let g = fig1_graph();
+        assert_eq!(
+            g.bfs_order(),
+            vec![
+                VersionId(0),
+                VersionId(1),
+                VersionId(2),
+                VersionId(3),
+                VersionId(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn post_order_children_first() {
+        let g = fig1_graph();
+        let order = g.post_order();
+        assert_eq!(order.last(), Some(&VersionId(0)));
+        let pos =
+            |v: u32| order.iter().position(|x| *x == VersionId(v)).unwrap();
+        assert!(pos(3) < pos(1));
+        assert!(pos(4) < pos(2));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn merge_conversion_drops_secondary_edges() {
+        // Paper Fig. 4: V8 has parents V5, V6, V7; primary = V6.
+        let mut g = VersionGraph::new();
+        let v0 = g.add_root();
+        let v5 = g.add_version(&[v0]);
+        let v6 = g.add_version(&[v0]);
+        let v7 = g.add_version(&[v0]);
+        let v8 = g.add_version(&[v6, v5, v7]);
+        assert!(g.has_merges());
+        let t = g.to_tree();
+        assert!(!t.has_merges());
+        assert_eq!(t.node(v8).parents, vec![v6]);
+        // Original graph unchanged.
+        assert_eq!(g.node(v8).parents, vec![v6, v5, v7]);
+        assert_eq!(t.len(), g.len());
+        let _ = (v5, v7);
+    }
+
+    #[test]
+    fn linear_chain_traversals_agree() {
+        let mut g = VersionGraph::new();
+        let mut prev = g.add_root();
+        for _ in 0..10 {
+            prev = g.add_version(&[prev]);
+        }
+        assert_eq!(g.dfs_order(), g.bfs_order());
+        let mut post = g.post_order();
+        post.reverse();
+        assert_eq!(post, g.dfs_order());
+        assert_eq!(g.max_depth(), 10);
+    }
+
+    #[test]
+    fn ids_are_topologically_ordered() {
+        let g = fig1_graph();
+        for n in g.nodes() {
+            for p in &n.parents {
+                assert!(p < &n.id);
+            }
+        }
+    }
+}

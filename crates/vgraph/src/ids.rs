@@ -1,0 +1,136 @@
+//! Identifier newtypes for the RStore data model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The primary key of a record within the collection.
+///
+/// The paper's generator assigns auto-incremented integer keys; any
+/// type with a total order would do. RStore only assumes keys are
+/// unique within a version and orderable (for range retrieval).
+pub type PrimaryKey = u64;
+
+/// Identifies a version (snapshot) of the dataset.
+///
+/// Version ids are assigned by the system at commit time and are
+/// unique even for identical contents (paper §2.4: "Even if two
+/// versions committed are exactly the same, the system will generate
+/// different version-ids").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VersionId(pub u32);
+
+impl VersionId {
+    /// The conventional root version id.
+    pub const ROOT: VersionId = VersionId(0);
+
+    /// Underlying integer value.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Index form, for dense per-version arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+impl From<u32> for VersionId {
+    fn from(v: u32) -> Self {
+        VersionId(v)
+    }
+}
+
+/// The composite key ⟨primary key, origin version⟩ of paper §2.1.
+///
+/// The version component is the version in which this record *value*
+/// first appeared, giving every distinct record a unique address in a
+/// global address space. Note that retrieving key `K` from version `V`
+/// is *not* a lookup of ⟨K, V⟩ — the record may have originated in an
+/// ancestor of `V`; resolving that indirection is the job of the
+/// chunk maps and indexes in `rstore-core`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CompositeKey {
+    /// The record's primary key.
+    pub pk: PrimaryKey,
+    /// The version where this record value originated.
+    pub origin: VersionId,
+}
+
+impl CompositeKey {
+    /// Creates a composite key.
+    #[inline]
+    pub fn new(pk: PrimaryKey, origin: VersionId) -> Self {
+        Self { pk, origin }
+    }
+
+    /// Serializes to a fixed 12-byte big-endian form that sorts the
+    /// same as the `(pk, origin)` tuple; used as a KVS key component.
+    pub fn to_bytes(self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[..8].copy_from_slice(&self.pk.to_be_bytes());
+        out[8..].copy_from_slice(&self.origin.0.to_be_bytes());
+        out
+    }
+
+    /// Inverse of [`CompositeKey::to_bytes`].
+    pub fn from_bytes(bytes: &[u8; 12]) -> Self {
+        let pk = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        let origin = u32::from_be_bytes(bytes[8..].try_into().unwrap());
+        Self {
+            pk,
+            origin: VersionId(origin),
+        }
+    }
+}
+
+impl fmt::Display for CompositeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨K{}, {}⟩", self.pk, self.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_key_bytes_roundtrip() {
+        let ck = CompositeKey::new(0xdead_beef_cafe, VersionId(77));
+        assert_eq!(CompositeKey::from_bytes(&ck.to_bytes()), ck);
+    }
+
+    #[test]
+    fn composite_key_byte_order_matches_tuple_order() {
+        let a = CompositeKey::new(1, VersionId(500));
+        let b = CompositeKey::new(2, VersionId(0));
+        assert!(a < b);
+        assert!(a.to_bytes() < b.to_bytes());
+        let c = CompositeKey::new(1, VersionId(501));
+        assert!(a < c);
+        assert!(a.to_bytes() < c.to_bytes());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VersionId(3).to_string(), "V3");
+        assert_eq!(CompositeKey::new(5, VersionId(3)).to_string(), "⟨K5, V3⟩");
+    }
+
+    #[test]
+    fn version_id_index() {
+        assert_eq!(VersionId(9).index(), 9);
+        assert_eq!(VersionId::ROOT.as_u32(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! The record: RStore's unit of storage and retrieval.
+
+use crate::ids::{CompositeKey, PrimaryKey, VersionId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable record value.
+///
+/// "The primary unit of storage and retrieval in our system is a
+/// record ... We make no assumptions about the structure, type or the
+/// size of a record, except for assuming the existence of a primary
+/// key" (paper §2.1). Any change to a record produces a new record
+/// with a new origin version; the pair forms its [`CompositeKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// The record's primary key.
+    pub pk: PrimaryKey,
+    /// The version in which this value originated.
+    pub origin: VersionId,
+    /// Opaque payload: JSON document, XML, text or binary.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(pk: PrimaryKey, origin: VersionId, payload: Vec<u8>) -> Self {
+        Self {
+            pk,
+            origin,
+            payload,
+        }
+    }
+
+    /// The record's composite key.
+    #[inline]
+    pub fn composite_key(&self) -> CompositeKey {
+        CompositeKey::new(self.pk, self.origin)
+    }
+
+    /// Payload size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_key_and_size() {
+        let r = Record::new(7, VersionId(2), b"hello".to_vec());
+        assert_eq!(r.composite_key(), CompositeKey::new(7, VersionId(2)));
+        assert_eq!(r.size(), 5);
+    }
+}

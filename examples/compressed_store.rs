@@ -1,0 +1,54 @@
+//! Record-level compression in action (paper §3.4): documents that
+//! change by small amounts between versions are grouped into
+//! sub-chunks of up to `k` same-key records, delta-encoded against
+//! their common ancestor and LZ-compressed.
+//!
+//! ```sh
+//! cargo run --release --example compressed_store
+//! ```
+
+use rstore::prelude::*;
+use rstore::vgraph::VersionId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A linear chain of versions where each update changes only 2% of
+    // a 1 KB document — the regime where sub-chunking shines.
+    let mut spec = DatasetSpec::tiny_chain(7);
+    spec.name = "journal".into();
+    spec.num_versions = 80;
+    spec.root_records = 100;
+    spec.update_frac = 0.25;
+    spec.record_size = 1024;
+    spec.pd = 0.02;
+    let dataset = spec.generate();
+
+    println!(
+        "{:>4} {:>9} {:>12} {:>12} {:>12} {:>10}",
+        "k", "chunks", "raw KB", "stored KB", "ratio", "total span"
+    );
+    for k in [1usize, 2, 5, 12, 25, 50] {
+        let cluster = Cluster::builder().nodes(2).build();
+        let mut store = RStore::builder()
+            .chunk_capacity(16 * 1024)
+            .max_subchunk(k)
+            .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
+            .build(cluster);
+        let report = store.load_dataset(&dataset)?;
+        println!(
+            "{:>4} {:>9} {:>12.1} {:>12.1} {:>11.2}x {:>10}",
+            k,
+            report.num_chunks,
+            report.raw_bytes as f64 / 1024.0,
+            report.compressed_bytes as f64 / 1024.0,
+            report.compression_ratio(),
+            report.total_version_span
+        );
+        // Queries still answer exactly, whatever k is.
+        let head = VersionId((dataset.graph.len() - 1) as u32);
+        let records = store.get_version(head)?;
+        assert_eq!(records.len(), store.version_record_count(head)?);
+    }
+    println!("\nhigher k -> fewer stored bytes (better compression), but");
+    println!("coarser placement units -> the span trade-off of Fig. 10.");
+    Ok(())
+}

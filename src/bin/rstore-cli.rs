@@ -1,0 +1,263 @@
+//! A small command-line front-end for RStore over a persistent
+//! (log-engine) cluster, in the spirit of the paper's VCS commands:
+//! commit, checkout (full or partial), log and history.
+//!
+//! ```sh
+//! rstore-cli --data-dir /tmp/db init --set 0='{"name":"ada"}' --set 1='{"name":"grace"}'
+//! rstore-cli --data-dir /tmp/db commit --parent 0 --set 1='{"name":"grace hopper"}' --del 0
+//! rstore-cli --data-dir /tmp/db checkout 1
+//! rstore-cli --data-dir /tmp/db checkout 1 --range 0:10
+//! rstore-cli --data-dir /tmp/db get 1 --version 1
+//! rstore-cli --data-dir /tmp/db history 1
+//! rstore-cli --data-dir /tmp/db log
+//! rstore-cli --data-dir /tmp/db stats
+//! ```
+
+use rstore::core::store::{CommitRequest, RStore, StoreConfig};
+use rstore::core::{CoreError, VersionId};
+use rstore::kvstore::{Cluster, EngineKind};
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    data_dir: PathBuf,
+    nodes: usize,
+    command: String,
+    rest: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rstore-cli --data-dir DIR [--nodes N] COMMAND ...\n\
+         commands:\n\
+           init     --set PK=VALUE ...            create the root version\n\
+           commit   --parent V [--set PK=VALUE]... [--del PK]...\n\
+           checkout V [--range LO:HI]             print a (partial) version\n\
+           get PK --version V                     one record from a version\n\
+           history PK                             evolution of a key\n\
+           log                                    the version graph\n\
+           stats                                  store statistics"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1).peekable();
+    let mut data_dir = None;
+    let mut nodes = 2usize;
+    let mut command = None;
+    let mut rest = Vec::new();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--data-dir" => data_dir = argv.next().map(PathBuf::from),
+            "--nodes" if command.is_none() => {
+                nodes = argv.next().and_then(|s| s.parse().ok()).unwrap_or(2)
+            }
+            "--help" | "-h" => usage(),
+            _ if command.is_none() => command = Some(arg),
+            _ => rest.push(arg),
+        }
+    }
+    let (Some(data_dir), Some(command)) = (data_dir, command) else {
+        usage()
+    };
+    Args {
+        data_dir,
+        nodes,
+        command,
+        rest,
+    }
+}
+
+/// Parsed change options: `--set` pairs, `--del` keys, and the
+/// remaining unrecognized arguments.
+type ParsedChanges = (Vec<(u64, Vec<u8>)>, Vec<u64>, Vec<String>);
+
+/// Parses `--set pk=value` and `--del pk` options.
+fn parse_changes(rest: &[String]) -> ParsedChanges {
+    let mut sets = Vec::new();
+    let mut dels = Vec::new();
+    let mut others = Vec::new();
+    let mut it = rest.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--set" => {
+                let Some(kv) = it.next() else { usage() };
+                let Some((pk, value)) = kv.split_once('=') else {
+                    eprintln!("--set expects PK=VALUE, got {kv:?}");
+                    exit(2)
+                };
+                let Ok(pk) = pk.parse::<u64>() else {
+                    eprintln!("bad primary key {pk:?}");
+                    exit(2)
+                };
+                sets.push((pk, value.as_bytes().to_vec()));
+            }
+            "--del" => {
+                let Some(pk) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--del expects a primary key");
+                    exit(2)
+                };
+                dels.push(pk);
+            }
+            _ => others.push(arg.clone()),
+        }
+    }
+    (sets, dels, others)
+}
+
+fn open_cluster(args: &Args) -> Cluster {
+    Cluster::builder()
+        .nodes(args.nodes)
+        .engine(EngineKind::Log {
+            dir: args.data_dir.clone(),
+        })
+        .build()
+}
+
+fn open_store(args: &Args) -> Result<RStore, CoreError> {
+    RStore::reopen(
+        StoreConfig {
+            batch_size: 1,
+            ..StoreConfig::default()
+        },
+        open_cluster(args),
+    )
+}
+
+fn print_records(records: &[rstore::core::Record]) {
+    for rec in records {
+        println!(
+            "K{}\t(origin {})\t{}",
+            rec.pk,
+            rec.origin,
+            String::from_utf8_lossy(&rec.payload)
+        );
+    }
+}
+
+fn run() -> Result<(), CoreError> {
+    let args = parse_args();
+    match args.command.as_str() {
+        "init" => {
+            let (sets, dels, _) = parse_changes(&args.rest);
+            if !dels.is_empty() {
+                eprintln!("init does not accept --del");
+                exit(2);
+            }
+            let mut store = RStore::builder()
+                .batch_size(1)
+                .build(open_cluster(&args));
+            let v = store.commit(CommitRequest::root(sets))?;
+            store.seal()?;
+            println!("initialized {} with root {v}", args.data_dir.display());
+        }
+        "commit" => {
+            let (sets, dels, others) = parse_changes(&args.rest);
+            let mut parent = None;
+            let mut it = others.iter();
+            while let Some(a) = it.next() {
+                if a == "--parent" {
+                    parent = it.next().and_then(|s| s.parse::<u32>().ok());
+                }
+            }
+            let mut store = open_store(&args)?;
+            let parent = VersionId(
+                parent.unwrap_or_else(|| (store.version_count() - 1) as u32),
+            );
+            let mut req = CommitRequest::child_of(parent);
+            for (pk, value) in sets {
+                req = req.put(pk, value);
+            }
+            for pk in dels {
+                req = req.delete(pk);
+            }
+            let v = store.commit(req)?;
+            store.seal()?;
+            println!("committed {v} (parent {parent})");
+        }
+        "checkout" => {
+            let Some(v) = args.rest.first().and_then(|s| s.parse::<u32>().ok()) else {
+                usage()
+            };
+            let mut range = None;
+            let mut it = args.rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--range" {
+                    let Some((lo, hi)) = it.next().and_then(|s| s.split_once(':')) else {
+                        usage()
+                    };
+                    range = Some((
+                        lo.parse::<u64>().unwrap_or(0),
+                        hi.parse::<u64>().unwrap_or(u64::MAX),
+                    ));
+                }
+            }
+            let store = open_store(&args)?;
+            let records = match range {
+                Some((lo, hi)) => store.get_range(lo, hi, VersionId(v))?,
+                None => store.get_version(VersionId(v))?,
+            };
+            print_records(&records);
+        }
+        "get" => {
+            let Some(pk) = args.rest.first().and_then(|s| s.parse::<u64>().ok()) else {
+                usage()
+            };
+            let mut version = None;
+            let mut it = args.rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--version" {
+                    version = it.next().and_then(|s| s.parse::<u32>().ok());
+                }
+            }
+            let store = open_store(&args)?;
+            let v = VersionId(version.unwrap_or((store.version_count() - 1) as u32));
+            match store.get_record(pk, v)? {
+                Some(rec) => print_records(&[rec]),
+                None => println!("K{pk} not present in {v}"),
+            }
+        }
+        "history" => {
+            let Some(pk) = args.rest.first().and_then(|s| s.parse::<u64>().ok()) else {
+                usage()
+            };
+            let store = open_store(&args)?;
+            print_records(&store.get_evolution(pk)?);
+        }
+        "log" => {
+            let store = open_store(&args)?;
+            for node in store.graph().nodes() {
+                let parents: Vec<String> =
+                    node.parents.iter().map(|p| p.to_string()).collect();
+                println!(
+                    "{}\tdepth {}\tparents [{}]\t{} records\tspan {}",
+                    node.id,
+                    node.depth,
+                    parents.join(", "),
+                    store.version_record_count(node.id)?,
+                    store.version_span(node.id),
+                );
+            }
+        }
+        "stats" => {
+            let store = open_store(&args)?;
+            let (vbytes, kbytes) = store.index_bytes();
+            println!("versions:            {}", store.version_count());
+            println!("chunks:              {}", store.chunk_count());
+            println!("stored chunk bytes:  {}", store.storage_bytes());
+            println!("total version span:  {}", store.total_version_span());
+            println!("version->chunks idx: {vbytes} B");
+            println!("key->chunks idx:     {kbytes} B");
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the `rstore-cli` binary: a full VCS session
+//! across separate process invocations, exercising the log-engine
+//! persistence and `RStore::reopen` path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli(dir: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rstore-cli"))
+        .arg("--data-dir")
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("run rstore-cli")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "cli failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rstore-cli-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn full_session_across_processes() {
+    let dir = temp_dir("session");
+
+    let out = stdout(&cli(&dir, &["init", "--set", "0=alpha", "--set", "1=beta"]));
+    assert!(out.contains("root V0"), "{out}");
+
+    let out = stdout(&cli(
+        &dir,
+        &["commit", "--parent", "0", "--set", "1=beta-2", "--set", "2=gamma"],
+    ));
+    assert!(out.contains("committed V1"), "{out}");
+
+    let out = stdout(&cli(&dir, &["commit", "--del", "0"]));
+    assert!(out.contains("committed V2"), "{out}");
+
+    // Checkout of the old version still shows the original value.
+    let out = stdout(&cli(&dir, &["checkout", "0"]));
+    assert!(out.contains("alpha") && out.contains("beta"), "{out}");
+    assert!(!out.contains("gamma"), "{out}");
+
+    // The head dropped key 0 and kept the update.
+    let out = stdout(&cli(&dir, &["checkout", "2"]));
+    assert!(!out.contains("alpha"), "{out}");
+    assert!(out.contains("beta-2") && out.contains("gamma"), "{out}");
+
+    // Range checkout.
+    let out = stdout(&cli(&dir, &["checkout", "1", "--range", "0:1"]));
+    assert!(out.contains("alpha") && !out.contains("gamma"), "{out}");
+
+    // Point get against an old version.
+    let out = stdout(&cli(&dir, &["get", "1", "--version", "0"]));
+    assert!(out.contains("beta") && !out.contains("beta-2"), "{out}");
+
+    // History shows both values of key 1.
+    let out = stdout(&cli(&dir, &["history", "1"]));
+    assert!(out.contains("beta") && out.contains("beta-2"), "{out}");
+
+    // Log lists three versions with parents.
+    let out = stdout(&cli(&dir, &["log"]));
+    assert!(out.contains("V0") && out.contains("V1") && out.contains("V2"));
+    assert!(out.contains("parents [V1]"), "{out}");
+
+    // Stats report sane numbers.
+    let out = stdout(&cli(&dir, &["stats"]));
+    assert!(out.contains("versions:            3"), "{out}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let dir = temp_dir("bad");
+    // No command.
+    let out = Command::new(env!("CARGO_BIN_EXE_rstore-cli"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Commit on an uninitialized store.
+    let out = cli(&dir, &["commit", "--set", "0=x"]);
+    assert!(!out.status.success());
+
+    stdout(&cli(&dir, &["init", "--set", "0=x"]));
+    // Deleting a missing key fails with a clean error.
+    let out = cli(&dir, &["commit", "--del", "99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    let _ = std::fs::remove_dir_all(dir);
+}
