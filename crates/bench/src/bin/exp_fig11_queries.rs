@@ -10,7 +10,9 @@
 //! Q1 (reconstruct then filter); Q3 improves with k (fewer chunks per
 //! key history) and SUBCHUNK wins Q3 outright.
 
-use rstore_bench::{fmt_duration, make_store, print_table, scaled, Xorshift, CHUNK_CAPACITY};
+use rstore_bench::{
+    fmt_duration, make_cached_store, make_store, print_table, scaled, Xorshift, CHUNK_CAPACITY,
+};
 use rstore_core::model::VersionId;
 use rstore_core::partition::baselines::DeltaEngine;
 use rstore_core::partition::PartitionerKind;
@@ -31,22 +33,28 @@ struct QueryTimes {
     q3: Duration,
 }
 
-/// Runs the three query workloads against a loaded store; returns
-/// (wall + modeled network) per query class, averaged.
-fn run_workload(store: &RStore, dataset: &Dataset, max_pk: u64) -> QueryTimes {
-    let n = dataset.graph.len();
-    let mut rng = Xorshift::new(4242);
+/// Runs the three query workloads against a loaded store with the
+/// given version/key selectors; returns (wall + modeled network) per
+/// query class, averaged.
+fn run_workload_with(
+    store: &RStore,
+    max_pk: u64,
+    seed: u64,
+    mut pick_version: impl FnMut(&mut Xorshift) -> VersionId,
+    mut pick_q3_pk: impl FnMut(&mut Xorshift) -> u64,
+) -> QueryTimes {
+    let mut rng = Xorshift::new(seed);
 
     let mut q1 = Duration::ZERO;
     for _ in 0..Q1_SAMPLES {
-        let v = VersionId(rng.below(n) as u32);
+        let v = pick_version(&mut rng);
         let (_, stats) = store.get_version_with_stats(v).unwrap();
         q1 += stats.elapsed + stats.modeled_network / NODES as u32;
     }
 
     let mut q2 = Duration::ZERO;
     for _ in 0..Q2_SAMPLES {
-        let v = VersionId(rng.below(n) as u32);
+        let v = pick_version(&mut rng);
         let lo = rng.below(max_pk as usize) as u64;
         let hi = lo + max_pk / 10;
         let (_, stats) = store.get_range_with_stats(lo, hi, v).unwrap();
@@ -55,7 +63,7 @@ fn run_workload(store: &RStore, dataset: &Dataset, max_pk: u64) -> QueryTimes {
 
     let mut q3 = Duration::ZERO;
     for _ in 0..Q3_SAMPLES {
-        let pk = rng.below(max_pk as usize) as u64;
+        let pk = pick_q3_pk(&mut rng);
         let (_, stats) = store.get_evolution_with_stats(pk).unwrap();
         q3 += stats.elapsed + stats.modeled_network / NODES as u32;
     }
@@ -65,6 +73,39 @@ fn run_workload(store: &RStore, dataset: &Dataset, max_pk: u64) -> QueryTimes {
         q2: q2 / Q2_SAMPLES as u32,
         q3: q3 / Q3_SAMPLES as u32,
     }
+}
+
+/// The paper's uniform-random Fig-11 workload.
+fn run_workload(store: &RStore, dataset: &Dataset, max_pk: u64) -> QueryTimes {
+    let n = dataset.graph.len();
+    run_workload_with(
+        store,
+        max_pk,
+        4242,
+        move |rng| VersionId(rng.below(n) as u32),
+        move |rng| rng.below(max_pk as usize) as u64,
+    )
+}
+
+/// The Fig-11 workload with a skewed version-access pattern: 80% of
+/// queries hit the newest 10% of versions, and Q3 targets a hot key
+/// subset.
+fn run_skewed_workload(store: &RStore, dataset: &Dataset, max_pk: u64) -> QueryTimes {
+    let n = dataset.graph.len();
+    let hot = (n / 10).max(1);
+    run_workload_with(
+        store,
+        max_pk,
+        2424,
+        move |rng| {
+            if rng.below(10) < 8 {
+                VersionId((n - 1 - rng.below(hot)) as u32)
+            } else {
+                VersionId(rng.below(n) as u32)
+            }
+        },
+        move |rng| rng.below((max_pk as usize) / 4) as u64,
+    )
 }
 
 fn main() {
@@ -174,6 +215,41 @@ fn main() {
             &format!("Fig. 11 ({}): avg query time (wall + modeled network)", spec.name),
             &["algorithm", "k", "Q1 full version", "Q2 range", "Q3 evolution", "compression"],
             &rows,
+        );
+
+        // Cache-aware variant: the same Q1/Q2/Q3 workload but with a
+        // *skewed* version-access pattern (80% of queries target the
+        // newest 10% of versions — the serving-layer hot set) against
+        // the decoded-chunk cache disabled vs. enabled.
+        let mut cache_rows = Vec::new();
+        for (label, budget) in [("cache off", 0usize), ("cache 64MB", 64 << 20)] {
+            let mut store = make_cached_store(
+                NODES,
+                PartitionerKind::BottomUp { beta: usize::MAX },
+                1,
+                CHUNK_CAPACITY,
+                NetworkModel::lan_virtual(),
+                budget,
+            );
+            store.load_dataset(&dataset).unwrap();
+            let times = run_skewed_workload(&store, &dataset, max_pk);
+            let cache = store.cache_stats();
+            cache_rows.push(vec![
+                label.to_string(),
+                fmt_duration(times.q1),
+                fmt_duration(times.q2),
+                fmt_duration(times.q3),
+                format!("{:.0}%", cache.hit_rate() * 100.0),
+                format!("{}/{}", cache.hits, cache.misses),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig. 11 ({}) + decoded-chunk cache: skewed version access, BOTTOM-UP k=1",
+                spec.name
+            ),
+            &["config", "Q1 full version", "Q2 range", "Q3 evolution", "hit rate", "hits/misses"],
+            &cache_rows,
         );
     }
     println!(

@@ -116,7 +116,9 @@ impl Bundle {
     }
 }
 
-/// Builds a fresh store over an in-memory cluster.
+/// Builds a fresh store over an in-memory cluster. The decoded-chunk
+/// cache stays disabled (the cost-model default); use
+/// [`make_cached_store`] for serving-layer experiments.
 pub fn make_store(
     nodes: usize,
     kind: PartitionerKind,
@@ -124,11 +126,25 @@ pub fn make_store(
     capacity: usize,
     network: NetworkModel,
 ) -> RStore {
+    make_cached_store(nodes, kind, k, capacity, network, 0)
+}
+
+/// [`make_store`] with a decoded-chunk cache budget in bytes
+/// (0 = disabled).
+pub fn make_cached_store(
+    nodes: usize,
+    kind: PartitionerKind,
+    k: usize,
+    capacity: usize,
+    network: NetworkModel,
+    cache_budget: usize,
+) -> RStore {
     let cluster = Cluster::builder().nodes(nodes).network(network).build();
     RStore::builder()
         .chunk_capacity(capacity)
         .max_subchunk(k)
         .partitioner(kind)
+        .cache_budget(cache_budget)
         .build(cluster)
 }
 

@@ -25,10 +25,17 @@
 
 use crate::error::CoreError;
 use crate::model::CompositeKey;
+use bytes::Bytes;
 use rstore_compress::{apply_delta, diff, lz, varint};
+use std::sync::OnceLock;
 
 /// A compressed group of same-key records.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Decompression is memoized: the first [`SubChunk::decode`] call
+/// stores the member payloads (as shared [`Bytes`]) in a `OnceLock`,
+/// so a sub-chunk resident in the decoded-chunk cache decompresses at
+/// most once no matter how many queries extract from it.
+#[derive(Debug, Clone)]
 pub struct SubChunk {
     /// Composite keys of the members; the first is the representative.
     pub members: Vec<CompositeKey>,
@@ -36,7 +43,20 @@ pub struct SubChunk {
     pub payload: Vec<u8>,
     /// Uncompressed size of all member records, for accounting.
     pub raw_bytes: usize,
+    /// Memoized decompressed member payloads (not part of identity).
+    decoded: OnceLock<Vec<Bytes>>,
 }
+
+impl PartialEq for SubChunk {
+    fn eq(&self, other: &Self) -> bool {
+        // The decode memo is derived state and excluded from identity.
+        self.members == other.members
+            && self.payload == other.payload
+            && self.raw_bytes == other.raw_bytes
+    }
+}
+
+impl Eq for SubChunk {}
 
 impl SubChunk {
     /// Builds a sub-chunk from member records. `records[0]` (the
@@ -67,6 +87,7 @@ impl SubChunk {
             members: records.iter().map(|&(ck, _)| ck).collect(),
             payload: lz::compress(&inner),
             raw_bytes,
+            decoded: OnceLock::new(),
         }
     }
 
@@ -86,19 +107,33 @@ impl SubChunk {
         self.payload.len()
     }
 
-    /// Decompresses all member payloads, in member order.
-    pub fn decode(&self) -> Result<Vec<Vec<u8>>, CoreError> {
+    /// Decompresses all member payloads, in member order. The result
+    /// is memoized inside the sub-chunk, so repeated calls (and all
+    /// queries hitting a cached chunk) pay the LZ + delta-chain cost
+    /// once; payloads come back as cheaply cloneable [`Bytes`].
+    pub fn decode(&self) -> Result<&[Bytes], CoreError> {
+        if let Some(decoded) = self.decoded.get() {
+            return Ok(decoded);
+        }
+        let fresh = self.decode_uncached()?;
+        // A concurrent decoder may have won the race; either value is
+        // identical, so `get_or_init` keeps exactly one.
+        Ok(self.decoded.get_or_init(|| fresh))
+    }
+
+    /// Decompresses all member payloads without touching the memo
+    /// (used by the memoizing path and by one-shot consumers).
+    pub fn decode_uncached(&self) -> Result<Vec<Bytes>, CoreError> {
         let inner = lz::decompress(&self.payload)?;
         let mut r = varint::VarintReader::new(&inner);
         let rep_len = r.read_u64()? as usize;
-        let rep = r.read_bytes(rep_len)?.to_vec();
-        let mut out = Vec::with_capacity(self.members.len());
-        out.push(rep);
+        let mut out: Vec<Bytes> = Vec::with_capacity(self.members.len());
+        out.push(Bytes::from(r.read_bytes(rep_len)?.to_vec()));
         for i in 1..self.members.len() {
             let delta_len = r.read_u64()? as usize;
             let delta = r.read_bytes(delta_len)?;
             let next = apply_delta(&out[i - 1], delta)?;
-            out.push(next);
+            out.push(Bytes::from(next));
         }
         if !r.is_empty() {
             return Err(CoreError::Codec("trailing bytes in sub-chunk".into()));
@@ -208,6 +243,7 @@ impl Chunk {
                 members,
                 payload,
                 raw_bytes,
+                decoded: OnceLock::new(),
             });
         }
         if !r.is_empty() {

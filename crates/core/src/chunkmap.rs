@@ -59,13 +59,23 @@ impl ChunkMap {
         self.entries.len()
     }
 
-    /// The chunk-local ordinals belonging to `v`, if the version
-    /// touches this chunk.
-    pub fn locals_of(&self, v: VersionId) -> Option<Vec<usize>> {
+    /// Iterates the chunk-local ordinals belonging to `v` in
+    /// ascending order, if the version touches this chunk. This is
+    /// the allocation-free path the query loops use; [`locals_of`]
+    /// wraps it when a materialized vector is genuinely needed.
+    ///
+    /// [`locals_of`]: ChunkMap::locals_of
+    pub fn iter_locals(&self, v: VersionId) -> Option<impl Iterator<Item = usize> + '_> {
         self.entries
             .binary_search_by_key(&v, |&(ver, _)| ver)
             .ok()
-            .map(|i| self.entries[i].1.iter_ones().collect())
+            .map(|i| self.entries[i].1.iter_ones())
+    }
+
+    /// The chunk-local ordinals belonging to `v`, collected into a
+    /// vector (thin wrapper over [`ChunkMap::iter_locals`]).
+    pub fn locals_of(&self, v: VersionId) -> Option<Vec<usize>> {
+        self.iter_locals(v).map(Iterator::collect)
     }
 
     /// Iterates `(version, members)` pairs.
@@ -147,6 +157,21 @@ mod tests {
         let mut m = ChunkMap::new(4);
         m.push_version(VersionId(3), [0]);
         m.push_version(VersionId(2), [1]);
+    }
+
+    #[test]
+    fn iter_locals_matches_locals_of() {
+        let mut m = ChunkMap::new(64);
+        m.push_version(VersionId(1), (0..64).step_by(3));
+        m.push_version(VersionId(4), [0, 63]);
+        for v in [0u32, 1, 2, 4, 9] {
+            let iterated: Option<Vec<usize>> =
+                m.iter_locals(VersionId(v)).map(Iterator::collect);
+            assert_eq!(iterated, m.locals_of(VersionId(v)));
+        }
+        // Ascending order without allocation.
+        let ones: Vec<usize> = m.iter_locals(VersionId(1)).unwrap().collect();
+        assert!(ones.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

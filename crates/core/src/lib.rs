@@ -27,6 +27,7 @@
 //!
 //! The analytical cost model of paper Table 1 lives in [`cost`].
 
+pub mod cache;
 pub mod chunk;
 pub mod chunkmap;
 pub mod cost;
@@ -40,6 +41,7 @@ pub mod server;
 pub mod store;
 pub mod subchunk;
 
+pub use cache::{CacheStats, ChunkCache, DecodedChunk};
 pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 pub use partition::{Partitioner, PartitionerKind};

@@ -8,15 +8,21 @@ use std::time::Duration;
 
 /// Per-query cost accounting, mirroring the paper's metrics: the span
 /// (chunks retrieved), useful chunks (lossy projections may fetch
-/// chunks with no matching records, §2.4), bytes moved, and time.
+/// chunks with no matching records, §2.4), bytes moved, and time —
+/// plus decoded-chunk-cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
-    /// Chunks fetched from the backend — the query's *span*.
+    /// Chunks the query planner touched — the query's *span*.
     pub chunks_fetched: usize,
     /// Chunks that actually contained requested records.
     pub chunks_useful: usize,
-    /// Compressed bytes transferred.
+    /// Compressed bytes transferred from the backend (cache hits move
+    /// no bytes).
     pub bytes_fetched: usize,
+    /// Chunks served from the decoded-chunk cache.
+    pub cache_hits: usize,
+    /// Chunks that had to be fetched and decoded.
+    pub cache_misses: usize,
     /// Records produced.
     pub records: usize,
     /// Wall-clock time.
@@ -33,48 +39,69 @@ pub fn extract_version_records(
     map: &ChunkMap,
     v: VersionId,
 ) -> Result<Vec<Record>, CoreError> {
-    let Some(locals) = map.locals_of(v) else {
+    let Some(locals) = map.iter_locals(v) else {
         return Ok(Vec::new());
     };
-    extract_locals(chunk, &locals)
+    extract_from_iter(chunk, locals)
 }
 
 /// Extracts specific chunk-local record ordinals from a chunk,
 /// decompressing only the sub-chunks that contain requested members.
 pub fn extract_locals(chunk: &Chunk, locals: &[usize]) -> Result<Vec<Record>, CoreError> {
-    let mut out = Vec::with_capacity(locals.len());
-    let mut cursor = 0usize; // next local to satisfy
+    extract_from_iter(chunk, locals.iter().copied())
+}
+
+/// Iterator-driven core of record extraction: `locals` must yield
+/// chunk-local ordinals in ascending order (chunk-map bitmaps and the
+/// query planner both guarantee this). Payloads are shared out of the
+/// sub-chunk's memoized decode — no per-record deep copy.
+pub fn extract_from_iter(
+    chunk: &Chunk,
+    locals: impl IntoIterator<Item = usize>,
+) -> Result<Vec<Record>, CoreError> {
+    let mut it = locals.into_iter().peekable();
+    let mut out = Vec::with_capacity(it.size_hint().0);
     let mut base = 0usize; // local ordinal of current sub-chunk start
     for sc in &chunk.subchunks {
         let end = base + sc.members.len();
-        if cursor >= locals.len() {
+        let Some(&next) = it.peek() else {
             break;
-        }
-        if locals[cursor] < end {
+        };
+        if next < end {
             // At least one requested member in this sub-chunk.
             let payloads = sc.decode()?;
-            while cursor < locals.len() && locals[cursor] < end {
-                let member = locals[cursor] - base;
+            while let Some(&local) = it.peek() {
+                if local >= end {
+                    break;
+                }
+                let member = local - base;
                 let ck = sc.members[member];
                 out.push(Record::new(ck.pk, ck.origin, payloads[member].clone()));
-                cursor += 1;
+                it.next();
             }
         }
         base = end;
     }
-    if cursor < locals.len() {
+    if let Some(&beyond) = it.peek() {
         return Err(CoreError::Codec(format!(
-            "chunk map references local {} beyond chunk size {}",
-            locals[cursor], base
+            "chunk map references local {beyond} beyond chunk size {base}"
         )));
     }
     Ok(out)
 }
 
-/// Extracts every record in the chunk (used by evolution queries).
+/// Extracts every record in the chunk (used by evolution queries and
+/// store recovery): decodes sub-chunks in placement order directly,
+/// without materializing an index vector.
 pub fn extract_all(chunk: &Chunk) -> Result<Vec<Record>, CoreError> {
-    let locals: Vec<usize> = (0..chunk.record_count()).collect();
-    extract_locals(chunk, &locals)
+    let mut out = Vec::with_capacity(chunk.record_count());
+    for sc in &chunk.subchunks {
+        let payloads = sc.decode()?;
+        for (ck, payload) in sc.members.iter().zip(payloads) {
+            out.push(Record::new(ck.pk, ck.origin, payload.clone()));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -134,6 +161,27 @@ mod tests {
         let chunk = sample_chunk();
         let recs = extract_all(&chunk).unwrap();
         assert_eq!(recs.len(), 5);
+        // Same order and contents as the index-vector path it replaced.
+        let via_locals = extract_locals(&chunk, &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(recs, via_locals);
+    }
+
+    #[test]
+    fn extract_from_iter_avoids_decoding_untouched_subchunks() {
+        let chunk = sample_chunk();
+        // Only sub-chunk 1 (local 2) is touched.
+        let recs = extract_from_iter(&chunk, [2usize]).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].pk, 2);
+    }
+
+    #[test]
+    fn repeated_extraction_shares_decoded_payloads() {
+        let chunk = sample_chunk();
+        let a = extract_locals(&chunk, &[0]).unwrap();
+        let b = extract_locals(&chunk, &[0]).unwrap();
+        // Memoized decode: both extractions see the same buffer.
+        assert_eq!(a[0].payload.as_ptr(), b[0].payload.as_ptr());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   records are never re-partitioned, and each touched chunk map is
 //!   rewritten once per batch from the in-memory copy.
 
+use crate::cache::{CacheStats, ChunkCache, DecodedChunk};
 use crate::chunk::{Chunk, SubChunk};
 use crate::chunkmap::ChunkMap;
 use crate::error::CoreError;
@@ -30,6 +31,7 @@ use bytes::Bytes;
 use rstore_kvstore::{table_key, Cluster};
 use rstore_vgraph::{Dataset, VersionDelta, VersionGraph};
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Backend table holding serialized chunks.
@@ -57,6 +59,13 @@ pub struct StoreConfig {
     /// Online ingest batch size (§4): deltas buffered before a
     /// partitioning pass.
     pub batch_size: usize,
+    /// Decoded-chunk cache budget in bytes. `0` disables the cache,
+    /// preserving the uncached retrieval behaviour the cost-model
+    /// experiments measure.
+    pub cache_budget: usize,
+    /// Number of independent cache shards (locks). Ignored when the
+    /// cache is disabled.
+    pub cache_shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -67,6 +76,8 @@ impl Default for StoreConfig {
             max_subchunk: 1,
             partitioner: PartitionerKind::BottomUp { beta: usize::MAX },
             batch_size: 64,
+            cache_budget: 0,
+            cache_shards: 8,
         }
     }
 }
@@ -108,10 +119,23 @@ impl RStoreBuilder {
         self
     }
 
+    /// Sets the decoded-chunk cache budget in bytes (0 = disabled).
+    pub fn cache_budget(mut self, bytes: usize) -> Self {
+        self.config.cache_budget = bytes;
+        self
+    }
+
+    /// Sets the number of cache shards.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards.max(1);
+        self
+    }
+
     /// Finishes the builder against a backend cluster.
     pub fn build(self, cluster: Cluster) -> RStore {
         RStore {
             cluster,
+            cache: ChunkCache::new(self.config.cache_budget, self.config.cache_shards),
             config: self.config,
             graph: VersionGraph::new(),
             contents: Vec::new(),
@@ -177,16 +201,19 @@ type ResolvedCommit = (VersionId, VersionDelta, Vec<(PrimaryKey, VersionId)>);
 pub struct CommitRequest {
     parents: Vec<VersionId>,
     is_root: bool,
-    puts: Vec<(PrimaryKey, Vec<u8>)>,
+    puts: Vec<(PrimaryKey, Bytes)>,
     deletes: Vec<PrimaryKey>,
 }
 
 impl CommitRequest {
     /// A root commit carrying the initial records.
-    pub fn root(records: impl IntoIterator<Item = (PrimaryKey, Vec<u8>)>) -> Self {
+    pub fn root<P: Into<Bytes>>(records: impl IntoIterator<Item = (PrimaryKey, P)>) -> Self {
         Self {
             is_root: true,
-            puts: records.into_iter().collect(),
+            puts: records
+                .into_iter()
+                .map(|(pk, payload)| (pk, payload.into()))
+                .collect(),
             ..Self::default()
         }
     }
@@ -211,18 +238,18 @@ impl CommitRequest {
     }
 
     /// Adds or replaces the record for `pk`.
-    pub fn put(mut self, pk: PrimaryKey, payload: Vec<u8>) -> Self {
-        self.puts.push((pk, payload));
+    pub fn put(mut self, pk: PrimaryKey, payload: impl Into<Bytes>) -> Self {
+        self.puts.push((pk, payload.into()));
         self
     }
 
     /// Alias of [`CommitRequest::put`] for inserts.
-    pub fn insert(self, pk: PrimaryKey, payload: Vec<u8>) -> Self {
+    pub fn insert(self, pk: PrimaryKey, payload: impl Into<Bytes>) -> Self {
         self.put(pk, payload)
     }
 
     /// Alias of [`CommitRequest::put`] for updates.
-    pub fn update(self, pk: PrimaryKey, payload: Vec<u8>) -> Self {
+    pub fn update(self, pk: PrimaryKey, payload: impl Into<Bytes>) -> Self {
         self.put(pk, payload)
     }
 
@@ -233,9 +260,55 @@ impl CommitRequest {
     }
 }
 
+/// Result of a chunk fetch through the cache + backend path.
+struct FetchedChunks {
+    /// Decoded chunks in request order.
+    chunks: Vec<Arc<DecodedChunk>>,
+    /// Compressed bytes actually transferred (misses only).
+    bytes: usize,
+    /// Chunks served from the decoded-chunk cache.
+    cache_hits: usize,
+    /// Chunks fetched from the backend.
+    cache_misses: usize,
+}
+
+/// Runs `decode_one` for every index in `0..n`, fanning out across
+/// OS threads when the batch is large enough to amortize spawning.
+/// Results come back in index order.
+fn decode_across_threads<T: Send>(
+    n: usize,
+    decode_one: &(dyn Fn(usize) -> T + Sync),
+) -> Vec<T> {
+    const PARALLEL_THRESHOLD: usize = 8;
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if n < PARALLEL_THRESHOLD || workers < 2 {
+        return (0..n).map(decode_one).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let stride = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slice) in results.chunks_mut(stride).enumerate() {
+            scope.spawn(move || {
+                for (k, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(decode_one(w * stride + k));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
 /// The RStore instance (application-server state + backend handle).
 pub struct RStore {
     cluster: Cluster,
+    /// Decoded-chunk cache; interior mutability keeps queries `&self`.
+    cache: ChunkCache,
     config: StoreConfig,
     graph: VersionGraph,
     /// Per version: sorted `(pk, origin)` pairs.
@@ -270,6 +343,12 @@ impl RStore {
     /// Backend cluster handle.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Decoded-chunk cache counters (all zero when the cache is
+    /// disabled via a zero [`StoreConfig::cache_budget`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Number of chunks in the backend.
@@ -455,7 +534,9 @@ impl RStore {
                 self.projections.add_key_chunk(pk, ChunkId(chunk));
             }
         }
-        // Persist each dirty chunk map once.
+        // Persist each dirty chunk map once, then drop any cached
+        // decoded copy: the resident (chunk, map) pair is stale the
+        // moment the rewritten map lands in the backend.
         let writes: Vec<(Vec<u8>, Bytes)> = dirty
             .iter()
             .map(|&c| {
@@ -466,6 +547,9 @@ impl RStore {
             })
             .collect();
         self.cluster.multi_put(writes)?;
+        for &c in &dirty {
+            self.cache.invalidate(c);
+        }
         Ok(dirty.len())
     }
 
@@ -474,10 +558,10 @@ impl RStore {
             table_key(META_TABLE, b"projections"),
             Bytes::from(self.projections.serialize()),
         )?;
-        let graph_bytes = serde_json::to_vec(&self.graph)
-            .map_err(|e| CoreError::Codec(e.to_string()))?;
-        self.cluster
-            .put(table_key(META_TABLE, b"graph"), Bytes::from(graph_bytes))?;
+        self.cluster.put(
+            table_key(META_TABLE, b"graph"),
+            Bytes::from(self.graph.to_bytes()),
+        )?;
         self.cluster.put(
             table_key(META_TABLE, b"chunk_count"),
             Bytes::from((self.chunk_maps.len() as u64).to_be_bytes().to_vec()),
@@ -494,8 +578,7 @@ impl RStore {
         let graph_bytes = cluster
             .get(&table_key(META_TABLE, b"graph"))?
             .ok_or_else(|| CoreError::Codec("no persisted graph".into()))?;
-        let graph: VersionGraph = serde_json::from_slice(&graph_bytes)
-            .map_err(|e| CoreError::Codec(e.to_string()))?;
+        let graph = VersionGraph::from_bytes(&graph_bytes).map_err(CoreError::Codec)?;
         let proj_bytes = cluster
             .get(&table_key(META_TABLE, b"projections"))?
             .ok_or_else(|| CoreError::Codec("no persisted projections".into()))?;
@@ -512,6 +595,7 @@ impl RStore {
 
         let mut store = RStore {
             cluster,
+            cache: ChunkCache::new(config.cache_budget, config.cache_shards),
             config,
             graph,
             contents: Vec::new(),
@@ -522,23 +606,30 @@ impl RStore {
             pending: Vec::new(),
         };
 
-        // Rebuild chunk-derived state with one scan over all chunks.
+        // Rebuild chunk-derived state with one scan over all chunks
+        // (which also warms the cache when one is configured).
         let ids: Vec<u32> = (0..chunk_count as u32).collect();
-        let (fetched, _) = store.fetch_chunks(&ids)?;
+        let fetched = store.fetch_chunks(&ids)?;
         let mut contents_maps: Vec<FxHashMap<PrimaryKey, VersionId>> =
             vec![FxHashMap::default(); store.graph.len()];
-        for (c, (chunk, map)) in fetched.into_iter().enumerate() {
-            let keys = chunk.local_keys();
+        for (c, dc) in fetched.chunks.into_iter().enumerate() {
+            let keys = dc.local_keys();
             for (local, ck) in keys.iter().enumerate() {
                 store.locator.insert(*ck, (c as u32, local as u32));
             }
-            for (v, bitmap) in map.iter() {
+            for (v, bitmap) in dc.map.iter() {
                 for local in bitmap.iter_ones() {
                     let ck = keys[local];
                     contents_maps[v.index()].insert(ck.pk, ck.origin);
                 }
             }
-            store.chunk_sizes.push(chunk.compressed_bytes());
+            store.chunk_sizes.push(dc.chunk.compressed_bytes());
+            // Sole owner (cache disabled) moves the map out; a cached
+            // copy keeps its Arc and the map is cloned.
+            let map = match Arc::try_unwrap(dc) {
+                Ok(owned) => owned.map,
+                Err(shared) => shared.map.clone(),
+            };
             store.chunk_maps.push(map);
         }
         store.contents = contents_maps
@@ -707,7 +798,7 @@ impl RStore {
             // future work).
             let built: Vec<SubChunk> = records
                 .iter()
-                .map(|r| SubChunk::build(&[(r.composite_key(), r.payload.as_slice())]))
+                .map(|r| SubChunk::build(&[(r.composite_key(), r.payload.as_ref())]))
                 .collect();
             let item_sizes: Vec<u32> = built.iter().map(|s| s.compressed_bytes() as u32).collect();
             let item_pk: Vec<u64> = records.iter().map(|r| r.pk).collect();
@@ -782,43 +873,75 @@ impl RStore {
     // Queries (§2.1 / §2.4)
     // ------------------------------------------------------------------
 
-    /// Fetches chunks and their maps from the backend in parallel,
-    /// then decodes them in parallel. The paper's prototype
-    /// "processes the retrieved chunks sequentially" and lists
-    /// parallelizing the end-to-end path as future work; decoding is
-    /// the CPU-bound half of that, implemented here with rayon.
-    fn fetch_chunks(
-        &self,
-        chunk_ids: &[u32],
-    ) -> Result<(Vec<(Chunk, ChunkMap)>, usize), CoreError> {
-        use rayon::prelude::*;
-        let mut keys = Vec::with_capacity(chunk_ids.len() * 2);
-        for &c in chunk_ids {
-            keys.push(table_key(CHUNK_TABLE, &ChunkId(c).to_key()));
+    /// Fetches chunks and their maps, consulting the decoded-chunk
+    /// cache first: only missing chunk ids round-trip the backend.
+    /// The misses are fetched with one parallel `multi_get` and then
+    /// decoded across threads (the paper's prototype "processes the
+    /// retrieved chunks sequentially" and lists parallelizing the
+    /// end-to-end path as future work; decoding is the CPU-bound half
+    /// of that). Freshly decoded chunks are inserted into the cache.
+    fn fetch_chunks(&self, chunk_ids: &[u32]) -> Result<FetchedChunks, CoreError> {
+        let mut slots: Vec<Option<Arc<DecodedChunk>>> = Vec::with_capacity(chunk_ids.len());
+        let mut missing: Vec<(usize, u32)> = Vec::new();
+        for (i, &c) in chunk_ids.iter().enumerate() {
+            let cached = self.cache.get(c);
+            if cached.is_none() {
+                missing.push((i, c));
+            }
+            slots.push(cached);
         }
-        for &c in chunk_ids {
-            keys.push(table_key(CMAP_TABLE, &ChunkId(c).to_key()));
-        }
-        let values = self.cluster.multi_get(&keys)?;
-        let bytes = values
-            .iter()
-            .map(|v| v.as_ref().map_or(0, |b| b.len()))
-            .sum();
-        let out: Result<Vec<(Chunk, ChunkMap)>, CoreError> = chunk_ids
-            .par_iter()
-            .enumerate()
-            .map(|(i, &c)| {
-                let chunk_bytes = values[i].as_ref().ok_or(CoreError::MissingChunk(c))?;
-                let map_bytes = values[chunk_ids.len() + i]
-                    .as_ref()
-                    .ok_or(CoreError::MissingChunk(c))?;
-                Ok((
+        // With the cache disabled every chunk "misses", but reporting
+        // that would be indistinguishable from a cold enabled cache;
+        // a disabled cache reports zeros, matching `cache_stats()`.
+        let (cache_hits, cache_misses) = if self.cache.enabled() {
+            (chunk_ids.len() - missing.len(), missing.len())
+        } else {
+            (0, 0)
+        };
+
+        let mut bytes = 0usize;
+        if !missing.is_empty() {
+            let mut keys = Vec::with_capacity(missing.len() * 2);
+            for &(_, c) in &missing {
+                keys.push(table_key(CHUNK_TABLE, &ChunkId(c).to_key()));
+            }
+            for &(_, c) in &missing {
+                keys.push(table_key(CMAP_TABLE, &ChunkId(c).to_key()));
+            }
+            let values = self.cluster.multi_get(&keys)?;
+            bytes = values
+                .iter()
+                .map(|v| v.as_ref().map_or(0, |b| b.len()))
+                .sum();
+
+            let n = missing.len();
+            let decode_one = |j: usize| -> Result<DecodedChunk, CoreError> {
+                let c = missing[j].1;
+                let chunk_bytes = values[j].as_ref().ok_or(CoreError::MissingChunk(c))?;
+                let map_bytes = values[n + j].as_ref().ok_or(CoreError::MissingChunk(c))?;
+                Ok(DecodedChunk::new(
                     Chunk::deserialize(chunk_bytes)?,
                     ChunkMap::deserialize(map_bytes)?,
                 ))
-            })
-            .collect();
-        Ok((out?, bytes))
+            };
+            let decoded = decode_across_threads(n, &decode_one);
+            for (j, result) in decoded.into_iter().enumerate() {
+                let (slot, c) = missing[j];
+                let dc = Arc::new(result?);
+                self.cache.insert(c, Arc::clone(&dc));
+                slots[slot] = Some(dc);
+            }
+        }
+
+        Ok(FetchedChunks {
+            chunks: slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect(),
+            bytes,
+            cache_hits,
+            cache_misses,
+        })
     }
 
     /// Full version retrieval with cost accounting.
@@ -830,11 +953,11 @@ impl RStore {
         let t0 = Instant::now();
         let net0 = self.cluster.stats().modeled_time;
         let chunk_ids = self.projections.chunks_of_version(v).to_vec();
-        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let fetched = self.fetch_chunks(&chunk_ids)?;
         let mut records = Vec::new();
         let mut useful = 0usize;
-        for (chunk, map) in &fetched {
-            let recs = query::extract_version_records(chunk, map, v)?;
+        for dc in &fetched.chunks {
+            let recs = query::extract_version_records(&dc.chunk, &dc.map, v)?;
             if !recs.is_empty() {
                 useful += 1;
             }
@@ -844,7 +967,9 @@ impl RStore {
         let stats = QueryStats {
             chunks_fetched: chunk_ids.len(),
             chunks_useful: useful,
-            bytes_fetched: bytes,
+            bytes_fetched: fetched.bytes,
+            cache_hits: fetched.cache_hits,
+            cache_misses: fetched.cache_misses,
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
@@ -868,31 +993,27 @@ impl RStore {
         let net0 = self.cluster.stats().modeled_time;
         // Index-ANDing of the two projections (§2.4).
         let chunk_ids = self.projections.chunks_of_key_and_version(pk, v);
-        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let fetched = self.fetch_chunks(&chunk_ids)?;
         let mut found = None;
         let mut useful = 0usize;
-        for (chunk, map) in &fetched {
-            let Some(locals) = map.locals_of(v) else {
+        for dc in &fetched.chunks {
+            let Some(locals) = dc.map.iter_locals(v) else {
                 continue;
             };
-            let keys = chunk.local_keys();
-            let wanted: Vec<usize> = locals
-                .into_iter()
-                .filter(|&l| keys[l].pk == pk)
-                .collect();
-            if wanted.is_empty() {
-                continue;
-            }
-            useful += 1;
-            let mut recs = query::extract_locals(chunk, &wanted)?;
+            let keys = dc.local_keys();
+            let mut recs =
+                query::extract_from_iter(&dc.chunk, locals.filter(|&l| keys[l].pk == pk))?;
             if let Some(rec) = recs.pop() {
+                useful += 1;
                 found = Some(rec);
             }
         }
         let stats = QueryStats {
             chunks_fetched: chunk_ids.len(),
             chunks_useful: useful,
-            bytes_fetched: bytes,
+            bytes_fetched: fetched.bytes,
+            cache_hits: fetched.cache_hits,
+            cache_misses: fetched.cache_misses,
             records: usize::from(found.is_some()),
             elapsed: t0.elapsed(),
             modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
@@ -916,32 +1037,34 @@ impl RStore {
         let t0 = Instant::now();
         let net0 = self.cluster.stats().modeled_time;
         let chunk_ids = self.projections.chunks_of_range(lo, hi, v);
-        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let fetched = self.fetch_chunks(&chunk_ids)?;
         let mut records = Vec::new();
         let mut useful = 0usize;
-        for (chunk, map) in &fetched {
-            let Some(locals) = map.locals_of(v) else {
+        for dc in &fetched.chunks {
+            let Some(locals) = dc.map.iter_locals(v) else {
                 continue;
             };
-            let keys = chunk.local_keys();
-            let wanted: Vec<usize> = locals
-                .into_iter()
-                .filter(|&l| {
+            let keys = dc.local_keys();
+            let recs = query::extract_from_iter(
+                &dc.chunk,
+                locals.filter(|&l| {
                     let k = keys[l].pk;
                     k >= lo && k <= hi
-                })
-                .collect();
-            if wanted.is_empty() {
+                }),
+            )?;
+            if recs.is_empty() {
                 continue;
             }
             useful += 1;
-            records.extend(query::extract_locals(chunk, &wanted)?);
+            records.extend(recs);
         }
         records.sort_unstable_by_key(|r| r.pk);
         let stats = QueryStats {
             chunks_fetched: chunk_ids.len(),
             chunks_useful: useful,
-            bytes_fetched: bytes,
+            bytes_fetched: fetched.bytes,
+            cache_hits: fetched.cache_hits,
+            cache_misses: fetched.cache_misses,
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
@@ -968,23 +1091,28 @@ impl RStore {
         let t0 = Instant::now();
         let net0 = self.cluster.stats().modeled_time;
         let chunk_ids = self.projections.chunks_of_key(pk).to_vec();
-        let (fetched, bytes) = self.fetch_chunks(&chunk_ids)?;
+        let fetched = self.fetch_chunks(&chunk_ids)?;
         let mut records = Vec::new();
         let mut useful = 0usize;
-        for (chunk, _) in &fetched {
-            let keys = chunk.local_keys();
-            let wanted: Vec<usize> = (0..keys.len()).filter(|&l| keys[l].pk == pk).collect();
-            if wanted.is_empty() {
+        for dc in &fetched.chunks {
+            let keys = dc.local_keys();
+            let recs = query::extract_from_iter(
+                &dc.chunk,
+                (0..keys.len()).filter(|&l| keys[l].pk == pk),
+            )?;
+            if recs.is_empty() {
                 continue;
             }
             useful += 1;
-            records.extend(query::extract_locals(chunk, &wanted)?);
+            records.extend(recs);
         }
         records.sort_unstable_by_key(|r| r.origin);
         let stats = QueryStats {
             chunks_fetched: chunk_ids.len(),
             chunks_useful: useful,
-            bytes_fetched: bytes,
+            bytes_fetched: fetched.bytes,
+            cache_hits: fetched.cache_hits,
+            cache_misses: fetched.cache_misses,
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),

@@ -236,8 +236,8 @@ mod tests {
         let subchunks = plan.materialize(&store);
         for (members, sc) in plan.groups.iter().zip(&subchunks) {
             let decoded = sc.decode().unwrap();
-            for (&m, payload) in members.iter().zip(&decoded) {
-                assert_eq!(payload.as_slice(), store.payload(m));
+            for (&m, payload) in members.iter().zip(decoded) {
+                assert_eq!(&payload[..], store.payload(m));
             }
         }
     }

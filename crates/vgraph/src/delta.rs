@@ -12,10 +12,9 @@
 use crate::ids::{CompositeKey, PrimaryKey, VersionId};
 use crate::record::Record;
 use rustc_hash::FxHashSet;
-use serde::{Deserialize, Serialize};
 
 /// The change set that derives one version from its parent.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VersionDelta {
     /// ∆⁺: records added or modified. Each record's `origin` must be
     /// the derived version.

@@ -12,10 +12,9 @@
 //! available to queries afterwards.
 
 use crate::ids::VersionId;
-use serde::{Deserialize, Serialize};
 
 /// One version in the graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VersionNode {
     /// This version's id.
     pub id: VersionId,
@@ -36,7 +35,7 @@ impl VersionNode {
 }
 
 /// A rooted version DAG with dense `u32` version ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VersionGraph {
     nodes: Vec<VersionNode>,
 }
@@ -234,6 +233,73 @@ impl VersionGraph {
         }
         order
     }
+
+    /// Serializes the graph to a self-contained binary buffer: a
+    /// little-endian `u32` node count followed by each node's parent
+    /// list (`u32` arity + parent ids). Children and depths are
+    /// derived on load, so the wire form is minimal and versions
+    /// cannot disagree with their derived state.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.nodes.len() * 8);
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for node in &self.nodes {
+            out.extend_from_slice(&(node.parents.len() as u32).to_le_bytes());
+            for p in &node.parents {
+                out.extend_from_slice(&p.as_u32().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a graph from [`VersionGraph::to_bytes`] output.
+    pub fn from_bytes(input: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let read_u32 = |pos: &mut usize| -> Result<u32, String> {
+            let end = pos.checked_add(4).ok_or("offset overflow")?;
+            let bytes = input
+                .get(*pos..end)
+                .ok_or("truncated version graph")?;
+            *pos = end;
+            Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+        };
+        let count = read_u32(&mut pos)? as usize;
+        // Every node costs at least 4 bytes (its arity field), so an
+        // impossible count is rejected before any allocation.
+        if count > input.len().saturating_sub(pos) / 4 {
+            return Err("node count exceeds input".into());
+        }
+        let mut graph = VersionGraph::new();
+        for i in 0..count {
+            let arity = read_u32(&mut pos)? as usize;
+            // Each parent id costs exactly 4 bytes.
+            if arity > input.len().saturating_sub(pos) / 4 {
+                return Err("parent count exceeds input".into());
+            }
+            let mut parents = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let p = read_u32(&mut pos)?;
+                if p as usize >= i {
+                    return Err(format!("node {i} references parent V{p} out of order"));
+                }
+                parents.push(VersionId(p));
+            }
+            if i == 0 {
+                if !parents.is_empty() {
+                    return Err("root version must have no parents".into());
+                }
+                graph.add_root();
+            } else {
+                if parents.is_empty() {
+                    return Err(format!("non-root node {i} has no parents"));
+                }
+                graph.add_version(&parents);
+            }
+        }
+        if pos != input.len() {
+            return Err("trailing bytes in version graph".into());
+        }
+        Ok(graph)
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +430,42 @@ mod tests {
         post.reverse();
         assert_eq!(post, g.dfs_order());
         assert_eq!(g.max_depth(), 10);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_graph() {
+        let g = fig1_graph();
+        let bytes = g.to_bytes();
+        let d = VersionGraph::from_bytes(&bytes).unwrap();
+        assert_eq!(d, g);
+        // A merge graph round-trips too, with parent order intact.
+        let mut m = VersionGraph::new();
+        let v0 = m.add_root();
+        let v1 = m.add_version(&[v0]);
+        let v2 = m.add_version(&[v0]);
+        m.add_version(&[v2, v1]);
+        let d = VersionGraph::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(d, m);
+        // Empty graph.
+        let e = VersionGraph::new();
+        assert_eq!(VersionGraph::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(VersionGraph::from_bytes(&[1, 2, 3]).is_err());
+        let bytes = fig1_graph().to_bytes();
+        assert!(VersionGraph::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(VersionGraph::from_bytes(&extra).is_err());
+        // Forward parent references are rejected.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&2u32.to_le_bytes());
+        forged.extend_from_slice(&0u32.to_le_bytes()); // root: no parents
+        forged.extend_from_slice(&1u32.to_le_bytes()); // node 1: one parent
+        forged.extend_from_slice(&5u32.to_le_bytes()); // ... which is V5
+        assert!(VersionGraph::from_bytes(&forged).is_err());
     }
 
     #[test]

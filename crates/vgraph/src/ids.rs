@@ -1,6 +1,5 @@
 //! Identifier newtypes for the RStore data model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The primary key of a record within the collection.
@@ -16,9 +15,7 @@ pub type PrimaryKey = u64;
 /// unique even for identical contents (paper §2.4: "Even if two
 /// versions committed are exactly the same, the system will generate
 /// different version-ids").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VersionId(pub u32);
 
 impl VersionId {
@@ -58,9 +55,7 @@ impl From<u32> for VersionId {
 /// is *not* a lookup of ⟨K, V⟩ — the record may have originated in an
 /// ancestor of `V`; resolving that indirection is the job of the
 /// chunk maps and indexes in `rstore-core`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CompositeKey {
     /// The record's primary key.
     pub pk: PrimaryKey,

@@ -15,13 +15,17 @@
 use crate::delta::VersionDelta;
 use crate::graph::VersionGraph;
 use crate::ids::{CompositeKey, PrimaryKey, VersionId};
+use bytes::Bytes;
 use rustc_hash::FxHashMap;
 
 /// Dense interning of distinct records and their payloads.
+///
+/// Payloads are shared [`Bytes`] buffers, so interning a record from
+/// a delta bumps a reference count instead of copying the bytes.
 #[derive(Debug, Clone, Default)]
 pub struct RecordStore {
     keys: Vec<CompositeKey>,
-    payloads: Vec<Vec<u8>>,
+    payloads: Vec<Bytes>,
     index: FxHashMap<CompositeKey, u32>,
 }
 
@@ -45,13 +49,13 @@ impl RecordStore {
 
     /// Inserts a record, returning its ordinal. Re-inserting an
     /// existing composite key returns the original ordinal unchanged.
-    pub fn insert(&mut self, ck: CompositeKey, payload: Vec<u8>) -> u32 {
+    pub fn insert(&mut self, ck: CompositeKey, payload: impl Into<Bytes>) -> u32 {
         if let Some(&ord) = self.index.get(&ck) {
             return ord;
         }
         let ord = self.keys.len() as u32;
         self.keys.push(ck);
-        self.payloads.push(payload);
+        self.payloads.push(payload.into());
         self.index.insert(ck, ord);
         ord
     }
@@ -90,7 +94,7 @@ impl RecordStore {
     /// Sum of payload sizes — the deduplicated dataset size of
     /// paper Table 2 ("Size of unique records").
     pub fn unique_bytes(&self) -> usize {
-        self.payloads.iter().map(Vec::len).sum()
+        self.payloads.iter().map(Bytes::len).sum()
     }
 
     /// All composite keys in ordinal order.

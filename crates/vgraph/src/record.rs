@@ -1,7 +1,7 @@
 //! The record: RStore's unit of storage and retrieval.
 
 use crate::ids::{CompositeKey, PrimaryKey, VersionId};
-use serde::{Deserialize, Serialize};
+use bytes::Bytes;
 
 /// An immutable record value.
 ///
@@ -10,23 +10,27 @@ use serde::{Deserialize, Serialize};
 /// size of a record, except for assuming the existence of a primary
 /// key" (paper §2.1). Any change to a record produces a new record
 /// with a new origin version; the pair forms its [`CompositeKey`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The payload is a shared [`Bytes`] buffer: cloning a record (and
+/// extracting it from a cached chunk) bumps a reference count instead
+/// of deep-copying the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// The record's primary key.
     pub pk: PrimaryKey,
     /// The version in which this value originated.
     pub origin: VersionId,
     /// Opaque payload: JSON document, XML, text or binary.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Record {
     /// Creates a record.
-    pub fn new(pk: PrimaryKey, origin: VersionId, payload: Vec<u8>) -> Self {
+    pub fn new(pk: PrimaryKey, origin: VersionId, payload: impl Into<Bytes>) -> Self {
         Self {
             pk,
             origin,
-            payload,
+            payload: payload.into(),
         }
     }
 
