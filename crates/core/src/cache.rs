@@ -175,7 +175,7 @@ impl ChunkCache {
     /// `shards` locks. A zero budget disables the cache: lookups
     /// always miss (without counting) and inserts are dropped. A
     /// non-zero budget is never rounded away: the shard count is
-    /// clamped so each shard keeps at least [`MIN_SHARD_BUDGET`]
+    /// clamped so each shard keeps at least `MIN_SHARD_BUDGET`
     /// bytes (or the whole budget when it is smaller than that).
     pub fn new(budget_bytes: usize, shards: usize) -> Self {
         let shards = if budget_bytes == 0 {

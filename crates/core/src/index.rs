@@ -10,6 +10,7 @@
 
 use crate::error::CoreError;
 use crate::model::{ChunkId, PrimaryKey, VersionId};
+use crate::plan::QuerySpec;
 use rstore_compress::{varint, PostingsList};
 use std::collections::BTreeMap;
 
@@ -83,6 +84,20 @@ impl Projections {
         union.sort_unstable();
         union.dedup();
         intersect_sorted(&union, vlist)
+    }
+
+    /// The single planner consultation: resolves a query's span —
+    /// the sorted chunk ids it must touch — in one call. `all_chunks`
+    /// bounds the recovery scan ([`QuerySpec::Scan`]), which the
+    /// projections themselves do not know.
+    pub fn chunks_for(&self, spec: &QuerySpec, all_chunks: usize) -> Vec<u32> {
+        match *spec {
+            QuerySpec::Version(v) => self.chunks_of_version(v).to_vec(),
+            QuerySpec::Record { pk, v } => self.chunks_of_key_and_version(pk, v),
+            QuerySpec::Range { lo, hi, v } => self.chunks_of_range(lo, hi, v),
+            QuerySpec::Evolution { pk } => self.chunks_of_key(pk).to_vec(),
+            QuerySpec::Scan => (0..all_chunks as u32).collect(),
+        }
     }
 
     /// Number of versions tracked.

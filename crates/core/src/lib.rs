@@ -21,7 +21,10 @@
 //! * ingests new versions through a batched **online** path
 //!   ([`online`]) that never re-partitions placed records,
 //! * answers the four query classes of §2.1 — record, version, range
-//!   and evolution retrieval ([`store`], [`query`]),
+//!   and evolution retrieval — through an explicit
+//!   **plan → fetch → extract** pipeline ([`plan`], [`store`],
+//!   [`query`]): one index consultation, a node-aware parallel
+//!   scatter-gather fetch, and streaming per-chunk extraction,
 //! * and exposes VCS-style branch/commit/checkout commands
 //!   ([`server`]).
 //!
@@ -36,6 +39,7 @@ pub mod index;
 pub mod model;
 pub mod online;
 pub mod partition;
+pub mod plan;
 pub mod query;
 pub mod server;
 pub mod store;
@@ -45,4 +49,5 @@ pub use cache::{CacheStats, ChunkCache, DecodedChunk};
 pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 pub use partition::{Partitioner, PartitionerKind};
+pub use plan::{ExecutedQuery, FetchMetrics, QueryPlan, QuerySpec, RecordStream};
 pub use store::{CommitRequest, RStore, RStoreBuilder, StoreConfig};

@@ -9,6 +9,7 @@
 //! quantifies the penalty of never re-partitioning placed records.
 
 use crate::error::CoreError;
+use crate::plan::QuerySpec;
 use crate::store::{CommitRequest, RStore};
 use rstore_vgraph::{Dataset, VersionId};
 use rustc_hash::FxHashSet;
@@ -115,18 +116,23 @@ pub fn online_offline_ratio(
 }
 
 /// Sanity helper for tests: the record sets visible through two
-/// stores must be identical for every version.
+/// stores must be identical for every version. Both sides ride the
+/// plan → fetch → extract pipeline; records are compared as sorted
+/// sets because the two stores may have partitioned differently and
+/// a stream yields records in chunk order.
 pub fn stores_agree(a: &RStore, b: &RStore) -> Result<bool, CoreError> {
     if a.version_count() != b.version_count() {
         return Ok(false);
     }
     for v in 0..a.version_count() {
-        let v = VersionId(v as u32);
-        let ra = a.get_version(v)?;
-        let rb = b.get_version(v)?;
+        let spec = QuerySpec::Version(VersionId(v as u32));
+        let mut ra = a.stream_query(spec)?.drain()?;
+        let mut rb = b.stream_query(spec)?.drain()?;
         if ra.len() != rb.len() {
             return Ok(false);
         }
+        ra.sort_unstable_by_key(|r| r.pk);
+        rb.sort_unstable_by_key(|r| r.pk);
         for (x, y) in ra.iter().zip(&rb) {
             if x.pk != y.pk || x.origin != y.origin || x.payload != y.payload {
                 return Ok(false);

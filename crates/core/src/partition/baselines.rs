@@ -172,9 +172,18 @@ pub struct DeltaEngine<'a> {
 /// Backend table used by [`DeltaEngine`].
 pub const DELTA_ENGINE_TABLE: &str = "delta-engine";
 
-/// Result of a DELTA-engine retrieval: sorted `(pk, payload)` pairs
-/// plus the number of backend values fetched (the DELTA span).
-pub type DeltaQueryResult = (Vec<(PrimaryKey, Vec<u8>)>, usize);
+/// Result of a DELTA-engine retrieval.
+#[derive(Debug)]
+pub struct DeltaQueryResult {
+    /// `(pk, payload)` pairs sorted by key.
+    pub records: Vec<(PrimaryKey, Vec<u8>)>,
+    /// Backend values fetched (the DELTA span).
+    pub span: usize,
+    /// Modeled network time of the slowest node batch — the same
+    /// max-over-parallel-batches accounting `QueryStats` uses, so
+    /// DELTA and RStore rows stay comparable in Fig. 11.
+    pub modeled_network: std::time::Duration,
+}
 
 impl<'a> DeltaEngine<'a> {
     /// Serializes every delta of `dataset` into `cluster`.
@@ -215,7 +224,7 @@ impl<'a> DeltaEngine<'a> {
             .iter()
             .map(|a| table_key(DELTA_ENGINE_TABLE, &a.as_u32().to_be_bytes()))
             .collect();
-        let values = cluster.multi_get(&keys)?;
+        let (values, modeled_network) = cluster.multi_get_scatter(keys)?;
         let mut state: FxHashMap<PrimaryKey, Vec<u8>> = FxHashMap::default();
         for (i, value) in values.iter().enumerate() {
             let bytes = value
@@ -251,7 +260,11 @@ impl<'a> DeltaEngine<'a> {
         }
         let mut out: Vec<(PrimaryKey, Vec<u8>)> = state.into_iter().collect();
         out.sort_unstable_by_key(|&(pk, _)| pk);
-        Ok((out, path.len()))
+        Ok(DeltaQueryResult {
+            records: out,
+            span: path.len(),
+            modeled_network,
+        })
     }
 
     /// Range retrieval: reconstruct, then filter (worst case, §5.4).
@@ -262,9 +275,9 @@ impl<'a> DeltaEngine<'a> {
         hi: PrimaryKey,
         v: VersionId,
     ) -> Result<DeltaQueryResult, CoreError> {
-        let (mut records, span) = self.get_version(cluster, v)?;
-        records.retain(|&(pk, _)| pk >= lo && pk <= hi);
-        Ok((records, span))
+        let mut result = self.get_version(cluster, v)?;
+        result.records.retain(|&(pk, _)| pk >= lo && pk <= hi);
+        Ok(result)
     }
 }
 
@@ -357,14 +370,14 @@ mod tests {
         let oracle = ds.materialize(&store);
         for vi in 0..ds.graph.len() {
             let v = VersionId(vi as u32);
-            let (got, span) = engine.get_version(&cluster, v).unwrap();
+            let result = engine.get_version(&cluster, v).unwrap();
             let expect = oracle.contents(v);
-            assert_eq!(got.len(), expect.len(), "version {v}");
-            for ((pk, payload), &(epk, ord)) in got.iter().zip(expect) {
+            assert_eq!(result.records.len(), expect.len(), "version {v}");
+            for ((pk, payload), &(epk, ord)) in result.records.iter().zip(expect) {
                 assert_eq!(*pk, epk);
                 assert_eq!(payload.as_slice(), store.payload(ord));
             }
-            assert_eq!(span, ds.graph.path_from_root(v).len());
+            assert_eq!(result.span, ds.graph.path_from_root(v).len());
         }
     }
 
@@ -374,12 +387,12 @@ mod tests {
         let cluster = Cluster::builder().nodes(1).build();
         let engine = DeltaEngine::load(&ds, &cluster).unwrap();
         let v = VersionId((ds.graph.len() - 1) as u32);
-        let (full, full_span) = engine.get_version(&cluster, v).unwrap();
-        let (ranged, range_span) = engine.get_range(&cluster, 0, 5, v).unwrap();
-        assert!(ranged.len() <= full.len());
-        assert!(ranged.iter().all(|&(pk, _)| pk <= 5));
+        let full = engine.get_version(&cluster, v).unwrap();
+        let ranged = engine.get_range(&cluster, 0, 5, v).unwrap();
+        assert!(ranged.records.len() <= full.records.len());
+        assert!(ranged.records.iter().all(|&(pk, _)| pk <= 5));
         // The paper's point: range queries cannot fetch less than the
         // full version under DELTA.
-        assert_eq!(range_span, full_span);
+        assert_eq!(ranged.span, full.span);
     }
 }

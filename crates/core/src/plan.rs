@@ -1,0 +1,628 @@
+//! Query planning and scatter-gather execution: the explicit
+//! **plan → fetch → extract** pipeline behind every read.
+//!
+//! The monolithic read path (resolve, fetch, decode, materialize in
+//! one pass) is split into three stages, mirroring how the paper's
+//! query server "issues queries in parallel to the backend store"
+//! (§2.4) while leaving each stage independently testable:
+//!
+//! 1. **Plan** — [`RStore::plan_query`](crate::store::RStore::plan_query)
+//!    consults the two lossy projections *once* to resolve the
+//!    query's span, probes the decoded-chunk cache, and groups the
+//!    missing backend keys by their owning node (via
+//!    `Cluster::owner_of`, the hash-ring placement API). The result
+//!    is a [`QueryPlan`]: an inspectable description of exactly what
+//!    will be fetched from where.
+//! 2. **Fetch** — [`RStore::execute`](crate::store::RStore::execute)
+//!    runs the plan's node batches in parallel with
+//!    `std::thread::scope`, one scoped thread per contacted node.
+//!    Each thread decodes a chunk the moment both of its halves
+//!    (chunk blob + chunk map) have arrived — decode overlaps with
+//!    the other nodes' transfers — and admits the decoded pair to the
+//!    cache. Modeled network time is taken as the **max over node
+//!    batches** (parallel scatter-gather), not their sum.
+//! 3. **Extract** — [`RecordStream`] yields records chunk by chunk,
+//!    decompressing each chunk's sub-chunks only when the consumer
+//!    reaches it, so callers that stop early (point lookups, limits)
+//!    never pay for the tail.
+//!
+//! [`RStore::execute_serial`](crate::store::RStore::execute_serial)
+//! keeps the one-node-at-a-time reference path: it is the oracle the
+//! property tests compare against and the baseline `bench_pipeline`
+//! measures the scatter-gather speedup over.
+
+use crate::cache::{ChunkCache, DecodedChunk};
+use crate::chunk::Chunk;
+use crate::chunkmap::ChunkMap;
+use crate::error::CoreError;
+use crate::model::{ChunkId, PrimaryKey, Record, VersionId};
+use crate::query;
+use crate::store::{CHUNK_TABLE, CMAP_TABLE};
+use rstore_kvstore::{table_key, Cluster, Key};
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a read wants: the four query classes of §2.1 plus the full
+/// scan used by store recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Full version retrieval: every record of `v`.
+    Version(VersionId),
+    /// Record retrieval: the value of `pk` in version `v`.
+    Record {
+        /// Primary key to look up.
+        pk: PrimaryKey,
+        /// Version to look it up in.
+        v: VersionId,
+    },
+    /// Range retrieval: records of `v` with `lo <= pk <= hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: PrimaryKey,
+        /// Inclusive upper bound.
+        hi: PrimaryKey,
+        /// Version to restrict to.
+        v: VersionId,
+    },
+    /// Evolution retrieval: every distinct value `pk` ever had.
+    Evolution {
+        /// Primary key whose history is wanted.
+        pk: PrimaryKey,
+    },
+    /// Every record of every planned chunk (recovery scan).
+    Scan,
+}
+
+impl QuerySpec {
+    /// Extracts this query's records from one decoded chunk, in
+    /// chunk-local order. Sub-chunks without requested members stay
+    /// compressed.
+    pub(crate) fn extract(&self, dc: &DecodedChunk) -> Result<Vec<Record>, CoreError> {
+        match *self {
+            QuerySpec::Version(v) => query::extract_version_records(&dc.chunk, &dc.map, v),
+            QuerySpec::Record { pk, v } => {
+                let Some(locals) = dc.map.iter_locals(v) else {
+                    return Ok(Vec::new());
+                };
+                let keys = dc.local_keys();
+                query::extract_from_iter(&dc.chunk, locals.filter(|&l| keys[l].pk == pk))
+            }
+            QuerySpec::Range { lo, hi, v } => {
+                let Some(locals) = dc.map.iter_locals(v) else {
+                    return Ok(Vec::new());
+                };
+                let keys = dc.local_keys();
+                query::extract_from_iter(
+                    &dc.chunk,
+                    locals.filter(|&l| {
+                        let k = keys[l].pk;
+                        k >= lo && k <= hi
+                    }),
+                )
+            }
+            QuerySpec::Evolution { pk } => {
+                let keys = dc.local_keys();
+                query::extract_from_iter(&dc.chunk, (0..keys.len()).filter(|&l| keys[l].pk == pk))
+            }
+            QuerySpec::Scan => query::extract_all(&dc.chunk),
+        }
+    }
+}
+
+/// Which half of a chunk's backend state a fetched key carries. The
+/// two halves live under different tables, so the hash ring may place
+/// them on different nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Part {
+    /// The serialized chunk (sub-chunk payloads).
+    Blob,
+    /// The serialized chunk map.
+    Map,
+}
+
+/// One node's share of a scatter-gather fetch: the backend keys it
+/// owns, tagged with the miss ordinal + half each key belongs to.
+#[derive(Debug)]
+pub struct NodeBatch {
+    /// The serving node.
+    node: usize,
+    /// Backend keys to fetch from this node.
+    keys: Vec<Key>,
+    /// Parallel to `keys`: (miss ordinal, part).
+    parts: Vec<(usize, Part)>,
+}
+
+impl NodeBatch {
+    /// The node this batch is routed to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Keys in this batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the batch carries no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// The planner's output: span, cache residency, and per-node fetch
+/// batches — everything the executor needs, precomputed, with no
+/// backend round trip taken yet.
+#[derive(Debug)]
+pub struct QueryPlan {
+    spec: QuerySpec,
+    /// The query's span in planning order (slot i holds chunk_ids[i]).
+    chunk_ids: Vec<u32>,
+    /// Slot-aligned cache hits (`None` = must be fetched).
+    resident: Vec<Option<Arc<DecodedChunk>>>,
+    /// `(slot, chunk id)` of every chunk that must come from the
+    /// backend, in planning order.
+    misses: Vec<(usize, u32)>,
+    /// Missing backend keys grouped by owning node, sorted by node.
+    batches: Vec<NodeBatch>,
+    /// Cache accounting (zeros when the cache is disabled).
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+impl QueryPlan {
+    /// The query this plan answers.
+    pub fn spec(&self) -> QuerySpec {
+        self.spec
+    }
+
+    /// The planned chunk ids — the query's *span*, straight from one
+    /// consultation of the projections.
+    pub fn chunk_ids(&self) -> &[u32] {
+        &self.chunk_ids
+    }
+
+    /// Number of chunks the plan touches.
+    pub fn span(&self) -> usize {
+        self.chunk_ids.len()
+    }
+
+    /// Distinct backend nodes the executor will contact.
+    pub fn nodes_contacted(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Largest per-node key batch.
+    pub fn max_node_batch(&self) -> usize {
+        self.batches.iter().map(NodeBatch::len).max().unwrap_or(0)
+    }
+
+    /// Chunks already resident in the decoded-chunk cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Chunks the executor must fetch.
+    pub fn cache_misses(&self) -> usize {
+        self.cache_misses
+    }
+
+    /// True when no backend round trip is needed.
+    pub fn fully_cached(&self) -> bool {
+        self.misses.is_empty()
+    }
+}
+
+/// Builds a [`QueryPlan`]: probe the cache per chunk, then group the
+/// missing chunks' backend keys by owning node.
+pub(crate) fn build_plan(
+    cluster: &Cluster,
+    cache: &ChunkCache,
+    spec: QuerySpec,
+    chunk_ids: Vec<u32>,
+) -> Result<QueryPlan, CoreError> {
+    let mut resident = Vec::with_capacity(chunk_ids.len());
+    let mut misses = Vec::new();
+    for (slot, &c) in chunk_ids.iter().enumerate() {
+        let cached = cache.get(c);
+        if cached.is_none() {
+            misses.push((slot, c));
+        }
+        resident.push(cached);
+    }
+    // With the cache disabled every chunk "misses", but reporting that
+    // would be indistinguishable from a cold enabled cache; a disabled
+    // cache reports zeros, matching `RStore::cache_stats()`.
+    let (cache_hits, cache_misses) = if cache.enabled() {
+        (chunk_ids.len() - misses.len(), misses.len())
+    } else {
+        (0, 0)
+    };
+
+    let mut by_node: FxHashMap<usize, NodeBatch> = FxHashMap::default();
+    for (m, &(_, c)) in misses.iter().enumerate() {
+        let chunk_key = table_key(CHUNK_TABLE, &ChunkId(c).to_key());
+        let map_key = table_key(CMAP_TABLE, &ChunkId(c).to_key());
+        for (key, part) in [(chunk_key, Part::Blob), (map_key, Part::Map)] {
+            let node = cluster.owner_of(&key)?;
+            let batch = by_node.entry(node).or_insert_with(|| NodeBatch {
+                node,
+                keys: Vec::new(),
+                parts: Vec::new(),
+            });
+            batch.keys.push(key);
+            batch.parts.push((m, part));
+        }
+    }
+    let mut batches: Vec<NodeBatch> = by_node.into_values().collect();
+    batches.sort_unstable_by_key(NodeBatch::node);
+
+    Ok(QueryPlan {
+        spec,
+        chunk_ids,
+        resident,
+        misses,
+        batches,
+        cache_hits,
+        cache_misses,
+    })
+}
+
+/// Per-execution fetch accounting, carried into
+/// [`QueryStats`](crate::query::QueryStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchMetrics {
+    /// Compressed bytes transferred from the backend (misses only).
+    pub bytes_fetched: usize,
+    /// Chunks served from the decoded-chunk cache.
+    pub cache_hits: usize,
+    /// Chunks fetched from the backend.
+    pub cache_misses: usize,
+    /// Distinct nodes contacted by the scatter-gather fetch.
+    pub nodes_contacted: usize,
+    /// Keys in the largest per-node batch.
+    pub max_node_batch: usize,
+    /// Modeled network time: the max over parallel node batches
+    /// (their sum under
+    /// [`RStore::execute_serial`](crate::store::RStore::execute_serial)).
+    pub modeled_network: Duration,
+}
+
+/// A chunk mid-flight: its two halves arrive independently (possibly
+/// from different nodes); whichever executor thread delivers the
+/// second half decodes the pair.
+struct PendingChunk {
+    slot: usize,
+    id: u32,
+    parts: Mutex<(Option<rstore_kvstore::Value>, Option<rstore_kvstore::Value>)>,
+    decoded: OnceLock<Arc<DecodedChunk>>,
+}
+
+fn record_err(first_err: &Mutex<Option<CoreError>>, e: CoreError) {
+    let mut slot = first_err.lock().unwrap();
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+}
+
+/// Splits oversized node batches into sub-batches so spare cores can
+/// decode concurrently when few nodes hold a large span (the extreme:
+/// a single-node cluster would otherwise deserialize every chunk on
+/// one executor thread). A node thread still serves its sub-batches
+/// serially — per-node modeled time is summed across them — but each
+/// reply's decode work lands on its own executor thread, overlapping
+/// the node's remaining I/O.
+fn split_for_decode(batches: Vec<NodeBatch>) -> Vec<NodeBatch> {
+    /// Don't bother splitting below this many keys per sub-batch
+    /// (8 chunks): thread spawn would cost more than it buys.
+    const MIN_SPLIT_KEYS: usize = 16;
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if batches.len() >= workers {
+        return batches;
+    }
+    let total_keys: usize = batches.iter().map(NodeBatch::len).sum();
+    let target = total_keys.div_ceil(workers).max(MIN_SPLIT_KEYS);
+    let mut out = Vec::with_capacity(workers);
+    for batch in batches {
+        if batch.len() <= target {
+            out.push(batch);
+            continue;
+        }
+        // Balance the split so no sub-batch ends up as a tiny
+        // remainder (which would pay the spawn without the win).
+        let pieces = batch.len().div_ceil(target);
+        let piece = batch.len().div_ceil(pieces);
+        let NodeBatch {
+            node,
+            mut keys,
+            mut parts,
+        } = batch;
+        while keys.len() > piece {
+            let tail_keys = keys.split_off(keys.len() - piece);
+            let tail_parts = parts.split_off(parts.len() - piece);
+            out.push(NodeBatch {
+                node,
+                keys: tail_keys,
+                parts: tail_parts,
+            });
+        }
+        out.push(NodeBatch { node, keys, parts });
+    }
+    out
+}
+
+/// Runs a plan's fetch stage. `parallel` chooses between one scoped
+/// thread per node batch (the production scatter-gather) and the
+/// serial reference walk used by tests and baseline benchmarks.
+pub(crate) fn execute_plan(
+    cluster: &Cluster,
+    cache: &ChunkCache,
+    plan: QueryPlan,
+    parallel: bool,
+) -> Result<ExecutedQuery, CoreError> {
+    let QueryPlan {
+        spec,
+        chunk_ids,
+        mut resident,
+        misses,
+        batches,
+        cache_hits,
+        cache_misses,
+    } = plan;
+
+    let mut metrics = FetchMetrics {
+        cache_hits,
+        cache_misses,
+        nodes_contacted: batches.len(),
+        max_node_batch: batches.iter().map(NodeBatch::len).max().unwrap_or(0),
+        ..FetchMetrics::default()
+    };
+
+    if !misses.is_empty() {
+        let pending: Vec<PendingChunk> = misses
+            .iter()
+            .map(|&(slot, id)| PendingChunk {
+                slot,
+                id,
+                parts: Mutex::new((None, None)),
+                decoded: OnceLock::new(),
+            })
+            .collect();
+        let bytes = AtomicUsize::new(0);
+        // Scatter-gather accounting: a node serves its (sub-)batches
+        // serially, so its modeled time is the sum over them; nodes
+        // overlap, so the parallel query's network bill is the
+        // slowest node, while the serial walk pays all nodes in turn.
+        let node_index: FxHashMap<usize, usize> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.node, i))
+            .collect();
+        let node_modeled: Vec<AtomicU64> =
+            (0..batches.len()).map(|_| AtomicU64::new(0)).collect();
+        let first_err: Mutex<Option<CoreError>> = Mutex::new(None);
+
+        // With spare cores and few nodes, split batches so decode
+        // fans out beyond the node count.
+        let batches = if parallel {
+            split_for_decode(batches)
+        } else {
+            batches
+        };
+
+        let run_batch = |batch: NodeBatch| {
+            let NodeBatch { node, keys, parts } = batch;
+            let reply = match cluster.fetch_from(node, keys) {
+                Ok(reply) => reply,
+                Err(e) => {
+                    record_err(&first_err, e.into());
+                    return;
+                }
+            };
+            let batch_bytes: usize = reply
+                .values
+                .iter()
+                .map(|v| v.as_ref().map_or(0, |b| b.len()))
+                .sum();
+            bytes.fetch_add(batch_bytes, Ordering::Relaxed);
+            node_modeled[node_index[&node]]
+                .fetch_add(reply.modeled.as_nanos() as u64, Ordering::Relaxed);
+            for ((m, part), value) in parts.into_iter().zip(reply.values) {
+                let p = &pending[m];
+                let Some(value) = value else {
+                    record_err(&first_err, CoreError::MissingChunk(p.id));
+                    continue;
+                };
+                let ready = {
+                    let mut halves = p.parts.lock().unwrap();
+                    match part {
+                        Part::Blob => halves.0 = Some(value),
+                        Part::Map => halves.1 = Some(value),
+                    }
+                    if halves.0.is_some() && halves.1.is_some() {
+                        Some((halves.0.take().unwrap(), halves.1.take().unwrap()))
+                    } else {
+                        None
+                    }
+                };
+                // Both halves in hand: decode here, inside the node's
+                // executor thread, overlapping the other nodes' I/O.
+                if let Some((blob, map)) = ready {
+                    let decoded = Chunk::deserialize(&blob)
+                        .and_then(|chunk| Ok(DecodedChunk::new(chunk, ChunkMap::deserialize(&map)?)));
+                    match decoded {
+                        Ok(dc) => {
+                            let dc = Arc::new(dc);
+                            cache.insert(p.id, Arc::clone(&dc));
+                            let _ = p.decoded.set(dc);
+                        }
+                        Err(e) => record_err(&first_err, e),
+                    }
+                }
+            }
+        };
+
+        if parallel && batches.len() > 1 {
+            std::thread::scope(|scope| {
+                for batch in batches {
+                    let run_batch = &run_batch;
+                    scope.spawn(move || run_batch(batch));
+                }
+            });
+        } else {
+            for batch in batches {
+                run_batch(batch);
+            }
+        }
+
+        if let Some(e) = first_err.into_inner().unwrap() {
+            return Err(e);
+        }
+        metrics.bytes_fetched = bytes.into_inner();
+        let per_node = node_modeled.into_iter().map(AtomicU64::into_inner);
+        metrics.modeled_network = Duration::from_nanos(if parallel {
+            per_node.max().unwrap_or(0)
+        } else {
+            per_node.sum()
+        });
+        for p in pending {
+            let Some(dc) = p.decoded.into_inner() else {
+                // Unreachable with a well-behaved backend (a short or
+                // failed batch records an error above), but a logic
+                // error must not panic the query path.
+                return Err(CoreError::Codec(format!(
+                    "chunk C{} incomplete after scatter-gather",
+                    p.id
+                )));
+            };
+            resident[p.slot] = Some(dc);
+        }
+    }
+
+    let chunks = resident
+        .into_iter()
+        .map(|slot| slot.expect("planner covers every slot: hit or miss"))
+        .collect();
+    Ok(ExecutedQuery {
+        spec,
+        chunk_ids,
+        chunks,
+        metrics,
+    })
+}
+
+/// A plan after its fetch stage: every spanned chunk decoded and in
+/// planning order, plus the fetch accounting. Extraction has not
+/// happened yet — iterate via [`ExecutedQuery::into_stream`].
+#[derive(Debug)]
+pub struct ExecutedQuery {
+    spec: QuerySpec,
+    chunk_ids: Vec<u32>,
+    chunks: Vec<Arc<DecodedChunk>>,
+    /// Fetch accounting for this execution.
+    pub metrics: FetchMetrics,
+}
+
+impl ExecutedQuery {
+    /// The decoded chunks, in planning order.
+    pub fn chunks(&self) -> &[Arc<DecodedChunk>] {
+        &self.chunks
+    }
+
+    /// The planned chunk ids, in planning order.
+    pub fn chunk_ids(&self) -> &[u32] {
+        &self.chunk_ids
+    }
+
+    /// Consumes the execution into the decoded chunks (recovery scan).
+    pub fn into_chunks(self) -> Vec<Arc<DecodedChunk>> {
+        self.chunks
+    }
+
+    /// Streams the query's records chunk by chunk.
+    pub fn into_stream(self) -> RecordStream {
+        RecordStream {
+            spec: self.spec,
+            metrics: self.metrics,
+            chunks: self.chunks.into_iter(),
+            buffer: Vec::new().into_iter(),
+            chunks_useful: 0,
+            records_yielded: 0,
+            failed: false,
+        }
+    }
+}
+
+/// Streaming record extraction: each chunk's sub-chunks are
+/// decompressed only when the consumer reaches that chunk, so early
+/// termination never pays for the tail of the span. Records come out
+/// grouped by chunk, in chunk-local order within each chunk.
+#[derive(Debug)]
+pub struct RecordStream {
+    spec: QuerySpec,
+    metrics: FetchMetrics,
+    chunks: std::vec::IntoIter<Arc<DecodedChunk>>,
+    buffer: std::vec::IntoIter<Record>,
+    chunks_useful: usize,
+    records_yielded: usize,
+    failed: bool,
+}
+
+impl RecordStream {
+    /// The fetch accounting of the execution behind this stream.
+    pub fn metrics(&self) -> FetchMetrics {
+        self.metrics
+    }
+
+    /// Chunks that contributed at least one record *so far*.
+    pub fn chunks_useful(&self) -> usize {
+        self.chunks_useful
+    }
+
+    /// Records yielded so far.
+    pub fn records_yielded(&self) -> usize {
+        self.records_yielded
+    }
+
+    /// Drains the remaining records into a vector (the materializing
+    /// entry points), stopping at the first extraction error.
+    pub fn drain(&mut self) -> Result<Vec<Record>, CoreError> {
+        let mut out = Vec::new();
+        for record in &mut *self {
+            out.push(record?);
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = Result<Record, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(record) = self.buffer.next() {
+                self.records_yielded += 1;
+                return Some(Ok(record));
+            }
+            let dc = self.chunks.next()?;
+            match self.spec.extract(&dc) {
+                Ok(records) => {
+                    if !records.is_empty() {
+                        self.chunks_useful += 1;
+                        self.buffer = records.into_iter();
+                    }
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}

@@ -23,12 +23,20 @@ pub struct QueryStats {
     pub cache_hits: usize,
     /// Chunks that had to be fetched and decoded.
     pub cache_misses: usize,
+    /// Distinct backend nodes the scatter-gather fetch contacted
+    /// (0 when the whole span was cache-resident).
+    pub nodes_contacted: usize,
+    /// Keys in the largest per-node fetch batch — the critical-path
+    /// batch of the scatter-gather.
+    pub max_node_batch: usize,
     /// Records produced.
     pub records: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
-    /// Modeled network time accrued at the backend (meaningful when
-    /// the cluster's network model is accounting-only).
+    /// Modeled network time accrued at the backend: the **max over
+    /// the parallel node batches** (a real scatter-gather overlaps
+    /// them), not their sum. Meaningful when the cluster's network
+    /// model is accounting-only.
     pub modeled_network: Duration,
 }
 

@@ -8,6 +8,7 @@
 
 use crate::error::CoreError;
 use crate::model::{PrimaryKey, Record, VersionId};
+use crate::plan::QuerySpec;
 use crate::store::{CommitRequest, RStore};
 use std::collections::BTreeMap;
 
@@ -156,17 +157,23 @@ impl ApplicationServer {
         Ok(v)
     }
 
+    /// Seals pending commits, then runs one query through the
+    /// plan → fetch → extract pipeline. Every pull-style command is a
+    /// thin wrapper over this.
+    fn pull_spec(&mut self, spec: QuerySpec) -> Result<Vec<Record>, CoreError> {
+        self.store.seal()?;
+        self.store.query(spec)
+    }
+
     /// Pulls the latest full version of a branch.
     pub fn pull(&mut self, branch: &str) -> Result<Vec<Record>, CoreError> {
         let head = self.head(branch)?;
-        self.store.seal()?;
-        self.store.get_version(head)
+        self.pull_spec(QuerySpec::Version(head))
     }
 
     /// Pulls a specific version by id.
     pub fn pull_version(&mut self, v: VersionId) -> Result<Vec<Record>, CoreError> {
-        self.store.seal()?;
-        self.store.get_version(v)
+        self.pull_spec(QuerySpec::Version(v))
     }
 
     /// Partial pull: the branch head restricted to a key range.
@@ -177,21 +184,18 @@ impl ApplicationServer {
         hi: PrimaryKey,
     ) -> Result<Vec<Record>, CoreError> {
         let head = self.head(branch)?;
-        self.store.seal()?;
-        self.store.get_range(lo, hi, head)
+        self.pull_spec(QuerySpec::Range { lo, hi, v: head })
     }
 
     /// One record from the branch head.
     pub fn get(&mut self, branch: &str, pk: PrimaryKey) -> Result<Option<Record>, CoreError> {
         let head = self.head(branch)?;
-        self.store.seal()?;
-        self.store.get_record(pk, head)
+        Ok(self.pull_spec(QuerySpec::Record { pk, v: head })?.pop())
     }
 
     /// The evolution history of a key across all versions.
     pub fn evolution(&mut self, pk: PrimaryKey) -> Result<Vec<Record>, CoreError> {
-        self.store.seal()?;
-        self.store.get_evolution(pk)
+        self.pull_spec(QuerySpec::Evolution { pk })
     }
 
     /// The commit log of a branch: versions from the root to the head.

@@ -18,14 +18,15 @@
 //!   records are never re-partitioned, and each touched chunk map is
 //!   rewritten once per batch from the in-memory copy.
 
-use crate::cache::{CacheStats, ChunkCache, DecodedChunk};
+use crate::cache::{CacheStats, ChunkCache};
 use crate::chunk::{Chunk, SubChunk};
 use crate::chunkmap::ChunkMap;
 use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 use crate::partition::{PartitionInput, PartitionerKind};
-use crate::query::{self, QueryStats};
+use crate::plan::{self, ExecutedQuery, QueryPlan, QuerySpec, RecordStream};
+use crate::query::QueryStats;
 use crate::subchunk::SubchunkPlan;
 use bytes::Bytes;
 use rstore_kvstore::{table_key, Cluster};
@@ -43,6 +44,13 @@ pub const DELTA_TABLE: &str = "deltas";
 /// Backend table holding serialized indexes and metadata.
 pub const META_TABLE: &str = "meta";
 
+/// Default decoded-chunk cache budget. Non-zero since the pipeline
+/// refactor: serving workloads want the cache, and the cost-model
+/// experiments — which must observe every fetch hitting the backend —
+/// opt out explicitly with `.cache_budget(0)` and can tell residual
+/// caching from `QueryStats::cache_hits`/`cache_misses` either way.
+pub const DEFAULT_CACHE_BUDGET: usize = 32 * 1024 * 1024;
+
 /// Store configuration knobs (the paper's tuning parameters).
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
@@ -59,9 +67,11 @@ pub struct StoreConfig {
     /// Online ingest batch size (§4): deltas buffered before a
     /// partitioning pass.
     pub batch_size: usize,
-    /// Decoded-chunk cache budget in bytes. `0` disables the cache,
+    /// Decoded-chunk cache budget in bytes
+    /// ([`DEFAULT_CACHE_BUDGET`] by default). `0` disables the cache,
     /// preserving the uncached retrieval behaviour the cost-model
-    /// experiments measure.
+    /// experiments measure — set it explicitly via
+    /// [`RStoreBuilder::cache_budget`].
     pub cache_budget: usize,
     /// Number of independent cache shards (locks). Ignored when the
     /// cache is disabled.
@@ -76,7 +86,7 @@ impl Default for StoreConfig {
             max_subchunk: 1,
             partitioner: PartitionerKind::BottomUp { beta: usize::MAX },
             batch_size: 64,
-            cache_budget: 0,
+            cache_budget: DEFAULT_CACHE_BUDGET,
             cache_shards: 8,
         }
     }
@@ -119,7 +129,9 @@ impl RStoreBuilder {
         self
     }
 
-    /// Sets the decoded-chunk cache budget in bytes (0 = disabled).
+    /// Sets the decoded-chunk cache budget in bytes (0 = disabled;
+    /// the cost-model experiments rely on that to keep every fetch
+    /// observable at the backend).
     pub fn cache_budget(mut self, bytes: usize) -> Self {
         self.config.cache_budget = bytes;
         self
@@ -258,50 +270,6 @@ impl CommitRequest {
         self.deletes.push(pk);
         self
     }
-}
-
-/// Result of a chunk fetch through the cache + backend path.
-struct FetchedChunks {
-    /// Decoded chunks in request order.
-    chunks: Vec<Arc<DecodedChunk>>,
-    /// Compressed bytes actually transferred (misses only).
-    bytes: usize,
-    /// Chunks served from the decoded-chunk cache.
-    cache_hits: usize,
-    /// Chunks fetched from the backend.
-    cache_misses: usize,
-}
-
-/// Runs `decode_one` for every index in `0..n`, fanning out across
-/// OS threads when the batch is large enough to amortize spawning.
-/// Results come back in index order.
-fn decode_across_threads<T: Send>(
-    n: usize,
-    decode_one: &(dyn Fn(usize) -> T + Sync),
-) -> Vec<T> {
-    const PARALLEL_THRESHOLD: usize = 8;
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n);
-    if n < PARALLEL_THRESHOLD || workers < 2 {
-        return (0..n).map(decode_one).collect();
-    }
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let stride = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        for (w, slice) in results.chunks_mut(stride).enumerate() {
-            scope.spawn(move || {
-                for (k, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(decode_one(w * stride + k));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("worker filled every slot"))
-        .collect()
 }
 
 /// The RStore instance (application-server state + backend handle).
@@ -606,13 +574,14 @@ impl RStore {
             pending: Vec::new(),
         };
 
-        // Rebuild chunk-derived state with one scan over all chunks
+        // Rebuild chunk-derived state with one scan over all chunks —
+        // a recovery plan executed through the scatter-gather pipeline
         // (which also warms the cache when one is configured).
-        let ids: Vec<u32> = (0..chunk_count as u32).collect();
-        let fetched = store.fetch_chunks(&ids)?;
+        let scan = store.plan_chunks((0..chunk_count as u32).collect())?;
+        let fetched = store.execute(scan)?;
         let mut contents_maps: Vec<FxHashMap<PrimaryKey, VersionId>> =
             vec![FxHashMap::default(); store.graph.len()];
-        for (c, dc) in fetched.chunks.into_iter().enumerate() {
+        for (c, dc) in fetched.into_chunks().into_iter().enumerate() {
             let keys = dc.local_keys();
             for (local, ck) in keys.iter().enumerate() {
                 store.locator.insert(*ck, (c as u32, local as u32));
@@ -870,78 +839,95 @@ impl RStore {
     }
 
     // ------------------------------------------------------------------
-    // Queries (§2.1 / §2.4)
+    // Queries (§2.1 / §2.4): plan → fetch → extract
     // ------------------------------------------------------------------
 
-    /// Fetches chunks and their maps, consulting the decoded-chunk
-    /// cache first: only missing chunk ids round-trip the backend.
-    /// The misses are fetched with one parallel `multi_get` and then
-    /// decoded across threads (the paper's prototype "processes the
-    /// retrieved chunks sequentially" and lists parallelizing the
-    /// end-to-end path as future work; decoding is the CPU-bound half
-    /// of that). Freshly decoded chunks are inserted into the cache.
-    fn fetch_chunks(&self, chunk_ids: &[u32]) -> Result<FetchedChunks, CoreError> {
-        let mut slots: Vec<Option<Arc<DecodedChunk>>> = Vec::with_capacity(chunk_ids.len());
-        let mut missing: Vec<(usize, u32)> = Vec::new();
-        for (i, &c) in chunk_ids.iter().enumerate() {
-            let cached = self.cache.get(c);
-            if cached.is_none() {
-                missing.push((i, c));
-            }
-            slots.push(cached);
+    /// Validates the spec's version reference before planning.
+    fn check_spec(&self, spec: &QuerySpec) -> Result<(), CoreError> {
+        match *spec {
+            QuerySpec::Version(v)
+            | QuerySpec::Record { v, .. }
+            | QuerySpec::Range { v, .. } => self.check_version(v),
+            QuerySpec::Evolution { .. } | QuerySpec::Scan => Ok(()),
         }
-        // With the cache disabled every chunk "misses", but reporting
-        // that would be indistinguishable from a cold enabled cache;
-        // a disabled cache reports zeros, matching `cache_stats()`.
-        let (cache_hits, cache_misses) = if self.cache.enabled() {
-            (chunk_ids.len() - missing.len(), missing.len())
-        } else {
-            (0, 0)
+    }
+
+    /// Stage 1 — **plan**: consult the projections once for the
+    /// query's span (index-ANDing for record retrieval, §2.4), probe
+    /// the decoded-chunk cache, and group the missing backend keys by
+    /// owning node. No backend round trip happens here.
+    pub fn plan_query(&self, spec: QuerySpec) -> Result<QueryPlan, CoreError> {
+        self.check_spec(&spec)?;
+        let chunk_ids = self.projections.chunks_for(&spec, self.chunk_maps.len());
+        plan::build_plan(&self.cluster, &self.cache, spec, chunk_ids)
+    }
+
+    /// Plans a fetch of explicit chunk ids — the recovery scan, where
+    /// the in-memory chunk maps are not rebuilt yet so the projections
+    /// cannot be consulted.
+    pub fn plan_chunks(&self, chunk_ids: Vec<u32>) -> Result<QueryPlan, CoreError> {
+        plan::build_plan(&self.cluster, &self.cache, QuerySpec::Scan, chunk_ids)
+    }
+
+    /// Stage 2 — **fetch**: scatter-gather. Each node batch runs on
+    /// its own scoped thread; a chunk is decoded by whichever thread
+    /// delivers its second half, overlapping decode with the other
+    /// nodes' transfers, and decoded pairs are admitted to the cache.
+    pub fn execute(&self, plan: QueryPlan) -> Result<ExecutedQuery, CoreError> {
+        plan::execute_plan(&self.cluster, &self.cache, plan, true)
+    }
+
+    /// The serial reference executor: identical results to
+    /// [`RStore::execute`], but node batches run one after another
+    /// and modeled network time sums instead of taking the parallel
+    /// max. This is the oracle the property tests compare against and
+    /// the baseline `bench_pipeline` measures the speedup over.
+    pub fn execute_serial(&self, plan: QueryPlan) -> Result<ExecutedQuery, CoreError> {
+        plan::execute_plan(&self.cluster, &self.cache, plan, false)
+    }
+
+    /// Stage 3 — **extract**, streaming: the full pipeline, returning
+    /// a [`RecordStream`] that decompresses each chunk only when the
+    /// consumer reaches it.
+    pub fn stream_query(&self, spec: QuerySpec) -> Result<RecordStream, CoreError> {
+        Ok(self.execute(self.plan_query(spec)?)?.into_stream())
+    }
+
+    /// Runs a query through the full pipeline and materializes it
+    /// with cost accounting. Evolution results are ordered by origin
+    /// version, everything else by primary key.
+    pub fn query_with_stats(
+        &self,
+        spec: QuerySpec,
+    ) -> Result<(Vec<Record>, QueryStats), CoreError> {
+        let t0 = Instant::now();
+        let plan = self.plan_query(spec)?;
+        let chunks_fetched = plan.span();
+        let mut stream = self.execute(plan)?.into_stream();
+        let mut records = stream.drain()?;
+        match spec {
+            QuerySpec::Evolution { .. } => records.sort_unstable_by_key(|r| r.origin),
+            _ => records.sort_unstable_by_key(|r| r.pk),
+        }
+        let fetch = stream.metrics();
+        let stats = QueryStats {
+            chunks_fetched,
+            chunks_useful: stream.chunks_useful(),
+            bytes_fetched: fetch.bytes_fetched,
+            cache_hits: fetch.cache_hits,
+            cache_misses: fetch.cache_misses,
+            nodes_contacted: fetch.nodes_contacted,
+            max_node_batch: fetch.max_node_batch,
+            records: records.len(),
+            elapsed: t0.elapsed(),
+            modeled_network: fetch.modeled_network,
         };
+        Ok((records, stats))
+    }
 
-        let mut bytes = 0usize;
-        if !missing.is_empty() {
-            let mut keys = Vec::with_capacity(missing.len() * 2);
-            for &(_, c) in &missing {
-                keys.push(table_key(CHUNK_TABLE, &ChunkId(c).to_key()));
-            }
-            for &(_, c) in &missing {
-                keys.push(table_key(CMAP_TABLE, &ChunkId(c).to_key()));
-            }
-            let values = self.cluster.multi_get(&keys)?;
-            bytes = values
-                .iter()
-                .map(|v| v.as_ref().map_or(0, |b| b.len()))
-                .sum();
-
-            let n = missing.len();
-            let decode_one = |j: usize| -> Result<DecodedChunk, CoreError> {
-                let c = missing[j].1;
-                let chunk_bytes = values[j].as_ref().ok_or(CoreError::MissingChunk(c))?;
-                let map_bytes = values[n + j].as_ref().ok_or(CoreError::MissingChunk(c))?;
-                Ok(DecodedChunk::new(
-                    Chunk::deserialize(chunk_bytes)?,
-                    ChunkMap::deserialize(map_bytes)?,
-                ))
-            };
-            let decoded = decode_across_threads(n, &decode_one);
-            for (j, result) in decoded.into_iter().enumerate() {
-                let (slot, c) = missing[j];
-                let dc = Arc::new(result?);
-                self.cache.insert(c, Arc::clone(&dc));
-                slots[slot] = Some(dc);
-            }
-        }
-
-        Ok(FetchedChunks {
-            chunks: slots
-                .into_iter()
-                .map(|s| s.expect("every slot filled"))
-                .collect(),
-            bytes,
-            cache_hits,
-            cache_misses,
-        })
+    /// Runs a query through the full pipeline, discarding the stats.
+    pub fn query(&self, spec: QuerySpec) -> Result<Vec<Record>, CoreError> {
+        self.query_with_stats(spec).map(|(r, _)| r)
     }
 
     /// Full version retrieval with cost accounting.
@@ -949,37 +935,12 @@ impl RStore {
         &self,
         v: VersionId,
     ) -> Result<(Vec<Record>, QueryStats), CoreError> {
-        self.check_version(v)?;
-        let t0 = Instant::now();
-        let net0 = self.cluster.stats().modeled_time;
-        let chunk_ids = self.projections.chunks_of_version(v).to_vec();
-        let fetched = self.fetch_chunks(&chunk_ids)?;
-        let mut records = Vec::new();
-        let mut useful = 0usize;
-        for dc in &fetched.chunks {
-            let recs = query::extract_version_records(&dc.chunk, &dc.map, v)?;
-            if !recs.is_empty() {
-                useful += 1;
-            }
-            records.extend(recs);
-        }
-        records.sort_unstable_by_key(|r| r.pk);
-        let stats = QueryStats {
-            chunks_fetched: chunk_ids.len(),
-            chunks_useful: useful,
-            bytes_fetched: fetched.bytes,
-            cache_hits: fetched.cache_hits,
-            cache_misses: fetched.cache_misses,
-            records: records.len(),
-            elapsed: t0.elapsed(),
-            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
-        };
-        Ok((records, stats))
+        self.query_with_stats(QuerySpec::Version(v))
     }
 
     /// Full version retrieval.
     pub fn get_version(&self, v: VersionId) -> Result<Vec<Record>, CoreError> {
-        self.get_version_with_stats(v).map(|(r, _)| r)
+        self.query(QuerySpec::Version(v))
     }
 
     /// Record retrieval: the value of `pk` in version `v`.
@@ -988,37 +949,8 @@ impl RStore {
         pk: PrimaryKey,
         v: VersionId,
     ) -> Result<(Option<Record>, QueryStats), CoreError> {
-        self.check_version(v)?;
-        let t0 = Instant::now();
-        let net0 = self.cluster.stats().modeled_time;
-        // Index-ANDing of the two projections (§2.4).
-        let chunk_ids = self.projections.chunks_of_key_and_version(pk, v);
-        let fetched = self.fetch_chunks(&chunk_ids)?;
-        let mut found = None;
-        let mut useful = 0usize;
-        for dc in &fetched.chunks {
-            let Some(locals) = dc.map.iter_locals(v) else {
-                continue;
-            };
-            let keys = dc.local_keys();
-            let mut recs =
-                query::extract_from_iter(&dc.chunk, locals.filter(|&l| keys[l].pk == pk))?;
-            if let Some(rec) = recs.pop() {
-                useful += 1;
-                found = Some(rec);
-            }
-        }
-        let stats = QueryStats {
-            chunks_fetched: chunk_ids.len(),
-            chunks_useful: useful,
-            bytes_fetched: fetched.bytes,
-            cache_hits: fetched.cache_hits,
-            cache_misses: fetched.cache_misses,
-            records: usize::from(found.is_some()),
-            elapsed: t0.elapsed(),
-            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
-        };
-        Ok((found, stats))
+        let (mut records, stats) = self.query_with_stats(QuerySpec::Record { pk, v })?;
+        Ok((records.pop(), stats))
     }
 
     /// Record retrieval.
@@ -1033,43 +965,7 @@ impl RStore {
         hi: PrimaryKey,
         v: VersionId,
     ) -> Result<(Vec<Record>, QueryStats), CoreError> {
-        self.check_version(v)?;
-        let t0 = Instant::now();
-        let net0 = self.cluster.stats().modeled_time;
-        let chunk_ids = self.projections.chunks_of_range(lo, hi, v);
-        let fetched = self.fetch_chunks(&chunk_ids)?;
-        let mut records = Vec::new();
-        let mut useful = 0usize;
-        for dc in &fetched.chunks {
-            let Some(locals) = dc.map.iter_locals(v) else {
-                continue;
-            };
-            let keys = dc.local_keys();
-            let recs = query::extract_from_iter(
-                &dc.chunk,
-                locals.filter(|&l| {
-                    let k = keys[l].pk;
-                    k >= lo && k <= hi
-                }),
-            )?;
-            if recs.is_empty() {
-                continue;
-            }
-            useful += 1;
-            records.extend(recs);
-        }
-        records.sort_unstable_by_key(|r| r.pk);
-        let stats = QueryStats {
-            chunks_fetched: chunk_ids.len(),
-            chunks_useful: useful,
-            bytes_fetched: fetched.bytes,
-            cache_hits: fetched.cache_hits,
-            cache_misses: fetched.cache_misses,
-            records: records.len(),
-            elapsed: t0.elapsed(),
-            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
-        };
-        Ok((records, stats))
+        self.query_with_stats(QuerySpec::Range { lo, hi, v })
     }
 
     /// Range retrieval.
@@ -1079,7 +975,7 @@ impl RStore {
         hi: PrimaryKey,
         v: VersionId,
     ) -> Result<Vec<Record>, CoreError> {
-        self.get_range_with_stats(lo, hi, v).map(|(r, _)| r)
+        self.query(QuerySpec::Range { lo, hi, v })
     }
 
     /// Record evolution: every distinct value `pk` ever had, ordered
@@ -1088,40 +984,11 @@ impl RStore {
         &self,
         pk: PrimaryKey,
     ) -> Result<(Vec<Record>, QueryStats), CoreError> {
-        let t0 = Instant::now();
-        let net0 = self.cluster.stats().modeled_time;
-        let chunk_ids = self.projections.chunks_of_key(pk).to_vec();
-        let fetched = self.fetch_chunks(&chunk_ids)?;
-        let mut records = Vec::new();
-        let mut useful = 0usize;
-        for dc in &fetched.chunks {
-            let keys = dc.local_keys();
-            let recs = query::extract_from_iter(
-                &dc.chunk,
-                (0..keys.len()).filter(|&l| keys[l].pk == pk),
-            )?;
-            if recs.is_empty() {
-                continue;
-            }
-            useful += 1;
-            records.extend(recs);
-        }
-        records.sort_unstable_by_key(|r| r.origin);
-        let stats = QueryStats {
-            chunks_fetched: chunk_ids.len(),
-            chunks_useful: useful,
-            bytes_fetched: fetched.bytes,
-            cache_hits: fetched.cache_hits,
-            cache_misses: fetched.cache_misses,
-            records: records.len(),
-            elapsed: t0.elapsed(),
-            modeled_network: self.cluster.stats().modeled_time.saturating_sub(net0),
-        };
-        Ok((records, stats))
+        self.query_with_stats(QuerySpec::Evolution { pk })
     }
 
     /// Record evolution.
     pub fn get_evolution(&self, pk: PrimaryKey) -> Result<Vec<Record>, CoreError> {
-        self.get_evolution_with_stats(pk).map(|(r, _)| r)
+        self.query(QuerySpec::Evolution { pk })
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::engine::{LogEngine, MemEngine, StorageEngine};
 use crate::error::KvError;
-use crate::msg::{NodeInfo, Request};
+use crate::msg::{BatchGet, NodeInfo, Request};
 use crate::netmodel::NetworkModel;
 use crate::ring::Ring;
 use crate::stats::{ClusterStats, StatsSnapshot};
@@ -20,6 +20,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Which storage engine each node runs.
 #[derive(Debug, Clone, Default)]
@@ -136,12 +137,13 @@ fn node_loop(
     network: NetworkModel,
 ) {
     let mut down = false;
-    let charge = |bytes: usize| {
+    let charge = |bytes: usize| -> Duration {
         let d = network.charge(bytes);
         stats.record_modeled(d);
         if network.real_sleep && !d.is_zero() {
             std::thread::sleep(d);
         }
+        d
     };
     while let Ok(req) = rx.recv() {
         match req {
@@ -163,15 +165,17 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                let mut out = Vec::with_capacity(keys.len());
+                stats.record_batch_get();
+                let mut values = Vec::with_capacity(keys.len());
+                let mut modeled = Duration::ZERO;
                 let mut failed = None;
                 for key in &keys {
                     match engine.get(key) {
                         Ok(v) => {
                             let n = v.as_ref().map(Value::len);
                             stats.record_get(n);
-                            charge(n.unwrap_or(0));
-                            out.push(v);
+                            modeled += charge(n.unwrap_or(0));
+                            values.push(v);
                         }
                         Err(e) => {
                             failed = Some(e);
@@ -181,7 +185,7 @@ fn node_loop(
                 }
                 let _ = reply.send(match failed {
                     Some(e) => Err(e),
-                    None => Ok(out),
+                    None => Ok(BatchGet { values, modeled }),
                 });
             }
             Request::Put { key, value, reply } => {
@@ -373,30 +377,67 @@ impl Cluster {
         Ok(())
     }
 
+    /// The node that serves reads for `key`: its first live replica
+    /// on the hash ring. This is the placement API query planners use
+    /// to group keys into per-node batches *before* fetching.
+    pub fn owner_of(&self, key: &[u8]) -> Result<usize, KvError> {
+        self.ring
+            .first_replica_where(key, self.replication, |n| !self.is_down(n))
+            .ok_or_else(|| KvError::AllReplicasDown {
+                tried: self.ring.replicas(key, self.replication),
+            })
+    }
+
+    /// Sends one owned batch of keys to `node` and waits for the
+    /// values plus the batch's modeled network time — the per-node
+    /// half of a scatter-gather read. Callers route each key to its
+    /// serving node via [`Cluster::owner_of`] first; a key the node
+    /// does not hold simply comes back `None`.
+    pub fn fetch_from(&self, node: usize, keys: Vec<Key>) -> Result<BatchGet, KvError> {
+        if keys.is_empty() {
+            return Ok(BatchGet {
+                values: Vec::new(),
+                modeled: Duration::ZERO,
+            });
+        }
+        if self.is_down(node) {
+            return Err(KvError::NodeDown(node));
+        }
+        let (tx, rx) = bounded(1);
+        self.senders[node]
+            .send(Request::MultiGet { keys, reply: tx })
+            .map_err(|_| KvError::NodeGone(node))?;
+        rx.recv().map_err(|_| KvError::NodeGone(node))?
+    }
+
     /// Fetches many keys, in parallel across nodes: each node gets one
     /// batch message; node threads serve their batches concurrently.
-    /// Results are returned in input order.
-    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>, KvError> {
-        // Group key indices by serving node (first live replica).
-        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.node_count()];
-        for (i, key) in keys.iter().enumerate() {
-            let replicas = self.ring.replicas(key, self.replication);
-            let node = replicas
-                .iter()
-                .copied()
-                .find(|&n| !self.is_down(n))
-                .ok_or(KvError::AllReplicasDown {
-                    tried: replicas.clone(),
-                })?;
-            per_node[node].push(i);
+    /// Results are returned in input order, together with the modeled
+    /// network time of the *slowest* node batch — the scatter-gather
+    /// critical path (each node serves its batch serially, the nodes
+    /// overlap). Taking the keys by value lets them move straight
+    /// into the per-node batches — no clone per key.
+    pub fn multi_get_scatter(
+        &self,
+        keys: Vec<Key>,
+    ) -> Result<(Vec<Option<Value>>, Duration), KvError> {
+        let total = keys.len();
+        // Group keys by serving node (first live replica), moving each
+        // key into its node's batch.
+        let mut per_node: Vec<(Vec<usize>, Vec<Key>)> = (0..self.node_count())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
+        for (i, key) in keys.into_iter().enumerate() {
+            let node = self.owner_of(&key)?;
+            per_node[node].0.push(i);
+            per_node[node].1.push(key);
         }
         // Send all batches first (parallel service), then collect.
         let mut pending = Vec::new();
-        for (node, indices) in per_node.into_iter().enumerate() {
-            if indices.is_empty() {
+        for (node, (indices, batch)) in per_node.into_iter().enumerate() {
+            if batch.is_empty() {
                 continue;
             }
-            let batch: Vec<Key> = indices.iter().map(|&i| keys[i].clone()).collect();
             let (tx, rx) = bounded(1);
             self.senders[node]
                 .send(Request::MultiGet {
@@ -406,26 +447,48 @@ impl Cluster {
                 .map_err(|_| KvError::NodeGone(node))?;
             pending.push((node, indices, rx));
         }
-        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
+        let mut out: Vec<Option<Value>> = vec![None; total];
+        let mut slowest = Duration::ZERO;
         for (node, indices, rx) in pending {
-            let values = rx.recv().map_err(|_| KvError::NodeGone(node))??;
-            for (slot, value) in indices.into_iter().zip(values) {
+            let batch = rx.recv().map_err(|_| KvError::NodeGone(node))??;
+            slowest = slowest.max(batch.modeled);
+            for (slot, value) in indices.into_iter().zip(batch.values) {
                 out[slot] = value;
             }
         }
-        Ok(out)
+        Ok((out, slowest))
     }
 
-    /// Stores many pairs, batched per primary-replica node. Replicas
-    /// beyond the primary are written with their own batches too.
+    /// [`Cluster::multi_get_scatter`] without the timing.
+    pub fn multi_get_owned(&self, keys: Vec<Key>) -> Result<Vec<Option<Value>>, KvError> {
+        self.multi_get_scatter(keys).map(|(values, _)| values)
+    }
+
+    /// Borrowed-key variant of [`Cluster::multi_get_owned`], kept for
+    /// call sites that reuse their key list.
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Value>>, KvError> {
+        self.multi_get_owned(keys.to_vec())
+    }
+
+    /// Stores many pairs, batched per replica node. Each pair moves
+    /// into its *last* live replica's batch; only the extra replicas
+    /// (replication > 1) clone.
     pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<(), KvError> {
         let mut per_node: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.node_count()];
         for (key, value) in pairs {
-            for &node in &self.ring.replicas(&key, self.replication) {
-                if !self.is_down(node) {
-                    per_node[node].push((key.clone(), value.clone()));
-                }
+            let mut live = self
+                .ring
+                .replicas(&key, self.replication)
+                .into_iter()
+                .filter(|&n| !self.is_down(n));
+            let Some(mut prev) = live.next() else {
+                continue;
+            };
+            for node in live {
+                per_node[prev].push((key.clone(), value.clone()));
+                prev = node;
             }
+            per_node[prev].push((key, value));
         }
         let mut pending = Vec::new();
         for (node, batch) in per_node.into_iter().enumerate() {
@@ -647,6 +710,81 @@ mod tests {
     fn empty_multi_get() {
         let c = small_cluster(2, 1);
         assert!(c.multi_get(&[]).unwrap().is_empty());
+        assert!(c.multi_get_owned(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn owner_of_matches_routing_and_fails_over() {
+        let c = small_cluster(3, 2);
+        for i in 0..40u32 {
+            let key = i.to_be_bytes().to_vec();
+            c.put(key.clone(), Bytes::from_static(b"v")).unwrap();
+            let owner = c.owner_of(&key).unwrap();
+            // The owner actually holds the key: a direct batch fetch
+            // from it returns the value.
+            let got = c.fetch_from(owner, vec![key.clone()]).unwrap();
+            assert_eq!(got.values, vec![Some(Bytes::from_static(b"v"))]);
+        }
+        // Downing a node moves ownership to the surviving replica.
+        c.set_node_down(0, true);
+        for i in 0..40u32 {
+            let key = i.to_be_bytes().to_vec();
+            let owner = c.owner_of(&key).unwrap();
+            assert_ne!(owner, 0, "down node must not own reads");
+            let got = c.fetch_from(owner, vec![key]).unwrap();
+            assert!(got.values[0].is_some(), "key {i} lost on failover");
+        }
+        c.set_node_down(0, false);
+    }
+
+    #[test]
+    fn fetch_from_down_node_is_clean_error() {
+        let c = small_cluster(2, 1);
+        c.set_node_down(1, true);
+        match c.fetch_from(1, vec![b"k".to_vec()]) {
+            Err(KvError::NodeDown(1)) => {}
+            other => panic!("expected NodeDown, got {other:?}"),
+        }
+        c.set_node_down(1, false);
+    }
+
+    #[test]
+    fn fetch_from_reports_batch_modeled_time() {
+        let c = Cluster::builder()
+            .nodes(1)
+            .network(NetworkModel::lan_virtual())
+            .build();
+        for i in 0..8u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from(vec![0u8; 100]))
+                .unwrap();
+        }
+        let keys: Vec<Key> = (0..8u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let got = c.fetch_from(0, keys).unwrap();
+        // Eight keys at >= 250 µs latency each, summed over the batch.
+        assert!(
+            got.modeled >= std::time::Duration::from_micros(8 * 250),
+            "batch modeled time too small: {:?}",
+            got.modeled
+        );
+    }
+
+    #[test]
+    fn batch_gets_counts_node_round_trips() {
+        let c = small_cluster(4, 1);
+        for i in 0..64u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        c.reset_stats();
+        let keys: Vec<Key> = (0..64u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let _ = c.multi_get_owned(keys).unwrap();
+        let s = c.stats();
+        assert_eq!(s.gets, 64, "every key is still charged as one query");
+        assert!(
+            s.batch_gets >= 1 && s.batch_gets <= 4,
+            "one batch round trip per contacted node, got {}",
+            s.batch_gets
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod types;
 
 pub use cluster::{Cluster, ClusterBuilder, EngineKind};
 pub use error::KvError;
+pub use msg::BatchGet;
 pub use netmodel::NetworkModel;
 pub use stats::StatsSnapshot;
 pub use types::{table_key, Key, Value};

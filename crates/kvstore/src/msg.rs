@@ -3,6 +3,21 @@
 use crate::error::KvError;
 use crate::types::{Key, Value};
 use crossbeam::channel::Sender;
+use std::time::Duration;
+
+/// Reply to a [`Request::MultiGet`]: the fetched values plus the
+/// modeled network time the node accrued serving the whole batch.
+/// A node serves its batch serially, so the per-key charges add up
+/// here; a scatter-gather client takes the *max* of these sums across
+/// the nodes it contacted in parallel.
+#[derive(Debug)]
+pub struct BatchGet {
+    /// Fetched values, in batch key order (`None` = key absent).
+    pub values: Vec<Option<Value>>,
+    /// Modeled network time for the batch (latency + transfer per
+    /// key, summed over the batch).
+    pub modeled: Duration,
+}
 
 /// Summary a node reports about its engine.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,8 +44,8 @@ pub enum Request {
     MultiGet {
         /// Keys to fetch.
         keys: Vec<Key>,
-        /// Results in key order.
-        reply: Sender<Result<Vec<Option<Value>>, KvError>>,
+        /// Results in key order, with the batch's modeled time.
+        reply: Sender<Result<BatchGet, KvError>>,
     },
     /// Store one value.
     Put {

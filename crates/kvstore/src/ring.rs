@@ -63,6 +63,48 @@ impl Ring {
         self.replicas(key, 1)[0]
     }
 
+    /// The first node among `key`'s `replication` replicas (walked in
+    /// ring order) that satisfies `pred`, or `None` when none does —
+    /// the placement lookup behind `Cluster::owner_of`, without
+    /// allocating the full replica list. Rings with more than 128
+    /// physical nodes fall back to [`Ring::replicas`].
+    pub fn first_replica_where(
+        &self,
+        key: &[u8],
+        replication: usize,
+        mut pred: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        if self.num_nodes > 128 {
+            return self
+                .replicas(key, replication)
+                .into_iter()
+                .find(|&n| pred(n));
+        }
+        let want = replication.clamp(1, self.num_nodes);
+        let h = hash_bytes(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        // Distinct-node tracking as a bitmask: no allocation on the
+        // per-key planning path.
+        let mut seen: u128 = 0;
+        let mut distinct = 0usize;
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            let bit = 1u128 << node;
+            if seen & bit != 0 {
+                continue;
+            }
+            seen |= bit;
+            if pred(node) {
+                return Some(node);
+            }
+            distinct += 1;
+            if distinct == want {
+                return None;
+            }
+        }
+        None
+    }
+
     /// The first `replication` distinct physical nodes clockwise from
     /// the key's hash. Clamped to the node count.
     pub fn replicas(&self, key: &[u8], replication: usize) -> Vec<usize> {
@@ -160,5 +202,26 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         Ring::new(0, 8);
+    }
+
+    #[test]
+    fn first_replica_where_matches_replica_walk() {
+        let r = Ring::new(5, 64);
+        for i in 0..200u32 {
+            let k = i.to_be_bytes();
+            // Unconditional predicate: must equal the primary.
+            assert_eq!(r.first_replica_where(&k, 3, |_| true), Some(r.primary(&k)));
+            // Excluding the primary must yield the second replica.
+            let reps = r.replicas(&k, 3);
+            assert_eq!(
+                r.first_replica_where(&k, 3, |n| n != reps[0]),
+                Some(reps[1])
+            );
+            // Nothing acceptable within the replica set.
+            assert_eq!(
+                r.first_replica_where(&k, 2, |n| !reps[..2].contains(&n)),
+                None
+            );
+        }
     }
 }

@@ -17,6 +17,7 @@ pub struct ClusterStats {
     puts: AtomicU64,
     deletes: AtomicU64,
     misses: AtomicU64,
+    batch_gets: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     modeled_nanos: AtomicU64,
@@ -39,6 +40,10 @@ impl ClusterStats {
                 self.misses.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    pub(crate) fn record_batch_get(&self) {
+        self.batch_gets.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_put(&self, bytes: usize) {
@@ -65,6 +70,7 @@ impl ClusterStats {
             puts: self.puts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            batch_gets: self.batch_gets.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             modeled_time: Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed)),
@@ -78,6 +84,7 @@ impl ClusterStats {
         self.puts.store(0, Ordering::Relaxed);
         self.deletes.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.batch_gets.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.modeled_nanos.store(0, Ordering::Relaxed);
@@ -97,6 +104,9 @@ pub struct StatsSnapshot {
     pub deletes: u64,
     /// GETs that found no value.
     pub misses: u64,
+    /// Node-batch round trips (one per `MultiGet` message) — the
+    /// scatter-gather fan-out, as opposed to per-key `gets`.
+    pub batch_gets: u64,
     /// Payload bytes returned by GETs.
     pub bytes_read: u64,
     /// Payload bytes accepted by PUTs.
@@ -114,6 +124,7 @@ impl StatsSnapshot {
             puts: self.puts - earlier.puts,
             deletes: self.deletes - earlier.deletes,
             misses: self.misses - earlier.misses,
+            batch_gets: self.batch_gets - earlier.batch_gets,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             modeled_time: self.modeled_time.saturating_sub(earlier.modeled_time),
