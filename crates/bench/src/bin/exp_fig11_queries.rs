@@ -11,7 +11,8 @@
 //! key history) and SUBCHUNK wins Q3 outright.
 
 use rstore_bench::{
-    fmt_duration, make_cached_store, make_store, print_table, scaled, Xorshift, CHUNK_CAPACITY,
+    fmt_duration, fmt_ingest_stages, make_cached_store, make_store, print_table, scaled, Xorshift,
+    CHUNK_CAPACITY,
 };
 use rstore_core::model::VersionId;
 use rstore_core::partition::baselines::DeltaEngine;
@@ -140,6 +141,7 @@ fn main() {
         );
 
         let mut rows = Vec::new();
+        let mut ingest_rows = Vec::new();
         for kind in kinds {
             for &k in &ks {
                 let mut store =
@@ -154,6 +156,16 @@ fn main() {
                     fmt_duration(times.q3),
                     format!("{:.2}x", report.compression_ratio()),
                 ]);
+                // Bulk-load observability at the largest k: where the
+                // write-path time went, per pipeline stage.
+                if k == *ks.last().unwrap() {
+                    ingest_rows.push(format!(
+                        "  {:<10} load {} — {}",
+                        kind.name(),
+                        fmt_duration(report.total_time),
+                        fmt_ingest_stages(&report.stages)
+                    ));
+                }
             }
         }
 
@@ -223,6 +235,10 @@ fn main() {
             &["algorithm", "k", "Q1 full version", "Q2 range", "Q3 evolution", "compression"],
             &rows,
         );
+        println!("\nbulk-load ingest pipeline at k = {}:", ks.last().unwrap());
+        for line in &ingest_rows {
+            println!("{line}");
+        }
 
         // Cache-aware variant: the same Q1/Q2/Q3 workload but with a
         // *skewed* version-access pattern (80% of queries target the

@@ -9,7 +9,9 @@
 //! grows with the cluster; the increase is "largely attributable to
 //! increased version or key spans".
 
-use rstore_bench::{fmt_duration, make_store, print_table, scaled, Xorshift, CHUNK_CAPACITY};
+use rstore_bench::{
+    fmt_duration, fmt_ingest_stages, make_store, print_table, scaled, Xorshift, CHUNK_CAPACITY,
+};
 use rstore_core::model::VersionId;
 use rstore_core::partition::PartitionerKind;
 use rstore_kvstore::NetworkModel;
@@ -54,6 +56,7 @@ fn spec_h(versions: usize) -> DatasetSpec {
 
 fn run(name: &str, base_versions: usize, make_spec: fn(usize) -> DatasetSpec) {
     let mut rows = Vec::new();
+    let mut last_ingest = None;
     for &nodes in &[1usize, 2, 4, 8, 12, 16] {
         // Weak scaling: data grows with the cluster.
         let spec = make_spec(base_versions * nodes);
@@ -65,7 +68,7 @@ fn run(name: &str, base_versions: usize, make_spec: fn(usize) -> DatasetSpec) {
             CHUNK_CAPACITY,
             NetworkModel::lan_virtual(),
         );
-        store.load_dataset(&dataset).unwrap();
+        let load_report = store.load_dataset(&dataset).unwrap();
 
         let n = dataset.graph.len();
         let max_pk = dataset
@@ -111,11 +114,13 @@ fn run(name: &str, base_versions: usize, make_spec: fn(usize) -> DatasetSpec) {
             nodes.to_string(),
             n.to_string(),
             store.chunk_count().to_string(),
+            fmt_duration(load_report.total_time),
             fmt_duration(q1 / SAMPLES as u32),
             format!("{:.1}", vspan as f64 / SAMPLES as f64),
             fmt_duration(q3 / SAMPLES as u32),
             format!("{:.1}", kspan as f64 / SAMPLES as f64),
         ]);
+        last_ingest = Some(load_report.stages);
     }
     print_table(
         &format!("Fig. 12 dataset {name}: weak scaling (data doubles with nodes)"),
@@ -123,6 +128,7 @@ fn run(name: &str, base_versions: usize, make_spec: fn(usize) -> DatasetSpec) {
             "nodes",
             "versions",
             "chunks",
+            "load",
             "Q1 time",
             "avg version span",
             "Q3 time",
@@ -130,6 +136,14 @@ fn run(name: &str, base_versions: usize, make_spec: fn(usize) -> DatasetSpec) {
         ],
         &rows,
     );
+    if let Some(stages) = last_ingest {
+        // Ingest dominates this experiment's wall clock; show where
+        // the largest load spent it (stages overlap by design).
+        println!(
+            "largest load ingest pipeline — {}",
+            fmt_ingest_stages(&stages)
+        );
+    }
 }
 
 fn main() {

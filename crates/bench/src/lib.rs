@@ -9,7 +9,7 @@
 
 use rstore_core::model::VersionId;
 use rstore_core::partition::{PartitionInput, Partitioning, PartitionerKind};
-use rstore_core::store::RStore;
+use rstore_core::store::{IngestStages, RStore};
 use rstore_kvstore::{Cluster, NetworkModel};
 use rstore_vgraph::{gen::presets, Dataset, DatasetSpec, MaterializedVersions, RecordStore};
 
@@ -215,6 +215,24 @@ pub fn fmt_bytes(bytes: usize) -> String {
     } else {
         format!("{value:.2} {}", UNITS[unit])
     }
+}
+
+/// Renders the per-stage ingest breakdown of a
+/// [`LoadReport`](rstore_core::store::LoadReport) /
+/// [`FlushReport`](rstore_core::store::FlushReport) on one line.
+/// Stages overlap (writes stream while later chunks encode), so they
+/// need not sum to the end-to-end time.
+pub fn fmt_ingest_stages(s: &IngestStages) -> String {
+    format!(
+        "{} worker(s): subchunk {} | partition {} | assemble {} | index {} | write-blocked {} | modeled write {}",
+        s.workers,
+        fmt_duration(s.subchunk),
+        fmt_duration(s.partition),
+        fmt_duration(s.assemble),
+        fmt_duration(s.index),
+        fmt_duration(s.write),
+        fmt_duration(s.modeled_write),
+    )
 }
 
 /// Formats a duration in adaptive units.

@@ -306,6 +306,68 @@ fn record_err(first_err: &Mutex<Option<CoreError>>, e: CoreError) {
     }
 }
 
+/// Resolves a requested thread count for a parallel stage: `0` means
+/// "use every core" (the machine's available parallelism). Shared by
+/// the read executor's decode fan-out and the ingest pipeline's
+/// encode fan-out so both sides size themselves the same way.
+pub(crate) fn worker_count(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Maps owned `items` to an output vector in input order, spreading
+/// the work across `workers` scoped threads in contiguous shards. The
+/// shared fan-out primitive behind parallel sub-chunk compression and
+/// the ingest pipeline's independent chunk-map builds.
+pub(crate) fn parallel_map_owned<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    // Below ~2 items per worker the spawn overhead wins.
+    let workers = workers.max(1).min((n / 2).max(1));
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let shard = n.div_ceil(workers);
+    let mut shards: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    for _ in 0..workers {
+        shards.push(items.by_ref().take(shard).collect());
+    }
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let f = &f;
+                scope.spawn(move || shard.into_iter().map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Borrowed-item wrapper over [`parallel_map_owned`].
+pub(crate) fn parallel_map<'a, T, U, F>(items: &'a [T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    parallel_map_owned(items.iter().collect(), workers, f)
+}
+
 /// Splits oversized node batches into sub-batches so spare cores can
 /// decode concurrently when few nodes hold a large span (the extreme:
 /// a single-node cluster would otherwise deserialize every chunk on
@@ -317,9 +379,7 @@ fn split_for_decode(batches: Vec<NodeBatch>) -> Vec<NodeBatch> {
     /// Don't bother splitting below this many keys per sub-batch
     /// (8 chunks): thread spawn would cost more than it buys.
     const MIN_SPLIT_KEYS: usize = 16;
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let workers = worker_count(0);
     if batches.len() >= workers {
         return batches;
     }

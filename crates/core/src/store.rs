@@ -17,6 +17,20 @@
 //!   buffer (the *delta store*) and are partitioned in batches; placed
 //!   records are never re-partitioned, and each touched chunk map is
 //!   rewritten once per batch from the in-memory copy.
+//!
+//! Both paths run as a parallel, pipelined ingest mirroring the
+//! read-side plan → fetch → extract split: sub-chunk compression and
+//! chunk serialization fan out across [`StoreConfig::ingest_threads`]
+//! scoped threads, serialized chunks stream to the backend in
+//! per-node batches ([`Cluster::writer`]) *while later chunks are
+//! still being encoded*, and the §4 batch-indexing trick is a
+//! per-chunk grouping pass followed by independent chunk-map builds
+//! (WAH bitmap encode per chunk on its own core) whose serialized
+//! maps ride the same streaming writer. `ingest_threads = 1` keeps
+//! the fully serial reference path (encode everything, then one
+//! scatter-gather put) that the equivalence proptests and
+//! `bench_ingest` compare against; [`IngestStages`] makes each stage
+//! observable the way `QueryStats` made reads observable.
 
 use crate::cache::{CacheStats, ChunkCache};
 use crate::chunk::{Chunk, SubChunk};
@@ -29,10 +43,11 @@ use crate::plan::{self, ExecutedQuery, QueryPlan, QuerySpec, RecordStream};
 use crate::query::QueryStats;
 use crate::subchunk::SubchunkPlan;
 use bytes::Bytes;
-use rstore_kvstore::{table_key, Cluster};
+use crossbeam::channel::bounded;
+use rstore_kvstore::{table_key, Cluster, Key, KvError, WriteSummary};
 use rstore_vgraph::{Dataset, VersionDelta, VersionGraph};
 use rustc_hash::FxHashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Backend table holding serialized chunks.
@@ -76,6 +91,12 @@ pub struct StoreConfig {
     /// Number of independent cache shards (locks). Ignored when the
     /// cache is disabled.
     pub cache_shards: usize,
+    /// Worker threads for the parallel ingest pipeline (sub-chunk
+    /// compression, chunk serialization, chunk-map builds). `0` (the
+    /// default) uses every available core; `1` is the fully serial
+    /// reference path — no scoped threads, and every backend write
+    /// deferred to one scatter-gather put at the end of the stage.
+    pub ingest_threads: usize,
 }
 
 impl Default for StoreConfig {
@@ -88,6 +109,7 @@ impl Default for StoreConfig {
             batch_size: 64,
             cache_budget: DEFAULT_CACHE_BUDGET,
             cache_shards: 8,
+            ingest_threads: 0,
         }
     }
 }
@@ -143,6 +165,13 @@ impl RStoreBuilder {
         self
     }
 
+    /// Sets the ingest worker-thread count (0 = every available core,
+    /// 1 = the serial reference path).
+    pub fn ingest_threads(mut self, threads: usize) -> Self {
+        self.config.ingest_threads = threads;
+        self
+    }
+
     /// Finishes the builder against a backend cluster.
     pub fn build(self, cluster: Cluster) -> RStore {
         RStore {
@@ -160,6 +189,36 @@ impl RStoreBuilder {
     }
 }
 
+/// Per-stage wall-clock breakdown of an ingest (offline bulk load or
+/// online batch flush) — the write-side counterpart of
+/// [`QueryStats`]. Stages overlap by
+/// design: serialized chunks and chunk maps stream to the backend
+/// while later ones are still being encoded, so the fields need not
+/// sum to the end-to-end time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStages {
+    /// Sub-chunk grouping and compression (the hottest ingest loop;
+    /// fanned out across `workers` cores).
+    pub subchunk: Duration,
+    /// Time inside the partitioning algorithm.
+    pub partition: Duration,
+    /// Chunk assembly + serialization (overlaps `write`).
+    pub assemble: Duration,
+    /// Per-chunk grouping, chunk-map builds and projection updates
+    /// (overlaps `write`).
+    pub index: Duration,
+    /// Time actually blocked on backend writes: shipping per-node
+    /// batches plus waiting for outstanding ones — the part the
+    /// pipeline could not hide behind encoding.
+    pub write: Duration,
+    /// Modeled network time of all writes (max over parallel nodes,
+    /// summed across the sequential write stages).
+    pub modeled_write: Duration,
+    /// Worker threads the parallel stages ran on (1 = the serial
+    /// reference path).
+    pub workers: usize,
+}
+
 /// Report from an offline bulk load.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LoadReport {
@@ -175,10 +234,13 @@ pub struct LoadReport {
     pub raw_bytes: usize,
     /// Compressed bytes written as chunks.
     pub compressed_bytes: usize,
-    /// Time spent inside the partitioning algorithm.
+    /// Time spent inside the partitioning algorithm (same as
+    /// `stages.partition`; kept for existing call sites).
     pub partition_time: Duration,
     /// End-to-end load time.
     pub total_time: Duration,
+    /// Per-stage timing breakdown of the ingest pipeline.
+    pub stages: IngestStages,
 }
 
 impl LoadReport {
@@ -202,11 +264,126 @@ pub struct FlushReport {
     pub new_chunks: usize,
     /// Existing chunk maps rewritten.
     pub maps_rewritten: usize,
+    /// Per-stage timing breakdown of the flush pipeline.
+    pub stages: IngestStages,
 }
 
 /// Outcome of commit resolution: the assigned version id, the
 /// validated delta, and the new version's sorted contents.
 type ResolvedCommit = (VersionId, VersionDelta, Vec<(PrimaryKey, VersionId)>);
+
+/// One dirty chunk's share of a batch index pass: the chunk id, the
+/// exclusive handle on its in-memory map, and the `(version, sorted
+/// locals)` entries to append before the map is re-encoded.
+type MapBuildJob<'a> = (u32, &'a mut ChunkMap, Vec<(VersionId, Vec<usize>)>);
+
+/// Outcome of one streamed encode stage: the writer's accounting plus
+/// how long the stage was genuinely blocked on backend writes (batch
+/// shipping + waiting for outstanding replies — channel idle time,
+/// which is hidden behind encoding, is excluded).
+struct StreamOutcome {
+    summary: WriteSummary,
+    write_wait: Duration,
+}
+
+impl StreamOutcome {
+    fn fold_into(&self, stages: &mut IngestStages) {
+        stages.write += self.write_wait;
+        stages.modeled_write += self.summary.modeled;
+    }
+}
+
+/// Ships pre-encoded pairs through a [`Cluster::writer`]: streaming
+/// per-node batches when the pipeline is parallel (`workers > 1`),
+/// one deferred scatter-gather put on the serial reference path.
+fn stream_writes(
+    cluster: &Cluster,
+    workers: usize,
+    writes: Vec<(Key, Bytes)>,
+) -> Result<StreamOutcome, CoreError> {
+    let mut writer = if workers > 1 {
+        cluster.writer()
+    } else {
+        cluster.writer_with_batch(usize::MAX)
+    };
+    let mut write_wait = Duration::ZERO;
+    for (key, value) in writes {
+        let t = Instant::now();
+        writer.push(key, value)?;
+        write_wait += t.elapsed();
+    }
+    let t = Instant::now();
+    let summary = writer.finish()?;
+    write_wait += t.elapsed();
+    Ok(StreamOutcome { summary, write_wait })
+}
+
+/// The pipelined encode → write stage: runs `encode` over `jobs` on
+/// `workers` scoped threads and streams each encoded pair into a
+/// [`Cluster::writer`] the moment it is ready, so the node threads
+/// store earlier batches while later jobs are still being encoded.
+///
+/// With `workers == 1` this is the serial reference path: jobs encode
+/// in order on the calling thread and every write is deferred to one
+/// scatter-gather put at the end (`writer_with_batch(usize::MAX)`),
+/// exactly the pre-pipeline behaviour. Either way the final backend
+/// state is identical — jobs produce their bytes deterministically
+/// and write order is irrelevant under distinct keys.
+fn encode_and_stream<J, F>(
+    cluster: &Cluster,
+    workers: usize,
+    jobs: Vec<J>,
+    encode: F,
+) -> Result<StreamOutcome, CoreError>
+where
+    J: Send,
+    F: Fn(J) -> (Key, Bytes) + Sync,
+{
+    let workers = workers.min(jobs.len()).max(1);
+    if workers == 1 {
+        return stream_writes(cluster, 1, jobs.into_iter().map(encode).collect());
+    }
+
+    let queue = Mutex::new(jobs.into_iter());
+    let mut result: Result<StreamOutcome, KvError> = Ok(StreamOutcome {
+        summary: WriteSummary::default(),
+        write_wait: Duration::ZERO,
+    });
+    std::thread::scope(|scope| {
+        let (tx, rx) = bounded::<(Key, Bytes)>(workers * 4);
+        let writer_handle = scope.spawn(move || -> Result<StreamOutcome, KvError> {
+            let mut writer = cluster.writer();
+            let mut write_wait = Duration::ZERO;
+            while let Ok((key, value)) = rx.recv() {
+                let t = Instant::now();
+                writer.push(key, value)?;
+                write_wait += t.elapsed();
+            }
+            let t = Instant::now();
+            let summary = writer.finish()?;
+            write_wait += t.elapsed();
+            Ok(StreamOutcome { summary, write_wait })
+        });
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let encode = &encode;
+            scope.spawn(move || loop {
+                let job = queue.lock().unwrap().next();
+                let Some(job) = job else { break };
+                // A send failure means the writer bailed on an error;
+                // stop encoding — the error surfaces from its handle.
+                if tx.send(encode(job)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        result = writer_handle.join().expect("writer stage panicked");
+    });
+    result.map_err(CoreError::from)
+}
+
 
 /// A commit: a new version described relative to its parent.
 #[derive(Debug, Clone, Default)]
@@ -368,12 +545,19 @@ impl RStore {
         }
     }
 
+    /// Worker threads the ingest pipeline runs on (resolves the
+    /// `0 = auto` configuration against the machine).
+    fn ingest_workers(&self) -> usize {
+        plan::worker_count(self.config.ingest_threads)
+    }
+
     // ------------------------------------------------------------------
     // Offline bulk load
     // ------------------------------------------------------------------
 
     /// Bulk-loads a generated dataset: sub-chunking, partitioning,
-    /// chunk/index construction and backend writes.
+    /// chunk/index construction and backend writes, pipelined across
+    /// [`StoreConfig::ingest_threads`] cores (see the module docs).
     ///
     /// The store must be empty.
     pub fn load_dataset(&mut self, dataset: &Dataset) -> Result<LoadReport, CoreError> {
@@ -381,15 +565,23 @@ impl RStore {
             return Err(CoreError::BadCommit("store is not empty".into()));
         }
         let t0 = Instant::now();
+        let workers = self.ingest_workers();
+        let mut stages = IngestStages {
+            workers,
+            ..IngestStages::default()
+        };
         let record_store = dataset.record_store();
         let materialized = dataset.materialize(&record_store);
 
-        // Sub-chunk plan (k = 1 ⇒ one record per sub-chunk).
+        // Stage 1 — sub-chunk (k = 1 ⇒ one record per sub-chunk):
+        // grouping is serial, compression fans out across cores.
+        let t = Instant::now();
         let plan = SubchunkPlan::build(dataset, &record_store, self.config.max_subchunk);
-        let subchunks = plan.materialize(&record_store);
+        let subchunks = plan.materialize_parallel(&record_store, workers);
+        stages.subchunk = t.elapsed();
         let (raw_bytes, compressed_bytes) = plan.compression(&subchunks);
 
-        // Partition sub-chunks over the version tree.
+        // Stage 2 — partition sub-chunks over the version tree.
         let tree = dataset.graph.to_tree();
         let version_items = plan.group_version_items(&materialized);
         let item_sizes: Vec<u32> = subchunks
@@ -410,14 +602,17 @@ impl RStore {
         let partitioner = self.config.partitioner.build(self.config.chunk_capacity);
         let t_part = Instant::now();
         let partitioning = partitioner.partition(&input);
-        let partition_time = t_part.elapsed();
+        stages.partition = t_part.elapsed();
 
-        // Assemble chunks; item order within a chunk is ascending.
+        // Stage 3 — assemble: move sub-chunks into their chunks and
+        // record placement (serial, cheap), then serialize each chunk
+        // on its own core, streaming serialized chunks to the backend
+        // while later chunks are still being encoded.
+        let t = Instant::now();
         let chunk_items = partitioning.chunk_items();
         let mut subchunk_slots: Vec<Option<SubChunk>> = subchunks.into_iter().map(Some).collect();
-        let mut chunk_writes: Vec<(Vec<u8>, Bytes)> = Vec::with_capacity(chunk_items.len());
+        let mut chunks: Vec<Chunk> = Vec::with_capacity(chunk_items.len());
         for (chunk_idx, items) in chunk_items.iter().enumerate() {
-            let chunk_id = ChunkId(chunk_idx as u32);
             let mut chunk = Chunk::new();
             let mut local = 0u32;
             for &g in items {
@@ -431,12 +626,21 @@ impl RStore {
             }
             self.chunk_sizes.push(chunk.compressed_bytes());
             self.chunk_maps.push(ChunkMap::new(local as usize));
-            chunk_writes.push((
-                table_key(CHUNK_TABLE, &chunk_id.to_key()),
-                Bytes::from(chunk.serialize()),
-            ));
+            chunks.push(chunk);
         }
-        self.cluster.multi_put(chunk_writes)?;
+        let jobs: Vec<(u32, Chunk)> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c))
+            .collect();
+        let outcome = encode_and_stream(&self.cluster, workers, jobs, |(id, chunk)| {
+            (
+                table_key(CHUNK_TABLE, &ChunkId(id).to_key()),
+                Bytes::from(chunk.serialize()),
+            )
+        })?;
+        stages.assemble = t.elapsed();
+        outcome.fold_into(&mut stages);
 
         // Adopt graph and contents, then index every version.
         self.graph = dataset.graph.clone();
@@ -451,8 +655,16 @@ impl RStore {
             .collect();
         let num_records = record_store.len();
         let versions: Vec<VersionId> = self.graph.ids().collect();
-        self.index_versions(&versions)?;
-        self.persist_meta()?;
+
+        // Stages 4+5 — index + write: per-chunk grouping, parallel
+        // chunk-map builds, serialized maps ride the streaming writer.
+        let t = Instant::now();
+        let (_, index_outcome) = self.index_versions(&versions)?;
+        stages.index = t.elapsed();
+        index_outcome.fold_into(&mut stages);
+        let (meta_modeled, meta_wait) = self.persist_meta()?;
+        stages.modeled_write += meta_modeled;
+        stages.write += meta_wait;
 
         Ok(LoadReport {
             num_chunks: self.chunk_maps.len(),
@@ -461,80 +673,115 @@ impl RStore {
             total_version_span: self.total_version_span(),
             raw_bytes,
             compressed_bytes,
-            partition_time,
+            partition_time: stages.partition,
             total_time: t0.elapsed(),
+            stages,
         })
     }
 
     /// Adds chunk-map entries and projections for `versions` (ids in
     /// ascending order), then persists the touched chunk maps — once
     /// each, rebuilt from memory, exactly the §4 batching trick.
-    fn index_versions(&mut self, versions: &[VersionId]) -> Result<usize, CoreError> {
-        let mut dirty_flag = vec![false; self.chunk_maps.len()];
-        let mut dirty: Vec<u32> = Vec::new();
-        let mut per_chunk: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    ///
+    /// Restructured for the ingest pipeline: a serial per-chunk
+    /// grouping pass (locator lookups + projection updates) collects
+    /// each dirty chunk's `(version, locals)` work list, then the
+    /// chunk maps are built independently — `ChunkMap::push_version`
+    /// plus the WAH bitmap encode run per chunk on its own core — and
+    /// the serialized maps stream to the backend through the same
+    /// writer stage the chunk blobs used. Returns the dirty-map count
+    /// and the write accounting.
+    fn index_versions(
+        &mut self,
+        versions: &[VersionId],
+    ) -> Result<(usize, StreamOutcome), CoreError> {
+        let workers = self.ingest_workers();
+        // Pass 1 — group the batch per chunk. Outer loop ascends, so
+        // each chunk's work list has strictly increasing versions —
+        // the `push_version` precondition.
+        let mut per_chunk: FxHashMap<u32, Vec<(VersionId, Vec<usize>)>> = FxHashMap::default();
+        let mut touched: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
         for &v in versions {
-            per_chunk.clear();
             for &(pk, origin) in &self.contents[v.index()] {
                 let ck = CompositeKey::new(pk, origin);
                 let &(chunk, local) = self
                     .locator
                     .get(&ck)
                     .unwrap_or_else(|| panic!("record {ck} not placed"));
-                per_chunk.entry(chunk).or_default().push(local as usize);
+                touched.entry(chunk).or_default().push(local as usize);
+                // Key projection: every placed record's key points at
+                // its chunk.
+                self.projections.add_key_chunk(pk, ChunkId(chunk));
             }
-            for (&chunk, locals) in per_chunk.iter_mut() {
+            for (chunk, mut locals) in touched.drain() {
                 locals.sort_unstable();
-                self.chunk_maps[chunk as usize].push_version(v, locals.iter().copied());
                 self.projections.add_version_chunk(v, ChunkId(chunk));
-                if !dirty_flag[chunk as usize] {
-                    dirty_flag[chunk as usize] = true;
-                    dirty.push(chunk);
-                }
+                per_chunk.entry(chunk).or_default().push((v, locals));
             }
             self.projections.ensure_version(v);
         }
-        // Key projection: every placed record's key points at its chunk.
-        for &v in versions {
-            for &(pk, origin) in &self.contents[v.index()] {
-                let ck = CompositeKey::new(pk, origin);
-                let &(chunk, _) = &self.locator[&ck];
-                self.projections.add_key_chunk(pk, ChunkId(chunk));
-            }
-        }
-        // Persist each dirty chunk map once, then drop any cached
-        // decoded copy: the resident (chunk, map) pair is stale the
-        // moment the rewritten map lands in the backend.
-        let writes: Vec<(Vec<u8>, Bytes)> = dirty
-            .iter()
-            .map(|&c| {
-                (
-                    table_key(CMAP_TABLE, &ChunkId(c).to_key()),
-                    Bytes::from(self.chunk_maps[c as usize].serialize()),
-                )
+
+        // Pass 2 — independent chunk-map builds: each dirty map (a
+        // disjoint `&mut`) applies its work list and re-encodes on
+        // its own core. Every in-memory mutation completes *before*
+        // any write is attempted, so a failed write leaves the
+        // resident maps whole and the next successful flush rewrites
+        // them completely (the pre-pipeline self-healing behaviour).
+        let jobs: Vec<MapBuildJob<'_>> = self
+            .chunk_maps
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(c, map)| {
+                per_chunk.remove(&(c as u32)).map(|work| (c as u32, map, work))
             })
             .collect();
-        self.cluster.multi_put(writes)?;
+        let dirty: Vec<u32> = jobs.iter().map(|&(c, _, _)| c).collect();
+        let writes: Vec<(Key, Bytes)> =
+            plan::parallel_map_owned(jobs, workers, |(c, map, work)| {
+                for (v, locals) in work {
+                    map.push_version(v, locals.iter().copied());
+                }
+                (
+                    table_key(CMAP_TABLE, &ChunkId(c).to_key()),
+                    Bytes::from(map.serialize()),
+                )
+            });
+        // The serialized maps ride the same streaming writer stage as
+        // the chunk blobs (per-node batches ship while later pushes
+        // queue; one deferred scatter put on the serial path).
+        let outcome = stream_writes(&self.cluster, workers, writes)?;
+        // Drop any cached decoded copy: the resident (chunk, map)
+        // pair is stale the moment the rewritten map lands in the
+        // backend.
         for &c in &dirty {
             self.cache.invalidate(c);
         }
-        Ok(dirty.len())
+        Ok((dirty.len(), outcome))
     }
 
-    fn persist_meta(&self) -> Result<(), CoreError> {
-        self.cluster.put(
-            table_key(META_TABLE, b"projections"),
-            Bytes::from(self.projections.serialize()),
-        )?;
-        self.cluster.put(
-            table_key(META_TABLE, b"graph"),
-            Bytes::from(self.graph.to_bytes()),
-        )?;
-        self.cluster.put(
-            table_key(META_TABLE, b"chunk_count"),
-            Bytes::from((self.chunk_maps.len() as u64).to_be_bytes().to_vec()),
-        )?;
-        Ok(())
+    /// Persists the projections, version graph and chunk count — one
+    /// batched scatter-gather put instead of three serial round trips.
+    /// Returns `(modeled write time, wall time blocked on the put)`
+    /// for the stage accounting; serialization happens before the
+    /// clock starts so only backend time counts as write-blocked.
+    fn persist_meta(&self) -> Result<(Duration, Duration), CoreError> {
+        let pairs = vec![
+            (
+                table_key(META_TABLE, b"projections"),
+                Bytes::from(self.projections.serialize()),
+            ),
+            (
+                table_key(META_TABLE, b"graph"),
+                Bytes::from(self.graph.to_bytes()),
+            ),
+            (
+                table_key(META_TABLE, b"chunk_count"),
+                Bytes::from((self.chunk_maps.len() as u64).to_be_bytes().to_vec()),
+            ),
+        ];
+        let t = Instant::now();
+        let modeled = self.cluster.multi_put_scatter(pairs)?;
+        Ok((modeled, t.elapsed()))
     }
 
     /// Reopens a store over a cluster that already holds RStore data
@@ -739,11 +986,18 @@ impl RStore {
 
     /// Flushes the delta store: partitions the batch's new records
     /// into fresh chunks (never re-partitioning placed records, §4),
-    /// updates chunk maps and projections, and persists everything.
+    /// updates chunk maps and projections, and persists everything —
+    /// through the same parallel, pipelined stages as
+    /// [`RStore::load_dataset`].
     pub fn flush_batch(&mut self) -> Result<FlushReport, CoreError> {
         if self.pending.is_empty() {
             return Ok(FlushReport::default());
         }
+        let workers = self.ingest_workers();
+        let mut stages = IngestStages {
+            workers,
+            ..IngestStages::default()
+        };
         let batch = std::mem::take(&mut self.pending);
         let versions: Vec<VersionId> = batch.iter().map(|&(v, _)| v).collect();
 
@@ -761,19 +1015,20 @@ impl RStore {
 
         let mut new_chunks = 0usize;
         if new_records > 0 {
-            // Build singleton sub-chunks (online compression applies
-            // within the record itself; cross-record grouping happens
-            // on periodic full repartitions, which the paper leaves as
-            // future work).
-            let built: Vec<SubChunk> = records
-                .iter()
-                .map(|r| SubChunk::build(&[(r.composite_key(), r.payload.as_ref())]))
-                .collect();
+            // Stage 1 — sub-chunk: build singleton sub-chunks across
+            // cores (online compression applies within the record
+            // itself; cross-record grouping happens on periodic full
+            // repartitions, which the paper leaves as future work).
+            let t = Instant::now();
+            let built: Vec<SubChunk> = plan::parallel_map(&records, workers, |r| {
+                SubChunk::build(&[(r.composite_key(), r.payload.as_ref())])
+            });
+            stages.subchunk = t.elapsed();
             let item_sizes: Vec<u32> = built.iter().map(|s| s.compressed_bytes() as u32).collect();
             let item_pk: Vec<u64> = records.iter().map(|r| r.pk).collect();
 
-            // version_items over the full tree: new records appear only
-            // in batch versions.
+            // Stage 2 — partition. version_items over the full tree:
+            // new records appear only in batch versions.
             let mut version_items: Vec<Vec<u32>> = vec![Vec::new(); self.graph.len()];
             for &v in &versions {
                 let mut items: Vec<u32> = self.contents[v.index()]
@@ -793,12 +1048,16 @@ impl RStore {
                 item_pk: &item_pk,
             };
             let partitioner = self.config.partitioner.build(self.config.chunk_capacity);
+            let t = Instant::now();
             let partitioning = partitioner.partition(&input);
+            stages.partition = t.elapsed();
 
-            // Materialize the new chunks after the existing ones.
+            // Stage 3 — assemble the new chunks after the existing
+            // ones and stream them out while later ones encode.
+            let t = Instant::now();
             let base_chunk = self.chunk_maps.len() as u32;
             let mut subchunk_slots: Vec<Option<SubChunk>> = built.into_iter().map(Some).collect();
-            let mut writes = Vec::with_capacity(partitioning.num_chunks);
+            let mut chunks: Vec<Chunk> = Vec::with_capacity(partitioning.num_chunks);
             for (ci, items) in partitioning.chunk_items().iter().enumerate() {
                 let chunk_id = ChunkId(base_chunk + ci as u32);
                 let mut chunk = Chunk::new();
@@ -812,24 +1071,39 @@ impl RStore {
                 }
                 self.chunk_sizes.push(chunk.compressed_bytes());
                 self.chunk_maps.push(ChunkMap::new(items.len()));
-                writes.push((
-                    table_key(CHUNK_TABLE, &chunk_id.to_key()),
-                    Bytes::from(chunk.serialize()),
-                ));
+                chunks.push(chunk);
             }
             new_chunks = partitioning.num_chunks;
-            self.cluster.multi_put(writes)?;
+            let jobs: Vec<(u32, Chunk)> = chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (base_chunk + i as u32, c))
+                .collect();
+            let outcome = encode_and_stream(&self.cluster, workers, jobs, |(id, chunk)| {
+                (
+                    table_key(CHUNK_TABLE, &ChunkId(id).to_key()),
+                    Bytes::from(chunk.serialize()),
+                )
+            })?;
+            stages.assemble = t.elapsed();
+            outcome.fold_into(&mut stages);
         }
 
-        // Index the batch versions (updates old and new chunk maps,
-        // each persisted once).
-        let maps_rewritten = self.index_versions(&versions)?;
-        self.persist_meta()?;
+        // Stages 4+5 — index the batch versions (updates old and new
+        // chunk maps, each persisted once through the writer stage).
+        let t = Instant::now();
+        let (maps_rewritten, index_outcome) = self.index_versions(&versions)?;
+        stages.index = t.elapsed();
+        index_outcome.fold_into(&mut stages);
+        let (meta_modeled, meta_wait) = self.persist_meta()?;
+        stages.modeled_write += meta_modeled;
+        stages.write += meta_wait;
         Ok(FlushReport {
             versions: versions.len(),
             new_records,
             new_chunks,
             maps_rewritten,
+            stages,
         })
     }
 

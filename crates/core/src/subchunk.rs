@@ -101,33 +101,51 @@ impl SubchunkPlan {
         self.groups.len()
     }
 
-    /// Builds the compressed [`SubChunk`] for every group.
+    /// Builds the compressed [`SubChunk`] for every group, serially
+    /// (the reference path; see
+    /// [`SubchunkPlan::materialize_parallel`]).
     pub fn materialize(&self, store: &RecordStore) -> Vec<SubChunk> {
-        self.groups
-            .iter()
-            .map(|members| {
-                let records: Vec<(CompositeKey, &[u8])> = members
-                    .iter()
-                    .map(|&o| (store.key(o), store.payload(o)))
-                    .collect();
-                SubChunk::build(&records)
-            })
-            .collect()
+        self.materialize_parallel(store, 1)
+    }
+
+    /// Builds the compressed [`SubChunk`] for every group, spreading
+    /// the delta-encode + LZ work — the single hottest ingest loop —
+    /// across `workers` scoped threads. Groups are independent, so the
+    /// result is byte-identical to [`SubchunkPlan::materialize`]:
+    /// contiguous shards keep the output in group order.
+    pub fn materialize_parallel(&self, store: &RecordStore, workers: usize) -> Vec<SubChunk> {
+        crate::plan::parallel_map(&self.groups, workers, |members| {
+            let records: Vec<(CompositeKey, &[u8])> = members
+                .iter()
+                .map(|&o| (store.key(o), store.payload(o)))
+                .collect();
+            SubChunk::build(&records)
+        })
     }
 
     /// The transformed version→items relation: a group belongs to a
     /// version iff any member does. This is the §3.4 "transformed
     /// dataset" handed to the partitioners.
+    ///
+    /// Membership is deduplicated with an epoch-tagged mark per group
+    /// (the version id is the epoch, so the marks never need
+    /// clearing): each version only sorts its *distinct* groups,
+    /// instead of sort + dedup over the full per-version record list —
+    /// which for wide versions with large `k` repeated every group
+    /// `k` times.
     pub fn group_version_items(&self, m: &MaterializedVersions) -> Vec<Vec<u32>> {
+        let mut mark: Vec<u32> = vec![u32::MAX; self.groups.len()];
         (0..m.version_count())
             .map(|v| {
-                let mut items: Vec<u32> = m
-                    .contents(VersionId(v as u32))
-                    .iter()
-                    .map(|&(_, ord)| self.group_of[ord as usize])
-                    .collect();
+                let mut items: Vec<u32> = Vec::new();
+                for &(_, ord) in m.contents(VersionId(v as u32)) {
+                    let g = self.group_of[ord as usize];
+                    if mark[g as usize] != v as u32 {
+                        mark[g as usize] = v as u32;
+                        items.push(g);
+                    }
+                }
                 items.sort_unstable();
-                items.dedup();
                 items
             })
             .collect()
@@ -266,6 +284,18 @@ mod tests {
             sizes[1] < sizes[0] && sizes[2] <= sizes[1],
             "compression did not improve with k: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn parallel_materialize_matches_serial() {
+        for k in [1usize, 4] {
+            let (_, store, plan) = build(8, k);
+            let serial = plan.materialize(&store);
+            for workers in [1usize, 2, 3, 8, 64] {
+                let parallel = plan.materialize_parallel(&store, workers);
+                assert_eq!(parallel, serial, "workers={workers} k={k}");
+            }
+        }
     }
 
     #[test]

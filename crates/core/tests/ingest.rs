@@ -1,0 +1,310 @@
+//! The parallel pipelined ingest must be **byte-for-byte equivalent**
+//! to the serial reference load (`ingest_threads = 1`): same chunk
+//! bytes, same chunk maps, same persisted metadata, same answers to
+//! every query — across the offline bulk load and the online commit
+//! path — and a node going down during a load must surface as a clean
+//! error, never a panic or silent data loss.
+
+use proptest::prelude::*;
+use rstore_core::model::VersionId;
+use rstore_core::online::{replay_commits, stores_agree};
+use rstore_core::store::{RStore, CHUNK_TABLE, CMAP_TABLE, META_TABLE};
+use rstore_core::CoreError;
+use rstore_kvstore::{table_key, Cluster, KvError, NetworkModel};
+use rstore_vgraph::{DatasetSpec, SelectionKind};
+
+fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
+    (
+        1u64..1000,   // seed
+        8usize..24,   // versions
+        10usize..40,  // root records
+        0.0f64..0.4,  // branch probability
+        0.05f64..0.4, // update fraction
+        32usize..160, // record size
+    )
+        .prop_map(|(seed, nv, rr, bp, uf, rs)| DatasetSpec {
+            name: format!("ingest-{seed}"),
+            num_versions: nv,
+            root_records: rr,
+            branch_prob: bp,
+            update_frac: uf,
+            insert_frac: 0.05,
+            delete_frac: 0.05,
+            selection: SelectionKind::Uniform,
+            record_size: rs,
+            pd: 0.1,
+            seed,
+        })
+}
+
+fn store_with(nodes: usize, threads: usize, k: usize, batch: usize) -> RStore {
+    let cluster = Cluster::builder().nodes(nodes).build();
+    RStore::builder()
+        .chunk_capacity(1024)
+        .cache_budget(0)
+        .max_subchunk(k)
+        .batch_size(batch)
+        .ingest_threads(threads)
+        .build(cluster)
+}
+
+/// Every backend artifact the ingest produced must be identical:
+/// chunk blobs, chunk maps, and the persisted metadata (projections,
+/// graph, chunk count). Byte equality of the per-chunk tables implies
+/// identical placement (locator) and identical WAH bitmap encodes.
+fn assert_backend_identical(a: &RStore, b: &RStore) {
+    assert_eq!(a.chunk_count(), b.chunk_count(), "chunk count differs");
+    assert_eq!(a.storage_bytes(), b.storage_bytes());
+    assert_eq!(a.total_version_span(), b.total_version_span());
+    for c in 0..a.chunk_count() as u32 {
+        for table in [CHUNK_TABLE, CMAP_TABLE] {
+            let key = table_key(table, &c.to_be_bytes());
+            let va = a
+                .cluster()
+                .get(&key)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{table}/{c} missing from reference"));
+            let vb = b
+                .cluster()
+                .get(&key)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{table}/{c} missing from parallel store"));
+            assert_eq!(va, vb, "{table}/{c} bytes differ");
+        }
+    }
+    for meta in [b"projections".as_slice(), b"graph", b"chunk_count"] {
+        let key = table_key(META_TABLE, meta);
+        let va = a.cluster().get(&key).unwrap().expect("meta present");
+        let vb = b.cluster().get(&key).unwrap().expect("meta present");
+        assert_eq!(va, vb, "meta {} differs", String::from_utf8_lossy(meta));
+    }
+}
+
+/// Spot checks through the read path on top of the byte comparison.
+fn assert_queries_agree(a: &RStore, b: &RStore, max_pk: u64) {
+    assert!(stores_agree(a, b).unwrap(), "version retrievals disagree");
+    let mid = VersionId((a.version_count() / 2) as u32);
+    for pk in 0..max_pk.min(8) {
+        let ra = a.get_record(pk, mid).unwrap();
+        let rb = b.get_record(pk, mid).unwrap();
+        assert_eq!(ra.is_some(), rb.is_some());
+        if let (Some(x), Some(y)) = (ra, rb) {
+            assert_eq!(x.payload, y.payload);
+        }
+        let ea = a.get_evolution(pk).unwrap();
+        let eb = b.get_evolution(pk).unwrap();
+        assert_eq!(ea.len(), eb.len(), "evolution of K{pk} differs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Offline bulk load: parallel pipeline (4 workers, streaming
+    /// writes) == serial reference (1 worker, one deferred
+    /// scatter-gather put), byte for byte, with sub-chunk grouping
+    /// active (k = 3).
+    #[test]
+    fn parallel_bulk_load_matches_serial_reference(spec in spec_strategy()) {
+        let ds = spec.generate();
+        let mut serial = store_with(4, 1, 3, 64);
+        let mut parallel = store_with(4, 4, 3, 64);
+        let rs = serial.load_dataset(&ds).unwrap();
+        let rp = parallel.load_dataset(&ds).unwrap();
+        prop_assert_eq!(rp.num_chunks, rs.num_chunks);
+        prop_assert_eq!(rp.num_subchunks, rs.num_subchunks);
+        prop_assert_eq!(rp.compressed_bytes, rs.compressed_bytes);
+        prop_assert_eq!(rp.total_version_span, rs.total_version_span);
+        prop_assert_eq!(rp.stages.workers, 4);
+        prop_assert_eq!(rs.stages.workers, 1);
+        assert_backend_identical(&serial, &parallel);
+        assert_queries_agree(&serial, &parallel, spec.root_records as u64);
+    }
+
+    /// Online commit path: the batch flush pipeline (parallel
+    /// sub-chunk builds, streaming chunk + map writes, parallel
+    /// chunk-map rebuilds) produces an identical backend too.
+    #[test]
+    fn parallel_flush_matches_serial_reference(spec in spec_strategy()) {
+        let ds = spec.generate();
+        // Small batches force several flushes, so existing chunk maps
+        // are rewritten (the §4 batching trick) repeatedly.
+        let mut serial = store_with(3, 1, 1, 4);
+        let mut parallel = store_with(3, 4, 1, 4);
+        replay_commits(&mut serial, &ds).unwrap();
+        replay_commits(&mut parallel, &ds).unwrap();
+        assert_backend_identical(&serial, &parallel);
+        assert_queries_agree(&serial, &parallel, spec.root_records as u64);
+    }
+}
+
+#[test]
+fn load_reports_per_stage_breakdown() {
+    let mut spec = DatasetSpec::tiny(2024);
+    spec.num_versions = 30;
+    spec.root_records = 80;
+    spec.record_size = 256;
+    let ds = spec.generate();
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .network(NetworkModel::lan_virtual())
+        .build();
+    let mut store = RStore::builder()
+        .chunk_capacity(2048)
+        .ingest_threads(2)
+        .build(cluster);
+    let report = store.load_dataset(&ds).unwrap();
+    let s = report.stages;
+    assert_eq!(s.workers, 2);
+    assert!(s.subchunk > std::time::Duration::ZERO, "subchunk stage untimed");
+    assert_eq!(s.partition, report.partition_time);
+    assert!(s.assemble > std::time::Duration::ZERO, "assemble stage untimed");
+    assert!(s.index > std::time::Duration::ZERO, "index stage untimed");
+    // lan_virtual charges every write 250 µs of modeled time.
+    assert!(
+        s.modeled_write >= std::time::Duration::from_micros(250),
+        "modeled write time missing: {:?}",
+        s.modeled_write
+    );
+
+    // The flush path reports the same breakdown.
+    use rstore_core::store::CommitRequest;
+    let mut online = RStore::builder()
+        .chunk_capacity(2048)
+        .ingest_threads(2)
+        .batch_size(usize::MAX)
+        .build(
+            Cluster::builder()
+                .nodes(2)
+                .network(NetworkModel::lan_virtual())
+                .build(),
+        );
+    let v0 = online
+        .commit(CommitRequest::root(vec![
+            (1u64, vec![7u8; 64]),
+            (2u64, vec![8u8; 64]),
+        ]))
+        .unwrap();
+    online
+        .commit(CommitRequest::child_of(v0).put(1u64, vec![9u8; 64]))
+        .unwrap();
+    let flush = online.flush_batch().unwrap();
+    assert_eq!(flush.versions, 2);
+    assert_eq!(flush.stages.workers, 2);
+    assert!(
+        flush.stages.modeled_write >= std::time::Duration::from_micros(250),
+        "flush modeled write time missing: {:?}",
+        flush.stages.modeled_write
+    );
+    // Re-sealing with nothing pending is a no-op default report.
+    let empty = online.flush_batch().unwrap();
+    assert_eq!(empty.versions, 0);
+}
+
+#[test]
+fn down_node_during_bulk_load_is_clean_error() {
+    let mut spec = DatasetSpec::tiny(7777);
+    spec.num_versions = 24;
+    spec.root_records = 60;
+    let ds = spec.generate();
+    // Replication 1: a down node makes part of the key space
+    // unwritable instead of failing over.
+    let cluster = Cluster::builder().nodes(3).replication(1).build();
+    cluster.set_node_down(1, true);
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        .ingest_threads(4)
+        .build(cluster);
+    match store.load_dataset(&ds) {
+        Err(CoreError::Kv(
+            KvError::AllReplicasDown { .. } | KvError::NodeDown(_) | KvError::NodeGone(_),
+        )) => {}
+        Err(e) => panic!("expected a clean KV error, got {e}"),
+        Ok(_) => panic!("bulk load through a downed unreplicated node must fail"),
+    }
+}
+
+#[test]
+fn down_node_during_flush_is_clean_error() {
+    let mut spec = DatasetSpec::tiny(4321);
+    spec.num_versions = 16;
+    spec.root_records = 40;
+    let ds = spec.generate();
+    let half = rstore_core::online::truncate_dataset(&ds, ds.graph.len() / 2);
+    let cluster = Cluster::builder().nodes(3).replication(1).build();
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        .ingest_threads(4)
+        .batch_size(usize::MAX)
+        .build(cluster);
+    // First half flushes while the cluster is healthy; the second
+    // half's commits land in the delta store, then a node dies before
+    // their batch flush.
+    replay_commits_without_seal(&mut store, &half);
+    store.seal().unwrap();
+    for node in &ds.graph.nodes()[half.graph.len()..] {
+        let delta = &ds.deltas[node.id.index()];
+        let mut req = rstore_core::store::CommitRequest::child_of(node.parents[0]);
+        for r in &delta.added {
+            req = req.put(r.pk, r.payload.clone());
+        }
+        store.commit(req).unwrap();
+    }
+    assert!(store.pending_commits() > 0);
+    store.cluster().set_node_down(2, true);
+    match store.seal() {
+        Err(CoreError::Kv(
+            KvError::AllReplicasDown { .. } | KvError::NodeDown(_) | KvError::NodeGone(_),
+        )) => {}
+        Err(e) => panic!("expected a clean KV error, got {e}"),
+        Ok(()) => panic!("flush through a downed unreplicated node must fail"),
+    }
+
+    // The failed flush must not corrupt what was already persisted:
+    // once the node is back, every first-half version still answers
+    // exactly as an undisturbed reference store does.
+    store.cluster().set_node_down(2, false);
+    let mut reference = store_with(3, 1, 1, usize::MAX);
+    replay_commits(&mut reference, &half).unwrap();
+    for v in 0..half.graph.len() {
+        let got = store.get_version(VersionId(v as u32)).unwrap();
+        let want = reference.get_version(VersionId(v as u32)).unwrap();
+        assert_eq!(got.len(), want.len(), "V{v} changed after failed flush");
+    }
+}
+
+/// Replays every commit of `ds` without the final seal, so the whole
+/// dataset sits in the delta store.
+fn replay_commits_without_seal(store: &mut RStore, ds: &rstore_vgraph::Dataset) {
+    use rstore_core::store::CommitRequest;
+    use rustc_hash::FxHashSet;
+    for node in ds.graph.nodes() {
+        let delta = &ds.deltas[node.id.index()];
+        let readded: FxHashSet<u64> = delta.added.iter().map(|r| r.pk).collect();
+        let mut req = if node.parents.is_empty() {
+            CommitRequest::root(
+                delta
+                    .added
+                    .iter()
+                    .map(|r| (r.pk, r.payload.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            let mut req = if node.parents.len() == 1 {
+                CommitRequest::child_of(node.parents[0])
+            } else {
+                CommitRequest::merge_of(node.parents[0], node.parents[1..].iter().copied())
+            };
+            for r in &delta.added {
+                req = req.put(r.pk, r.payload.clone());
+            }
+            req
+        };
+        for ck in &delta.removed {
+            if !readded.contains(&ck.pk) {
+                req = req.delete(ck.pk);
+            }
+        }
+        store.commit(req).unwrap();
+    }
+}

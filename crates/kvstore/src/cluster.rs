@@ -10,12 +10,12 @@
 
 use crate::engine::{LogEngine, MemEngine, StorageEngine};
 use crate::error::KvError;
-use crate::msg::{BatchGet, NodeInfo, Request};
+use crate::msg::{BatchGet, BatchPut, NodeInfo, Request};
 use crate::netmodel::NetworkModel;
 use crate::ring::Ring;
 use crate::stats::{ClusterStats, StatsSnapshot};
 use crate::types::{Key, Value};
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -206,13 +206,16 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
+                stats.record_batch_put();
+                let mut batch = BatchPut::default();
                 let mut result = Ok(());
                 for (key, value) in pairs {
                     let n = key.len() + value.len();
                     match engine.put(key, value) {
                         Ok(()) => {
                             stats.record_put(n);
-                            charge(n);
+                            batch.modeled += charge(n);
+                            batch.stored += 1;
                         }
                         Err(e) => {
                             result = Err(e);
@@ -220,7 +223,7 @@ fn node_loop(
                         }
                     }
                 }
-                let _ = reply.send(result);
+                let _ = reply.send(result.map(|()| batch));
             }
             Request::Delete { key, reply } => {
                 if down {
@@ -470,41 +473,48 @@ impl Cluster {
         self.multi_get_owned(keys.to_vec())
     }
 
-    /// Stores many pairs, batched per replica node. Each pair moves
-    /// into its *last* live replica's batch; only the extra replicas
-    /// (replication > 1) clone.
-    pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<(), KvError> {
-        let mut per_node: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.node_count()];
+    /// Stores many pairs, batched per replica node, and returns the
+    /// modeled network time of the *slowest* node batch — the
+    /// scatter-gather write critical path, symmetric with
+    /// [`Cluster::multi_get_scatter`] (each node stores its batch
+    /// serially, the nodes overlap). Fails with
+    /// [`KvError::AllReplicasDown`] if any pair has no live replica.
+    pub fn multi_put_scatter(&self, pairs: Vec<(Key, Value)>) -> Result<Duration, KvError> {
+        let mut writer = self.writer();
         for (key, value) in pairs {
-            let mut live = self
-                .ring
-                .replicas(&key, self.replication)
-                .into_iter()
-                .filter(|&n| !self.is_down(n));
-            let Some(mut prev) = live.next() else {
-                continue;
-            };
-            for node in live {
-                per_node[prev].push((key.clone(), value.clone()));
-                prev = node;
-            }
-            per_node[prev].push((key, value));
+            writer.push(key, value)?;
         }
-        let mut pending = Vec::new();
-        for (node, batch) in per_node.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let (tx, rx) = bounded(1);
-            self.senders[node]
-                .send(Request::MultiPut { pairs: batch, reply: tx })
-                .map_err(|_| KvError::NodeGone(node))?;
-            pending.push((node, rx));
+        writer.finish().map(|summary| summary.modeled)
+    }
+
+    /// [`Cluster::multi_put_scatter`] without the timing.
+    pub fn multi_put(&self, pairs: Vec<(Key, Value)>) -> Result<(), KvError> {
+        self.multi_put_scatter(pairs).map(|_| ())
+    }
+
+    /// Opens a streaming writer over this cluster's per-node senders:
+    /// pairs pushed into it accumulate in per-node buffers and are
+    /// shipped as `MultiPut` batches *while the caller keeps encoding*
+    /// — the node threads store earlier batches concurrently with the
+    /// production of later ones. [`ClusterWriter::finish`] drains the
+    /// buffers and waits for every outstanding batch.
+    pub fn writer(&self) -> ClusterWriter<'_> {
+        self.writer_with_batch(DEFAULT_WRITE_BATCH_BYTES)
+    }
+
+    /// [`Cluster::writer`] with an explicit per-node flush threshold
+    /// in payload bytes. `usize::MAX` defers every write to
+    /// [`ClusterWriter::finish`] — the serial reference behaviour
+    /// (accumulate everything, then one scatter-gather put).
+    pub fn writer_with_batch(&self, flush_bytes: usize) -> ClusterWriter<'_> {
+        ClusterWriter {
+            cluster: self,
+            buffers: (0..self.node_count()).map(|_| Vec::new()).collect(),
+            buffered_bytes: vec![0; self.node_count()],
+            pending: Vec::new(),
+            flush_bytes: flush_bytes.max(1),
+            summary: WriteSummary::default(),
         }
-        for (node, rx) in pending {
-            rx.recv().map_err(|_| KvError::NodeGone(node))??;
-        }
-        Ok(())
     }
 
     /// Aggregated engine statistics across live nodes.
@@ -524,6 +534,134 @@ impl Cluster {
             }
         }
         total
+    }
+}
+
+/// Default per-node flush threshold for [`Cluster::writer`]: big
+/// enough to amortize the batch round trip, small enough that chunk
+/// encoding and backend storage genuinely overlap during bulk loads.
+pub const DEFAULT_WRITE_BATCH_BYTES: usize = 64 * 1024;
+
+/// A node buffer also flushes after this many pairs regardless of
+/// size, so streams of small values (chunk maps, metadata) still ship
+/// mid-encode instead of all piling up in [`ClusterWriter::finish`].
+pub const DEFAULT_WRITE_BATCH_PAIRS: usize = 32;
+
+/// Accounting for one [`ClusterWriter`] session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteSummary {
+    /// Pairs pushed (before replication).
+    pub pairs: usize,
+    /// Payload bytes pushed (key + value, before replication).
+    pub bytes: usize,
+    /// `MultiPut` batch messages shipped.
+    pub batches: usize,
+    /// Modeled network time: the max over nodes of each node's summed
+    /// batch times (nodes store their batches in parallel; one node
+    /// stores its own batches serially).
+    pub modeled: Duration,
+}
+
+/// A streaming, per-node-batched write session (see
+/// [`Cluster::writer`]). Dropping a writer without calling
+/// [`ClusterWriter::finish`] abandons buffered pairs and ignores
+/// outstanding batch results — always finish on the success path.
+pub struct ClusterWriter<'a> {
+    cluster: &'a Cluster,
+    /// Per-node buffered pairs awaiting a flush.
+    buffers: Vec<Vec<(Key, Value)>>,
+    /// Payload bytes buffered per node.
+    buffered_bytes: Vec<usize>,
+    /// Outstanding batch replies, tagged with the serving node.
+    pending: Vec<(usize, Receiver<Result<BatchPut, KvError>>)>,
+    /// Per-node buffer size that triggers a flush.
+    flush_bytes: usize,
+    summary: WriteSummary,
+}
+
+impl ClusterWriter<'_> {
+    /// Buffers one pair for every live replica of `key`, shipping any
+    /// node buffer that crossed the flush threshold. Does not wait for
+    /// the shipped batches — their results are collected by
+    /// [`ClusterWriter::finish`].
+    ///
+    /// Unlike a lone [`Cluster::put`] (which succeeds if *any*
+    /// replica took the write), a bulk writer refuses to silently drop
+    /// data: a key whose replicas are all down is an error.
+    pub fn push(&mut self, key: Key, value: Value) -> Result<(), KvError> {
+        let replicas = self.cluster.ring.replicas(&key, self.cluster.replication);
+        let mut live = replicas
+            .iter()
+            .copied()
+            .filter(|&n| !self.cluster.is_down(n));
+        let Some(mut prev) = live.next() else {
+            return Err(KvError::AllReplicasDown { tried: replicas });
+        };
+        self.summary.pairs += 1;
+        self.summary.bytes += key.len() + value.len();
+        // Move the pair into its last live replica's buffer; only the
+        // extra replicas (replication > 1) clone.
+        for node in live {
+            self.buffer(prev, key.clone(), value.clone())?;
+            prev = node;
+        }
+        self.buffer(prev, key, value)
+    }
+
+    fn buffer(&mut self, node: usize, key: Key, value: Value) -> Result<(), KvError> {
+        self.buffered_bytes[node] += key.len() + value.len();
+        self.buffers[node].push((key, value));
+        // The pair cap only applies to streaming writers; a deferred
+        // writer (`flush_bytes == usize::MAX`) batches everything.
+        if self.buffered_bytes[node] >= self.flush_bytes
+            || (self.flush_bytes != usize::MAX
+                && self.buffers[node].len() >= DEFAULT_WRITE_BATCH_PAIRS)
+        {
+            self.flush_node(node)?;
+        }
+        Ok(())
+    }
+
+    /// Ships `node`'s buffer as one `MultiPut` batch.
+    fn flush_node(&mut self, node: usize) -> Result<(), KvError> {
+        if self.buffers[node].is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.buffers[node]);
+        self.buffered_bytes[node] = 0;
+        let (tx, rx) = bounded(1);
+        self.cluster.senders[node]
+            .send(Request::MultiPut { pairs: batch, reply: tx })
+            .map_err(|_| KvError::NodeGone(node))?;
+        self.summary.batches += 1;
+        self.pending.push((node, rx));
+        Ok(())
+    }
+
+    /// Flushes every buffer and waits for all outstanding batches,
+    /// returning the session summary or the first batch error.
+    pub fn finish(mut self) -> Result<WriteSummary, KvError> {
+        for node in 0..self.buffers.len() {
+            self.flush_node(node)?;
+        }
+        let mut per_node = vec![Duration::ZERO; self.buffers.len()];
+        let mut first_err = None;
+        for (node, rx) in self.pending.drain(..) {
+            match rx.recv() {
+                Ok(Ok(batch)) => per_node[node] += batch.modeled,
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(KvError::NodeGone(node));
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.summary.modeled = per_node.into_iter().max().unwrap_or(Duration::ZERO);
+        Ok(self.summary)
     }
 }
 
@@ -785,6 +923,79 @@ mod tests {
             "one batch round trip per contacted node, got {}",
             s.batch_gets
         );
+    }
+
+    #[test]
+    fn multi_put_scatter_reports_slowest_node_batch() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .network(NetworkModel::lan_virtual())
+            .build();
+        let pairs: Vec<(Key, Value)> = (0..16u32)
+            .map(|i| (i.to_be_bytes().to_vec(), Bytes::from(vec![0u8; 100])))
+            .collect();
+        let modeled = c.multi_put_scatter(pairs).unwrap();
+        // Max over two nodes serving ~8 pairs each at >= 250 µs per
+        // pair; strictly less than the 16-pair serial sum.
+        assert!(modeled >= std::time::Duration::from_micros(4 * 250));
+        assert!(modeled < std::time::Duration::from_micros(16 * 300));
+        assert!(c.get(&0u32.to_be_bytes()).unwrap().is_some());
+    }
+
+    #[test]
+    fn streaming_writer_batches_and_stores_everything() {
+        let c = small_cluster(3, 2);
+        c.reset_stats();
+        // A tiny flush threshold forces many mid-stream batches.
+        let mut w = c.writer_with_batch(64);
+        for i in 0..200u32 {
+            w.push(i.to_be_bytes().to_vec(), Bytes::from(vec![i as u8; 32]))
+                .unwrap();
+        }
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.pairs, 200);
+        assert!(summary.batches > 3, "threshold never triggered a flush");
+        let s = c.stats();
+        assert_eq!(s.puts, 400, "2 replicas per pair");
+        assert_eq!(s.batch_puts as usize, summary.batches);
+        for i in 0..200u32 {
+            assert_eq!(
+                c.get(&i.to_be_bytes()).unwrap(),
+                Some(Bytes::from(vec![i as u8; 32]))
+            );
+        }
+    }
+
+    #[test]
+    fn writer_to_fully_down_replica_set_is_clean_error() {
+        let c = small_cluster(2, 1);
+        c.set_node_down(0, true);
+        c.set_node_down(1, true);
+        let mut w = c.writer();
+        match w.push(b"k".to_vec(), Bytes::from_static(b"v")) {
+            Err(KvError::AllReplicasDown { .. }) => {}
+            other => panic!("expected AllReplicasDown, got {other:?}"),
+        }
+        c.set_node_down(0, false);
+        c.set_node_down(1, false);
+    }
+
+    #[test]
+    fn writer_surfaces_node_going_down_mid_stream() {
+        let c = small_cluster(2, 1);
+        let mut w = c.writer_with_batch(usize::MAX);
+        for i in 0..40u32 {
+            w.push(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        // The node goes down after buffering but before the flush:
+        // finish must surface the failure, not drop the batch.
+        c.set_node_down(0, true);
+        match w.finish() {
+            Err(KvError::NodeDown(0)) => {}
+            other => panic!("expected NodeDown(0), got {other:?}"),
+        }
+        c.set_node_down(0, false);
     }
 
     #[test]

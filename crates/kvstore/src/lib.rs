@@ -33,9 +33,9 @@ pub mod ring;
 pub mod stats;
 pub mod types;
 
-pub use cluster::{Cluster, ClusterBuilder, EngineKind};
+pub use cluster::{Cluster, ClusterBuilder, ClusterWriter, EngineKind, WriteSummary};
 pub use error::KvError;
-pub use msg::BatchGet;
+pub use msg::{BatchGet, BatchPut};
 pub use netmodel::NetworkModel;
 pub use stats::StatsSnapshot;
 pub use types::{table_key, Key, Value};

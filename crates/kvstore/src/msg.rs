@@ -19,6 +19,20 @@ pub struct BatchGet {
     pub modeled: Duration,
 }
 
+/// Reply to a [`Request::MultiPut`]: the modeled network time the
+/// node accrued storing the whole batch. As with [`BatchGet`], a node
+/// serves its batch serially (per-pair charges add up) while nodes
+/// overlap, so a scatter-gather writer takes the *max* of these sums
+/// across the nodes it contacted in parallel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchPut {
+    /// Pairs stored by this batch.
+    pub stored: usize,
+    /// Modeled network time for the batch (latency + transfer per
+    /// pair, summed over the batch).
+    pub modeled: Duration,
+}
+
 /// Summary a node reports about its engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NodeInfo {
@@ -60,8 +74,8 @@ pub enum Request {
     MultiPut {
         /// Key/value pairs to store.
         pairs: Vec<(Key, Value)>,
-        /// Completion signal.
-        reply: Sender<Result<(), KvError>>,
+        /// Completion signal with the batch's modeled time.
+        reply: Sender<Result<BatchPut, KvError>>,
     },
     /// Remove one key.
     Delete {

@@ -18,6 +18,7 @@ pub struct ClusterStats {
     deletes: AtomicU64,
     misses: AtomicU64,
     batch_gets: AtomicU64,
+    batch_puts: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     modeled_nanos: AtomicU64,
@@ -46,6 +47,10 @@ impl ClusterStats {
         self.batch_gets.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_batch_put(&self) {
+        self.batch_puts.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_put(&self, bytes: usize) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.puts.fetch_add(1, Ordering::Relaxed);
@@ -71,6 +76,7 @@ impl ClusterStats {
             deletes: self.deletes.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             batch_gets: self.batch_gets.load(Ordering::Relaxed),
+            batch_puts: self.batch_puts.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             modeled_time: Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed)),
@@ -85,6 +91,7 @@ impl ClusterStats {
         self.deletes.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.batch_gets.store(0, Ordering::Relaxed);
+        self.batch_puts.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.modeled_nanos.store(0, Ordering::Relaxed);
@@ -107,6 +114,9 @@ pub struct StatsSnapshot {
     /// Node-batch round trips (one per `MultiGet` message) — the
     /// scatter-gather fan-out, as opposed to per-key `gets`.
     pub batch_gets: u64,
+    /// Node-batch write round trips (one per `MultiPut` message) —
+    /// the streaming-writer fan-out, as opposed to per-pair `puts`.
+    pub batch_puts: u64,
     /// Payload bytes returned by GETs.
     pub bytes_read: u64,
     /// Payload bytes accepted by PUTs.
@@ -125,6 +135,7 @@ impl StatsSnapshot {
             deletes: self.deletes - earlier.deletes,
             misses: self.misses - earlier.misses,
             batch_gets: self.batch_gets - earlier.batch_gets,
+            batch_puts: self.batch_puts - earlier.batch_puts,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             modeled_time: self.modeled_time.saturating_sub(earlier.modeled_time),
