@@ -7,7 +7,8 @@
 //! to 1 that improve with batch size (B1: 1.63 at batch n/8 down to
 //! 1.10 at n/2; C1: 1.08 → 1.005).
 
-use rstore_bench::{print_table, scaled, CHUNK_CAPACITY};
+use rstore_bench::{fmt_duration, fmt_fragmentation, print_table, scaled, CHUNK_CAPACITY};
+use rstore_core::compact::CompactionConfig;
 use rstore_core::online;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::RStore;
@@ -20,6 +21,12 @@ fn make_store(batch: usize) -> RStore {
         .chunk_capacity(CHUNK_CAPACITY)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .batch_size(batch)
+        // Eager victim selection so the PR-4 compaction section below
+        // repartitions the whole fragmented layout.
+        .compaction(CompactionConfig {
+            min_fill: 1.1,
+            ..CompactionConfig::default()
+        })
         .build(cluster)
 }
 
@@ -60,6 +67,38 @@ fn main() {
             &headers,
             &rows,
         );
+
+        // Compaction (PR 4): the online penalty is not permanent — one
+        // background repartition wins the offline layout quality back.
+        let batch = (n / 8).max(1);
+        let mut online_store = make_store(batch);
+        online::replay_commits(&mut online_store, &dataset).unwrap();
+        let mut offline_store = make_store(usize::MAX);
+        offline_store.load_dataset(&dataset).unwrap();
+        let offline_span = offline_store.total_version_span().max(1);
+        let before = online_store.fragmentation_stats();
+        match online_store.compact().unwrap() {
+            Some(report) => {
+                let after = online_store.fragmentation_stats();
+                println!(
+                    "\ncompaction at batch {batch}:\n  before: {}\n  after : {}\n  \
+                     online/offline ratio {:.3} -> {:.3} (offline span {offline_span}); \
+                     {} victims -> {} chunks, {} keys deleted, total {}",
+                    fmt_fragmentation(&before),
+                    fmt_fragmentation(&after),
+                    before.total_version_span as f64 / offline_span as f64,
+                    after.total_version_span as f64 / offline_span as f64,
+                    report.victims,
+                    report.new_chunks,
+                    report.keys_deleted,
+                    fmt_duration(report.total_time),
+                );
+            }
+            None => println!(
+                "\ncompaction at batch {batch}: layout already healthy ({})",
+                fmt_fragmentation(&before)
+            ),
+        }
     }
     println!(
         "\nShape check (paper): ratios stay close to 1 and improve (fall) \

@@ -7,6 +7,7 @@
 //! table rendering. `EXPERIMENTS.md` at the workspace root records
 //! paper-vs-measured for each experiment.
 
+use rstore_core::compact::FragmentationStats;
 use rstore_core::model::VersionId;
 use rstore_core::partition::{PartitionInput, Partitioning, PartitionerKind};
 use rstore_core::store::{IngestStages, RStore};
@@ -232,6 +233,22 @@ pub fn fmt_ingest_stages(s: &IngestStages) -> String {
         fmt_duration(s.index),
         fmt_duration(s.write),
         fmt_duration(s.modeled_write),
+    )
+}
+
+/// Renders a [`FragmentationStats`] measurement on one line.
+pub fn fmt_fragmentation(f: &FragmentationStats) -> String {
+    format!(
+        "{} chunk(s) ({} retired), mean fill {:.2} ({} under-filled) | \
+         span mean {:.2} / max {} (total {}) | est read amplification {:.2}x",
+        f.live_chunks,
+        f.retired_chunks,
+        f.mean_fill,
+        f.under_filled,
+        f.mean_version_span,
+        f.max_version_span,
+        f.total_version_span,
+        f.est_read_amplification,
     )
 }
 

@@ -1,0 +1,793 @@
+//! Background compaction & repartitioning: winning offline layout
+//! quality back from a long-running online store.
+//!
+//! The paper's online path (§4) trades layout quality for ingest
+//! latency: every batch flush appends a fresh chunk set and placed
+//! records are never re-partitioned, so a long-running store
+//! fragments — many under-filled chunks, versions spanning ever more
+//! chunks, growing query fan-out. The offline partitioners that the
+//! evaluation shows matter most run only at load time; the paper
+//! leaves periodic repartitioning as future work. This module is that
+//! subsystem: [`RStore::compact`] measures fragmentation
+//! ([`RStore::fragmentation_stats`]), selects a victim chunk set
+//! under a [`CompactionConfig`] policy, extracts the victims' records
+//! through the existing plan → fetch → extract pipeline, re-runs the
+//! configured partitioner over the merged items (re-grouping same-key
+//! records into §3.4 sub-chunks), rebuilds chunks and chunk maps
+//! through the parallel ingest pipeline, and reclaims the obsolete
+//! backend keys with one batched delete — all without taking the
+//! store offline.
+//!
+//! ## Crash-safety ordering
+//!
+//! Compaction never overwrites a live key. Chunk ids are allocated
+//! densely but **never reused**: the rebuilt generation takes fresh
+//! ids past the current maximum, and the victims become retired
+//! tombstones. The backend sees three strictly ordered effects:
+//!
+//! 1. **Write the new generation** — chunk blobs and chunk maps under
+//!    fresh ids, streamed through the same per-node batched writer
+//!    the ingest pipeline uses. Until step 2 lands, the persisted
+//!    metadata still references only the old generation, which is
+//!    fully intact — a crash here leaves harmless orphaned new keys.
+//! 2. **Persist the metadata** — projections (rewritten to reference
+//!    the new ids), version graph, chunk count and the retired-id
+//!    list, in one batched put. This is the commit point: a store
+//!    reopened before it serves the old generation, after it the new.
+//! 3. **Batch-delete the victims** — the old generation's chunk and
+//!    chunk-map keys, one `MultiDelete` per owning node
+//!    (`Cluster::multi_delete_scatter`). A crash between 2 and 3
+//!    leaves harmless orphaned *old* keys; the recovery scan plans
+//!    only live ids and never touches them.
+//!
+//! In-memory state (locator, projections, chunk maps, decoded-chunk
+//! cache) swaps between steps 1 and 2, so a *failed* step 2 leaves
+//! the running process serving the new generation (whose chunks are
+//! durable) while a restart would serve the old — both consistent,
+//! nothing lost.
+//!
+//! Commits still buffered in the delta store are untouched: their
+//! records are not yet placed, and their version ids are excluded
+//! from the rebuilt chunk maps so the next flush indexes them
+//! normally (chunk maps require strictly increasing version pushes).
+
+use crate::chunk::{Chunk, SubChunk};
+use crate::chunkmap::ChunkMap;
+use crate::cost::CostModel;
+use crate::error::CoreError;
+use crate::model::{ChunkId, CompositeKey, Record, VersionId};
+use crate::partition::PartitionInput;
+use crate::plan;
+use crate::query;
+use crate::store::{self, RStore, CHUNK_TABLE, CMAP_TABLE};
+use bytes::Bytes;
+use rstore_kvstore::{table_key, Key};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::time::{Duration, Instant};
+
+/// One rebuilt chunk's map-build job: the chunk id, its record
+/// count, and the `(version, sorted locals)` entries to encode.
+type RebuildMapJob = (u32, usize, Vec<(VersionId, Vec<usize>)>);
+
+/// Compaction policy: which chunks are fragmentation victims and when
+/// the store compacts on its own. [`RStore::compact`] can always be
+/// called explicitly; the auto-trigger only adds a cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionConfig {
+    /// Fill threshold: a live chunk whose compressed bytes are below
+    /// `min_fill × chunk_capacity` is a victim. Online flushes of
+    /// small batches leave many such chunks behind.
+    pub min_fill: f64,
+    /// Span threshold: when non-zero, every chunk in the span of a
+    /// version spanning more than `span_limit` chunks is also a
+    /// victim, unless the chunk is already packed to capacity
+    /// (rewriting full chunks costs much and usually buys little).
+    /// `0` disables the rule.
+    pub span_limit: usize,
+    /// Auto-trigger cadence: run a compaction after every
+    /// `every_flushes` batch flushes. `0` (the default) disables
+    /// auto-compaction entirely.
+    pub every_flushes: usize,
+    /// Minimum number of victims worth acting on: with fewer
+    /// candidates [`RStore::compact`] is a no-op (merging one chunk
+    /// into itself reclaims nothing).
+    pub min_chunks: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            min_fill: 0.6,
+            span_limit: 0,
+            every_flushes: 0,
+            min_chunks: 2,
+        }
+    }
+}
+
+impl CompactionConfig {
+    /// True when the auto-trigger cadence has elapsed.
+    pub fn auto_due(&self, flushes_since_compaction: usize) -> bool {
+        self.every_flushes > 0 && flushes_since_compaction >= self.every_flushes
+    }
+}
+
+/// A point-in-time measurement of layout decay, computable without
+/// running a compaction ([`RStore::fragmentation_stats`]): how full
+/// the chunks are, how many chunks a version retrieval touches, and
+/// how that compares with an ideally chunked layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FragmentationStats {
+    /// Live chunks (compaction-retired ids excluded).
+    pub live_chunks: usize,
+    /// Chunk ids retired by past compactions.
+    pub retired_chunks: usize,
+    /// Mean compressed fill fraction of live chunks (compressed bytes
+    /// over `chunk_capacity`; slack can push a chunk past 1.0).
+    pub mean_fill: f64,
+    /// Live chunks below the policy's `min_fill` threshold.
+    pub under_filled: usize,
+    /// Σ_v span(v) — the Fig. 8 metric.
+    pub total_version_span: usize,
+    /// Mean chunks per version retrieval.
+    pub mean_version_span: f64,
+    /// Worst version's span.
+    pub max_version_span: usize,
+    /// Estimated read amplification of a full version retrieval:
+    /// `mean_version_span` over the per-version query count an
+    /// ideally chunked layout would need (the "Independent
+    /// w/chunking" row of the paper's Table 1 cost model,
+    /// instantiated with this store's observed mean version width and
+    /// mean stored record size). ≈ 1 right after an offline load,
+    /// grows as the online path fragments the layout.
+    pub est_read_amplification: f64,
+}
+
+/// Per-stage wall-clock breakdown of one compaction — the
+/// counterpart of `IngestStages` for the maintenance path. The
+/// rebuild stages overlap their backend writes exactly as ingest
+/// does, so fields need not sum to the end-to-end time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionStages {
+    /// Fragmentation measurement + victim selection.
+    pub measure: Duration,
+    /// Fetching and decoding the victim chunks through the
+    /// plan → fetch → extract pipeline.
+    pub extract: Duration,
+    /// Sub-chunk re-grouping plus the partitioning algorithm.
+    pub partition: Duration,
+    /// Chunk assembly + serialization of the new generation
+    /// (overlaps the streaming writes).
+    pub rebuild: Duration,
+    /// Chunk-map builds for the new generation (overlaps writes).
+    pub index: Duration,
+    /// Wall time genuinely blocked on backend writes.
+    pub write: Duration,
+    /// Modeled network time of the new generation's writes (max over
+    /// parallel nodes, summed across sequential stages).
+    pub modeled_write: Duration,
+    /// Wall time spent reclaiming the old generation's keys.
+    pub delete: Duration,
+    /// Modeled network time of the batched deletes (max over nodes).
+    pub modeled_delete: Duration,
+    /// Worker threads the parallel stages ran on.
+    pub workers: usize,
+}
+
+/// Report from one [`RStore::compact`] run: what moved, what it cost,
+/// and the before/after fragmentation measurements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionReport {
+    /// Chunks retired (the victim set).
+    pub victims: usize,
+    /// Chunks the rebuilt generation produced.
+    pub new_chunks: usize,
+    /// Records extracted and re-placed.
+    pub records_moved: usize,
+    /// Sub-chunks rebuilt (same-key groups of up to `max_subchunk`).
+    pub subchunks_built: usize,
+    /// Key + value bytes written for the new generation (chunk blobs,
+    /// chunk maps; before replication).
+    pub bytes_rewritten: usize,
+    /// Compressed chunk bytes the retired generation occupied (chunk
+    /// maps excluded — their serialized size is not tracked).
+    pub bytes_reclaimed: usize,
+    /// Backend replica copies removed by the batched deletes.
+    pub keys_deleted: usize,
+    /// True when the batched delete failed *after* the commit point:
+    /// the compaction itself is durable and serving, but the retired
+    /// generation's keys linger as unreferenced orphans.
+    pub reclamation_failed: bool,
+    /// Fragmentation before the compaction.
+    pub before: FragmentationStats,
+    /// Fragmentation after the compaction.
+    pub after: FragmentationStats,
+    /// Per-stage timing breakdown.
+    pub stages: CompactionStages,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+}
+
+impl RStore {
+    /// Measures layout decay: per-chunk fill, per-version chunk span
+    /// and estimated read amplification, from the in-memory
+    /// projections and size tables — no backend round trip. Operators
+    /// (and the experiment binaries) use this to watch a long-running
+    /// online store fragment without paying for a compaction.
+    pub fn fragmentation_stats(&self) -> FragmentationStats {
+        let cfg = &self.config.compaction;
+        let capacity = self.config.chunk_capacity.max(1) as f64;
+        let mut live = 0usize;
+        let mut fill_sum = 0.0f64;
+        let mut under = 0usize;
+        for c in self.live_chunk_ids() {
+            let fill = self.chunk_sizes[c as usize] as f64 / capacity;
+            live += 1;
+            fill_sum += fill;
+            if fill < cfg.min_fill {
+                under += 1;
+            }
+        }
+        let versions = self.graph.len();
+        let mut total_span = 0usize;
+        let mut max_span = 0usize;
+        for v in 0..versions {
+            let span = self.projections.version_span(VersionId(v as u32));
+            total_span += span;
+            max_span = max_span.max(span);
+        }
+        let mean_span = if versions == 0 {
+            0.0
+        } else {
+            total_span as f64 / versions as f64
+        };
+
+        // Ideal per-version query count from the Table 1 cost model's
+        // "Independent w/chunking" row, fed the store's observed
+        // parameters (mean version width, mean stored record size).
+        // Only that row is consulted, so the delta/compression
+        // parameters are irrelevant here.
+        let placed = self.locator.len();
+        let est = if placed == 0 || versions == 0 || live == 0 {
+            1.0
+        } else {
+            let m_v = self
+                .contents
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>() as f64
+                / versions as f64;
+            let s = self.storage_bytes() as f64 / placed as f64;
+            let model = CostModel {
+                n: versions as f64,
+                m_v,
+                d: 0.0,
+                c: 1.0,
+                s,
+                s_c: capacity,
+            };
+            let ideal_queries = model.independent_chunked().version_queries;
+            mean_span / ideal_queries.max(1.0)
+        };
+
+        FragmentationStats {
+            live_chunks: live,
+            retired_chunks: self.retired.len(),
+            mean_fill: if live == 0 { 0.0 } else { fill_sum / live as f64 },
+            under_filled: under,
+            total_version_span: total_span,
+            mean_version_span: mean_span,
+            max_version_span: max_span,
+            est_read_amplification: est,
+        }
+    }
+
+    /// The victim set under the configured policy, in ascending id
+    /// order: under-filled live chunks, plus (when `span_limit` is
+    /// set) the non-full chunks of any version spanning too widely.
+    fn select_victims(&self) -> Vec<u32> {
+        let cfg = &self.config.compaction;
+        let capacity = self.config.chunk_capacity.max(1) as f64;
+        let fill = |c: u32| self.chunk_sizes[c as usize] as f64 / capacity;
+        let mut set: FxHashSet<u32> = self
+            .live_chunk_ids()
+            .filter(|&c| fill(c) < cfg.min_fill)
+            .collect();
+        if cfg.span_limit > 0 {
+            for v in 0..self.graph.len() {
+                let chunks = self.projections.chunks_of_version(VersionId(v as u32));
+                if chunks.len() > cfg.span_limit {
+                    set.extend(chunks.iter().copied().filter(|&c| fill(c) < 1.0));
+                }
+            }
+        }
+        let mut victims: Vec<u32> = set.into_iter().collect();
+        victims.sort_unstable();
+        victims
+    }
+
+    /// Compacts the store in place: retires the policy's victim
+    /// chunks, re-partitions their records with the configured
+    /// partitioner, writes the rebuilt generation under fresh chunk
+    /// ids, and reclaims the old keys with batched deletes. Returns
+    /// `Ok(None)` when fewer than `min_chunks` victims exist or no
+    /// candidate layout improves on the current one (nothing is
+    /// written in either case). See the module docs for the
+    /// crash-safety ordering.
+    ///
+    /// Repartitioning a *sparse* subset of records over the whole
+    /// version tree can mix records with very different lifetimes
+    /// into one chunk and widen version spans, so the cutover is
+    /// guarded: the candidate layout's span contribution is compared
+    /// against the victims' current contribution *before any backend
+    /// write*, and if the partial rebuild would regress, compaction
+    /// escalates once to a full repartition of every live chunk —
+    /// which reproduces the offline load's layout quality. If even
+    /// that does not improve, the store is already well-laid-out and
+    /// the call is a no-op.
+    ///
+    /// Pending (unflushed) commits are untouched and flush normally
+    /// afterwards.
+    pub fn compact(&mut self) -> Result<Option<CompactionReport>, CoreError> {
+        let result = self.compact_inner();
+        // Every attempt refreshes the parked maintenance error: a
+        // success (or a healthy no-op) clears a stale auto-compaction
+        // failure, a new failure replaces it — so
+        // [`RStore::last_compaction_error`] always reflects the most
+        // recent attempt.
+        self.last_compaction_error = result.as_ref().err().cloned();
+        result
+    }
+
+    fn compact_inner(&mut self) -> Result<Option<CompactionReport>, CoreError> {
+        let t0 = Instant::now();
+        // An attempt restarts the auto-trigger cadence even when it
+        // changes nothing — otherwise every subsequent flush would
+        // re-measure a layout already known to be healthy.
+        self.flushes_since_compaction = 0;
+        let workers = self.ingest_workers();
+        let mut stages = CompactionStages {
+            workers,
+            ..CompactionStages::default()
+        };
+
+        // -- measure: fragmentation + victim selection ----------------
+        let t = Instant::now();
+        let before = self.fragmentation_stats();
+        let victims = self.select_victims();
+        stages.measure = t.elapsed();
+        let min_chunks = self.config.compaction.min_chunks.max(1);
+        if victims.len() < min_chunks {
+            return Ok(None);
+        }
+
+        // Version ids still waiting in the delta store: their records
+        // are not placed yet, and the rebuilt chunk maps must not
+        // claim them — the next flush pushes them in order.
+        let pending: FxHashSet<u32> = self.pending_version_ids();
+
+        // -- extract + partition, staged: nothing is written yet ------
+        let mut staged = self.stage_rebuild(victims, &pending)?;
+        stages.extract += staged.extract;
+        stages.partition += staged.partition;
+        if !staged.improves() {
+            // The sparse rebuild would regress; escalate to a full
+            // repartition, which merges the kept chunks' records back
+            // in and reproduces offline layout quality. The victims
+            // are fetched a second time here — a deliberate
+            // simplicity trade: with a configured cache they are
+            // resident from the first pass, and escalation is the
+            // rare path.
+            let all: Vec<u32> = self.live_chunk_ids().collect();
+            if staged.victims.len() < all.len() && all.len() >= min_chunks {
+                staged = self.stage_rebuild(all, &pending)?;
+                stages.extract += staged.extract;
+                stages.partition += staged.partition;
+            }
+            if !staged.improves() {
+                return Ok(None);
+            }
+        }
+        let StagedRebuild {
+            victims,
+            victim_set,
+            records,
+            groups,
+            subchunks,
+            version_items,
+            version_members,
+            chunk_items,
+            bytes_reclaimed,
+            ..
+        } = staged;
+        let records_moved = records.len();
+        let subchunks_built = subchunks.len();
+
+        // -- rebuild: assemble the new generation under fresh ids and
+        // stream the blobs while later chunks encode -----------------
+        let t = Instant::now();
+        let base = self.chunk_maps.len() as u32;
+        let mut subchunk_slots: Vec<Option<SubChunk>> =
+            subchunks.into_iter().map(Some).collect();
+        // Staged placement, applied to `self` only after the backend
+        // holds the new generation.
+        let mut group_slot: Vec<(u32, u32)> = vec![(0, 0); groups.len()];
+        let mut new_sizes: Vec<usize> = Vec::with_capacity(chunk_items.len());
+        let mut new_counts: Vec<usize> = Vec::with_capacity(chunk_items.len());
+        let mut chunks: Vec<Chunk> = Vec::with_capacity(chunk_items.len());
+        for (ci, items) in chunk_items.iter().enumerate() {
+            let chunk_id = base + ci as u32;
+            let mut chunk = Chunk::new();
+            let mut local = 0u32;
+            for &g in items {
+                group_slot[g as usize] = (chunk_id, local);
+                let sc = subchunk_slots[g as usize].take().expect("group in one chunk");
+                local += sc.members.len() as u32;
+                chunk.subchunks.push(sc);
+            }
+            new_sizes.push(chunk.compressed_bytes());
+            new_counts.push(local as usize);
+            chunks.push(chunk);
+        }
+        let new_chunks = chunks.len();
+        let jobs: Vec<(u32, Chunk)> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (base + i as u32, c))
+            .collect();
+        let outcome = store::stream_chunk_blobs(&self.cluster, workers, jobs)?;
+        stages.rebuild = t.elapsed();
+        stages.write += outcome.write_wait;
+        stages.modeled_write += outcome.summary.modeled;
+        let mut bytes_rewritten = outcome.summary.bytes;
+
+        // Record ordinal → its new (chunk, local) slot.
+        let mut rec_slot: Vec<(u32, u32)> = vec![(0, 0); records.len()];
+        for (g, members) in groups.iter().enumerate() {
+            let (chunk, first) = group_slot[g];
+            for (offset, &i) in members.iter().enumerate() {
+                rec_slot[i as usize] = (chunk, first + offset as u32);
+            }
+        }
+
+        // -- index: rebuild the chunk maps for the new generation and
+        // stream them through the same writer stage ------------------
+        let t = Instant::now();
+        // Every new chunk gets a map even if empty, so the recovery
+        // scan never finds a blob without its other half.
+        let mut per_chunk: FxHashMap<u32, Vec<(VersionId, Vec<usize>)>> = (0..new_chunks)
+            .map(|ci| (base + ci as u32, Vec::new()))
+            .collect();
+        let mut touched: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for (v, members) in version_members.iter().enumerate() {
+            for &i in members {
+                let (chunk, local) = rec_slot[i as usize];
+                touched.entry(chunk).or_default().push(local as usize);
+            }
+            for (chunk, mut locals) in touched.drain() {
+                locals.sort_unstable();
+                per_chunk
+                    .get_mut(&chunk)
+                    .expect("new chunk id")
+                    .push((VersionId(v as u32), locals));
+            }
+        }
+        // Same two-pass shape as `RStore::index_versions` (group per
+        // chunk with ascending versions + sorted locals, then build
+        // each map on its own core and ride the streaming writer) —
+        // but over fresh maps that only join `self.chunk_maps` at the
+        // swap, instead of in-place `&mut` rewrites of resident maps.
+        let mut map_jobs: Vec<RebuildMapJob> = per_chunk
+            .into_iter()
+            .map(|(c, work)| (c, new_counts[(c - base) as usize], work))
+            .collect();
+        map_jobs.sort_unstable_by_key(|&(c, _, _)| c);
+        let built: Vec<(u32, ChunkMap, Bytes)> =
+            plan::parallel_map_owned(map_jobs, workers, |(c, n, work)| {
+                let mut map = ChunkMap::new(n);
+                for (v, locals) in work {
+                    map.push_version(v, locals.iter().copied());
+                }
+                let bytes = Bytes::from(map.serialize());
+                (c, map, bytes)
+            });
+        // Split the build output: serialized bytes move into the
+        // write list (no copy), the maps themselves are adopted at
+        // the swap below.
+        let mut writes: Vec<(Key, Bytes)> = Vec::with_capacity(built.len());
+        let mut adopted: Vec<(u32, ChunkMap)> = Vec::with_capacity(built.len());
+        for (c, map, bytes) in built {
+            writes.push((table_key(CMAP_TABLE, &ChunkId(c).to_key()), bytes));
+            adopted.push((c, map));
+        }
+        let outcome = store::stream_writes(&self.cluster, workers, writes)?;
+        stages.index = t.elapsed();
+        stages.write += outcome.write_wait;
+        stages.modeled_write += outcome.summary.modeled;
+        bytes_rewritten += outcome.summary.bytes;
+
+        // -- swap: the new generation is durable; point the in-memory
+        // serving state at it ----------------------------------------
+        self.chunk_sizes.extend(new_sizes);
+        for (c, map) in adopted {
+            debug_assert_eq!(c as usize, self.chunk_maps.len());
+            self.chunk_maps.push(map);
+        }
+        for (i, record) in records.iter().enumerate() {
+            self.locator.insert(record.composite_key(), rec_slot[i]);
+        }
+        self.projections.retain_chunks(|c| !victim_set.contains(&c));
+        for (v, items) in version_items.iter().enumerate() {
+            for &g in items {
+                self.projections
+                    .add_version_chunk(VersionId(v as u32), ChunkId(group_slot[g as usize].0));
+            }
+        }
+        for (g, members) in groups.iter().enumerate() {
+            let chunk = ChunkId(group_slot[g].0);
+            for &i in members {
+                self.projections.add_key_chunk(records[i as usize].pk, chunk);
+            }
+        }
+        for &c in &victims {
+            self.retired.insert(c);
+            self.chunk_sizes[c as usize] = 0;
+            self.chunk_maps[c as usize] = ChunkMap::default();
+        }
+
+        // -- commit point: persist the metadata -----------------------
+        let (meta_modeled, meta_wait) = self.persist_meta()?;
+        stages.modeled_write += meta_modeled;
+        stages.write += meta_wait;
+
+        // Stale decoded pairs of the retired generation (including
+        // the ones the extraction fetch just admitted) are
+        // unreachable through the rewritten projections, but drop
+        // them anyway to free budget.
+        for &c in &victims {
+            self.cache.invalidate(c);
+        }
+
+        // -- reclaim: batch-delete the old generation's keys ----------
+        let t = Instant::now();
+        let keys: Vec<Key> = victims
+            .iter()
+            .flat_map(|&c| {
+                [
+                    table_key(CHUNK_TABLE, &ChunkId(c).to_key()),
+                    table_key(CMAP_TABLE, &ChunkId(c).to_key()),
+                ]
+            })
+            .collect();
+        // Past the commit point the compaction *is* durable — a
+        // reclamation failure must not report it as failed. Old keys
+        // a dying node kept behind are unreferenced orphans (the
+        // persisted metadata no longer knows their ids), so the error
+        // is contained in the report rather than propagated.
+        let (modeled_delete, keys_deleted, reclamation_failed) =
+            match self.cluster.multi_delete_scatter(keys) {
+                Ok((modeled, removed)) => (modeled, removed, false),
+                Err(_) => (Duration::ZERO, 0, true),
+            };
+        stages.delete = t.elapsed();
+        stages.modeled_delete = modeled_delete;
+
+        let report = CompactionReport {
+            victims: victims.len(),
+            new_chunks,
+            records_moved,
+            subchunks_built,
+            bytes_rewritten,
+            bytes_reclaimed,
+            keys_deleted,
+            reclamation_failed,
+            before,
+            after: self.fragmentation_stats(),
+            stages,
+            total_time: t0.elapsed(),
+        };
+        self.last_compaction = Some(report);
+        Ok(Some(report))
+    }
+
+    /// Plans a rebuild of `victims` without touching the backend:
+    /// fetches and extracts their records through the read pipeline,
+    /// re-groups same-key records into sub-chunks, re-runs the
+    /// configured partitioner, and evaluates the candidate layout's
+    /// span contribution against the victims' current one.
+    fn stage_rebuild(
+        &self,
+        victims: Vec<u32>,
+        pending: &FxHashSet<u32>,
+    ) -> Result<StagedRebuild, CoreError> {
+        // -- extract: fetch victims through plan → fetch → extract ----
+        let t = Instant::now();
+        let scan = self.plan_chunks(victims.clone())?;
+        let fetched = self.execute(scan)?;
+        let mut records: Vec<Record> = Vec::new();
+        for dc in fetched.into_chunks() {
+            records.extend(query::extract_all(&dc.chunk)?);
+        }
+        let extract = t.elapsed();
+
+        let t = Instant::now();
+        // Order same-key records by origin so each key's history is
+        // contiguous, then cut groups of up to `k`: the compaction
+        // counterpart of the §3.4 grouping (origin order approximates
+        // version-tree connectivity — parents precede children).
+        let workers = self.ingest_workers();
+        let k = self.config.max_subchunk.max(1);
+        let mut order: Vec<u32> = (0..records.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            let r = &records[i as usize];
+            (r.pk, r.origin)
+        });
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for idx in order {
+            match groups.last_mut() {
+                Some(g)
+                    if g.len() < k
+                        && records[g[0] as usize].pk == records[idx as usize].pk =>
+                {
+                    g.push(idx)
+                }
+                _ => groups.push(vec![idx]),
+            }
+        }
+        let subchunks: Vec<SubChunk> = plan::parallel_map(&groups, workers, |members| {
+            let recs: Vec<(CompositeKey, &[u8])> = members
+                .iter()
+                .map(|&i| {
+                    let r = &records[i as usize];
+                    (r.composite_key(), r.payload.as_ref())
+                })
+                .collect();
+            SubChunk::build(&recs)
+        });
+
+        // Membership per version: the moved records (by extraction
+        // ordinal) and the distinct groups each flushed version
+        // touches — the partitioner sees groups, the chunk-map
+        // rebuild sees record ordinals.
+        let mut ord_of: FxHashMap<CompositeKey, u32> = FxHashMap::default();
+        for (i, r) in records.iter().enumerate() {
+            ord_of.insert(r.composite_key(), i as u32);
+        }
+        let mut group_of_rec: Vec<u32> = vec![0; records.len()];
+        for (g, members) in groups.iter().enumerate() {
+            for &i in members {
+                group_of_rec[i as usize] = g as u32;
+            }
+        }
+        let num_versions = self.graph.len();
+        let mut version_items: Vec<Vec<u32>> = vec![Vec::new(); num_versions];
+        let mut version_members: Vec<Vec<u32>> = vec![Vec::new(); num_versions];
+        let mut mark: Vec<u32> = vec![u32::MAX; groups.len()];
+        for v in 0..num_versions {
+            if pending.contains(&(v as u32)) {
+                continue;
+            }
+            let mut items: Vec<u32> = Vec::new();
+            let mut members: Vec<u32> = Vec::new();
+            for &(pk, origin) in &self.contents[v] {
+                let ck = CompositeKey::new(pk, origin);
+                if let Some(&i) = ord_of.get(&ck) {
+                    members.push(i);
+                    let g = group_of_rec[i as usize];
+                    if mark[g as usize] != v as u32 {
+                        mark[g as usize] = v as u32;
+                        items.push(g);
+                    }
+                }
+            }
+            items.sort_unstable();
+            version_items[v] = items;
+            version_members[v] = members;
+        }
+        let item_sizes: Vec<u32> = subchunks
+            .iter()
+            .map(|s| s.compressed_bytes() as u32)
+            .collect();
+        let item_pk: Vec<u64> = groups
+            .iter()
+            .map(|g| records[g[0] as usize].pk)
+            .collect();
+        let tree = self.graph.to_tree();
+        let input = PartitionInput {
+            tree: &tree,
+            version_items: &version_items,
+            item_sizes: &item_sizes,
+            item_pk: &item_pk,
+        };
+        let partitioner = self.config.partitioner.build(self.config.chunk_capacity);
+        let partitioning = partitioner.partition(&input);
+        let partition = t.elapsed();
+
+        // Span bookkeeping for the cutover guard: what the victims
+        // contribute today vs. what the candidate layout would.
+        let victim_set: FxHashSet<u32> = victims.iter().copied().collect();
+        let mut old_span = 0usize;
+        for v in 0..num_versions {
+            old_span += self
+                .projections
+                .chunks_of_version(VersionId(v as u32))
+                .iter()
+                .filter(|c| victim_set.contains(c))
+                .count();
+        }
+        let mut new_span = 0usize;
+        let mut chunk_mark: Vec<u32> = vec![u32::MAX; partitioning.num_chunks];
+        for (v, items) in version_items.iter().enumerate() {
+            for &g in items {
+                let c = partitioning.chunk_of[g as usize] as usize;
+                if chunk_mark[c] != v as u32 {
+                    chunk_mark[c] = v as u32;
+                    new_span += 1;
+                }
+            }
+        }
+        let bytes_reclaimed = victims
+            .iter()
+            .map(|&c| self.chunk_sizes[c as usize])
+            .sum();
+
+        Ok(StagedRebuild {
+            victims,
+            victim_set,
+            records,
+            groups,
+            subchunks,
+            version_items,
+            version_members,
+            chunk_items: partitioning.chunk_items(),
+            old_span,
+            new_span,
+            bytes_reclaimed,
+            extract,
+            partition,
+        })
+    }
+}
+
+/// A fully planned rebuild that has not touched the backend: the
+/// extracted records, their re-grouping, the candidate partitioning,
+/// and the span comparison that decides whether it cuts over.
+struct StagedRebuild {
+    /// Victim chunk ids, ascending.
+    victims: Vec<u32>,
+    /// The same ids as a set.
+    victim_set: FxHashSet<u32>,
+    /// Records extracted from the victims, in extraction order.
+    records: Vec<Record>,
+    /// Sub-chunk groups of record ordinals (first member is the
+    /// delta-encoding root).
+    groups: Vec<Vec<u32>>,
+    /// The rebuilt sub-chunks, aligned with `groups`.
+    subchunks: Vec<SubChunk>,
+    /// Distinct groups per flushed version (partitioner input).
+    version_items: Vec<Vec<u32>>,
+    /// Moved record ordinals per flushed version (chunk-map input).
+    version_members: Vec<Vec<u32>>,
+    /// Groups per candidate chunk, in candidate-chunk order.
+    chunk_items: Vec<Vec<u32>>,
+    /// Span the victims contribute under the current layout.
+    old_span: usize,
+    /// Span the candidate chunks would contribute.
+    new_span: usize,
+    /// Compressed chunk bytes the victims occupy.
+    bytes_reclaimed: usize,
+    /// Wall time of the extract stage.
+    extract: Duration,
+    /// Wall time of the grouping + partitioning stage.
+    partition: Duration,
+}
+
+impl StagedRebuild {
+    /// True when cutting over helps: the span contribution shrinks,
+    /// or stays equal while the chunk count drops (better fill, same
+    /// fan-out).
+    fn improves(&self) -> bool {
+        self.new_span < self.old_span
+            || (self.new_span == self.old_span && self.chunk_items.len() < self.victims.len())
+    }
+}

@@ -87,17 +87,41 @@ impl Projections {
     }
 
     /// The single planner consultation: resolves a query's span —
-    /// the sorted chunk ids it must touch — in one call. `all_chunks`
-    /// bounds the recovery scan ([`QuerySpec::Scan`]), which the
-    /// projections themselves do not know.
-    pub fn chunks_for(&self, spec: &QuerySpec, all_chunks: usize) -> Vec<u32> {
+    /// the sorted chunk ids it must touch — in one call. The
+    /// projections do not know the store's chunk universe, so
+    /// [`QuerySpec::Scan`] is resolved through `scan_chunks`, which
+    /// the store supplies as its *live* id set (compaction-retired
+    /// ids have no backend keys and must never be planned). The
+    /// closure is only invoked for a scan.
+    pub fn chunks_for(
+        &self,
+        spec: &QuerySpec,
+        scan_chunks: impl FnOnce() -> Vec<u32>,
+    ) -> Vec<u32> {
         match *spec {
             QuerySpec::Version(v) => self.chunks_of_version(v).to_vec(),
             QuerySpec::Record { pk, v } => self.chunks_of_key_and_version(pk, v),
             QuerySpec::Range { lo, hi, v } => self.chunks_of_range(lo, hi, v),
             QuerySpec::Evolution { pk } => self.chunks_of_key(pk).to_vec(),
-            QuerySpec::Scan => (0..all_chunks as u32).collect(),
+            QuerySpec::Scan => scan_chunks(),
         }
+    }
+
+    /// Drops every chunk id for which `keep` returns `false` from
+    /// both projections — the compaction swap's bulk edit: retired
+    /// chunks vanish from every version and key list in one pass, and
+    /// keys left with no chunks are removed entirely. Order within
+    /// each list is preserved, so subsequent
+    /// [`Projections::add_version_chunk`]/[`Projections::add_key_chunk`]
+    /// insertions keep the sorted invariant.
+    pub fn retain_chunks(&mut self, keep: impl Fn(u32) -> bool) {
+        for list in &mut self.version_chunks {
+            list.retain(|&c| keep(c));
+        }
+        self.key_chunks.retain(|_, list| {
+            list.retain(|&c| keep(c));
+            !list.is_empty()
+        });
     }
 
     /// Number of versions tracked.
@@ -304,6 +328,25 @@ mod tests {
         assert!(Projections::deserialize(&[9, 9, 9]).is_err());
         let bytes = sample().serialize();
         assert!(Projections::deserialize(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn retain_chunks_drops_everywhere() {
+        let mut p = sample();
+        // Retire chunk 0: gone from both versions and key 10; key 10
+        // keeps chunk 2, key 20 (chunk 1 only) is untouched.
+        p.retain_chunks(|c| c != 0);
+        assert_eq!(p.chunks_of_version(VersionId(0)), &[1]);
+        assert_eq!(p.chunks_of_version(VersionId(1)), &[2]);
+        assert_eq!(p.chunks_of_key(10), &[2]);
+        assert_eq!(p.chunks_of_key(20), &[1]);
+        // Retiring a key's last chunk removes the key entry.
+        p.retain_chunks(|c| c != 2);
+        assert_eq!(p.chunks_of_key(10), &[] as &[u32]);
+        assert_eq!(p.num_keys(), 1);
+        // Re-adding after retention keeps the sorted invariant.
+        p.add_version_chunk(VersionId(0), ChunkId(0));
+        assert_eq!(p.chunks_of_version(VersionId(0)), &[0, 1]);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   same-key records, delta-encoded and compressed ([`subchunk`]),
 //! * ingests new versions through a batched **online** path
 //!   ([`online`]) that never re-partitions placed records,
+//! * wins the offline layout quality back on long-running online
+//!   stores through a crash-safe background
+//!   **compaction/repartitioning** subsystem ([`compact`]),
 //! * answers the four query classes of §2.1 — record, version, range
 //!   and evolution retrieval — through an explicit
 //!   **plan → fetch → extract** pipeline ([`plan`], [`store`],
@@ -33,6 +36,7 @@
 pub mod cache;
 pub mod chunk;
 pub mod chunkmap;
+pub mod compact;
 pub mod cost;
 pub mod error;
 pub mod index;
@@ -46,6 +50,7 @@ pub mod store;
 pub mod subchunk;
 
 pub use cache::{CacheStats, ChunkCache, DecodedChunk};
+pub use compact::{CompactionConfig, CompactionReport, CompactionStages, FragmentationStats};
 pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 pub use partition::{Partitioner, PartitionerKind};

@@ -62,7 +62,8 @@ pub fn replay_commits(store: &mut RStore, dataset: &Dataset) -> Result<(), CoreE
         let assigned = store.commit(req)?;
         debug_assert_eq!(assigned, node.id);
     }
-    store.seal()
+    store.seal()?;
+    Ok(())
 }
 
 /// Replays only the first `limit` versions (Fig. 13 measures quality

@@ -35,6 +35,7 @@
 use crate::cache::{CacheStats, ChunkCache};
 use crate::chunk::{Chunk, SubChunk};
 use crate::chunkmap::ChunkMap;
+use crate::compact::{CompactionConfig, CompactionReport};
 use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
@@ -45,8 +46,9 @@ use crate::subchunk::SubchunkPlan;
 use bytes::Bytes;
 use crossbeam::channel::bounded;
 use rstore_kvstore::{table_key, Cluster, Key, KvError, WriteSummary};
+use rstore_compress::varint;
 use rstore_vgraph::{Dataset, VersionDelta, VersionGraph};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -97,6 +99,11 @@ pub struct StoreConfig {
     /// reference path — no scoped threads, and every backend write
     /// deferred to one scatter-gather put at the end of the stage.
     pub ingest_threads: usize,
+    /// Background compaction policy (see
+    /// [`CompactionConfig`]): candidate-selection thresholds and the
+    /// auto-trigger cadence. Auto-compaction is off by default;
+    /// [`RStore::compact`] always works regardless.
+    pub compaction: CompactionConfig,
 }
 
 impl Default for StoreConfig {
@@ -110,6 +117,7 @@ impl Default for StoreConfig {
             cache_budget: DEFAULT_CACHE_BUDGET,
             cache_shards: 8,
             ingest_threads: 0,
+            compaction: CompactionConfig::default(),
         }
     }
 }
@@ -172,6 +180,12 @@ impl RStoreBuilder {
         self
     }
 
+    /// Sets the compaction policy (thresholds + auto-trigger cadence).
+    pub fn compaction(mut self, config: CompactionConfig) -> Self {
+        self.config.compaction = config;
+        self
+    }
+
     /// Finishes the builder against a backend cluster.
     pub fn build(self, cluster: Cluster) -> RStore {
         RStore {
@@ -184,7 +198,11 @@ impl RStoreBuilder {
             locator: FxHashMap::default(),
             chunk_maps: Vec::new(),
             chunk_sizes: Vec::new(),
+            retired: FxHashSet::default(),
             pending: Vec::new(),
+            flushes_since_compaction: 0,
+            last_compaction: None,
+            last_compaction_error: None,
         }
     }
 }
@@ -281,13 +299,13 @@ type MapBuildJob<'a> = (u32, &'a mut ChunkMap, Vec<(VersionId, Vec<usize>)>);
 /// how long the stage was genuinely blocked on backend writes (batch
 /// shipping + waiting for outstanding replies — channel idle time,
 /// which is hidden behind encoding, is excluded).
-struct StreamOutcome {
-    summary: WriteSummary,
-    write_wait: Duration,
+pub(crate) struct StreamOutcome {
+    pub(crate) summary: WriteSummary,
+    pub(crate) write_wait: Duration,
 }
 
 impl StreamOutcome {
-    fn fold_into(&self, stages: &mut IngestStages) {
+    pub(crate) fn fold_into(&self, stages: &mut IngestStages) {
         stages.write += self.write_wait;
         stages.modeled_write += self.summary.modeled;
     }
@@ -296,7 +314,7 @@ impl StreamOutcome {
 /// Ships pre-encoded pairs through a [`Cluster::writer`]: streaming
 /// per-node batches when the pipeline is parallel (`workers > 1`),
 /// one deferred scatter-gather put on the serial reference path.
-fn stream_writes(
+pub(crate) fn stream_writes(
     cluster: &Cluster,
     workers: usize,
     writes: Vec<(Key, Bytes)>,
@@ -329,7 +347,7 @@ fn stream_writes(
 /// exactly the pre-pipeline behaviour. Either way the final backend
 /// state is identical — jobs produce their bytes deterministically
 /// and write order is irrelevant under distinct keys.
-fn encode_and_stream<J, F>(
+pub(crate) fn encode_and_stream<J, F>(
     cluster: &Cluster,
     workers: usize,
     jobs: Vec<J>,
@@ -384,6 +402,23 @@ where
     result.map_err(CoreError::from)
 }
 
+
+/// Serializes chunks on their own cores and streams the blobs to the
+/// chunk table in per-node batches — the shared assemble-stage tail
+/// of the bulk load, the batch flush and the compaction rebuild, so
+/// the chunk key layout and serialization live in exactly one place.
+pub(crate) fn stream_chunk_blobs(
+    cluster: &Cluster,
+    workers: usize,
+    jobs: Vec<(u32, Chunk)>,
+) -> Result<StreamOutcome, CoreError> {
+    encode_and_stream(cluster, workers, jobs, |(id, chunk)| {
+        (
+            table_key(CHUNK_TABLE, &ChunkId(id).to_key()),
+            Bytes::from(chunk.serialize()),
+        )
+    })
+}
 
 /// A commit: a new version described relative to its parent.
 #[derive(Debug, Clone, Default)]
@@ -451,22 +486,39 @@ impl CommitRequest {
 
 /// The RStore instance (application-server state + backend handle).
 pub struct RStore {
-    cluster: Cluster,
+    pub(crate) cluster: Cluster,
     /// Decoded-chunk cache; interior mutability keeps queries `&self`.
-    cache: ChunkCache,
-    config: StoreConfig,
-    graph: VersionGraph,
+    pub(crate) cache: ChunkCache,
+    pub(crate) config: StoreConfig,
+    pub(crate) graph: VersionGraph,
     /// Per version: sorted `(pk, origin)` pairs.
-    contents: Vec<Vec<(PrimaryKey, VersionId)>>,
-    projections: Projections,
+    pub(crate) contents: Vec<Vec<(PrimaryKey, VersionId)>>,
+    pub(crate) projections: Projections,
     /// Composite key → (chunk, chunk-local ordinal).
-    locator: FxHashMap<CompositeKey, (u32, u32)>,
+    pub(crate) locator: FxHashMap<CompositeKey, (u32, u32)>,
     /// In-memory chunk maps (authoritative; persisted per batch).
-    chunk_maps: Vec<ChunkMap>,
-    /// Compressed bytes per chunk.
-    chunk_sizes: Vec<usize>,
+    /// Indexed by chunk id; retired ids keep an empty tombstone map so
+    /// ids never shift.
+    pub(crate) chunk_maps: Vec<ChunkMap>,
+    /// Compressed bytes per chunk (0 for retired ids).
+    pub(crate) chunk_sizes: Vec<usize>,
+    /// Chunk ids retired by compaction: their backend keys are
+    /// deleted (or orphaned) and no projection references them.
+    pub(crate) retired: FxHashSet<u32>,
     /// The delta store: commits awaiting a partitioning pass.
     pending: Vec<(VersionId, VersionDelta)>,
+    /// Batch flushes since the last compaction (the auto-trigger
+    /// counter).
+    pub(crate) flushes_since_compaction: usize,
+    /// Report of the most recent compaction (explicit or
+    /// auto-triggered), for observability.
+    pub(crate) last_compaction: Option<CompactionReport>,
+    /// Error of the most recent compaction attempt, if it failed;
+    /// cleared by the next successful attempt. Auto-triggered runs
+    /// surface failures only here (the flush that triggered them was
+    /// already durable); explicit [`RStore::compact`] calls also
+    /// propagate the error.
+    pub(crate) last_compaction_error: Option<CoreError>,
 }
 
 impl RStore {
@@ -496,9 +548,39 @@ impl RStore {
         self.cache.stats()
     }
 
-    /// Number of chunks in the backend.
+    /// Number of live chunks in the backend (retired compaction
+    /// victims excluded).
     pub fn chunk_count(&self) -> usize {
-        self.chunk_maps.len()
+        self.chunk_maps.len() - self.retired.len()
+    }
+
+    /// Live chunk ids in ascending order. Chunk ids are assigned
+    /// densely at creation but never reused, so after a compaction the
+    /// live set has holes where the retired generation used to be.
+    pub fn live_chunk_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.chunk_maps.len() as u32).filter(|c| !self.retired.contains(c))
+    }
+
+    /// Chunk ids retired by past compactions.
+    pub fn retired_chunk_count(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Report of the most recent [`RStore::compact`] run (explicit or
+    /// auto-triggered by the flush cadence), if any.
+    pub fn last_compaction(&self) -> Option<&CompactionReport> {
+        self.last_compaction.as_ref()
+    }
+
+    /// Error of the most recent compaction attempt, if it failed;
+    /// cleared by the next successful (or no-op) attempt. For
+    /// auto-triggered runs this is the only surface — the flush that
+    /// triggered them was already durable, so the error is contained
+    /// here rather than poisoning the commit; a failed compaction
+    /// leaves the store fully serving (see the `compact` module
+    /// docs).
+    pub fn last_compaction_error(&self) -> Option<&CoreError> {
+        self.last_compaction_error.as_ref()
     }
 
     /// Number of versions committed or loaded.
@@ -547,7 +629,7 @@ impl RStore {
 
     /// Worker threads the ingest pipeline runs on (resolves the
     /// `0 = auto` configuration against the machine).
-    fn ingest_workers(&self) -> usize {
+    pub(crate) fn ingest_workers(&self) -> usize {
         plan::worker_count(self.config.ingest_threads)
     }
 
@@ -633,12 +715,7 @@ impl RStore {
             .enumerate()
             .map(|(i, c)| (i as u32, c))
             .collect();
-        let outcome = encode_and_stream(&self.cluster, workers, jobs, |(id, chunk)| {
-            (
-                table_key(CHUNK_TABLE, &ChunkId(id).to_key()),
-                Bytes::from(chunk.serialize()),
-            )
-        })?;
+        let outcome = stream_chunk_blobs(&self.cluster, workers, jobs)?;
         stages.assemble = t.elapsed();
         outcome.fold_into(&mut stages);
 
@@ -759,12 +836,22 @@ impl RStore {
         Ok((dirty.len(), outcome))
     }
 
-    /// Persists the projections, version graph and chunk count — one
-    /// batched scatter-gather put instead of three serial round trips.
-    /// Returns `(modeled write time, wall time blocked on the put)`
-    /// for the stage accounting; serialization happens before the
-    /// clock starts so only backend time counts as write-blocked.
-    fn persist_meta(&self) -> Result<(Duration, Duration), CoreError> {
+    /// Persists the projections, version graph, chunk count and the
+    /// retired-chunk list — one batched scatter-gather put instead of
+    /// serial round trips. For a compaction this put is the *commit
+    /// point*: until it lands, the persisted metadata references only
+    /// the old generation, which is still fully present. Returns
+    /// `(modeled write time, wall time blocked on the put)` for the
+    /// stage accounting; serialization happens before the clock starts
+    /// so only backend time counts as write-blocked.
+    pub(crate) fn persist_meta(&self) -> Result<(Duration, Duration), CoreError> {
+        let mut retired: Vec<u32> = self.retired.iter().copied().collect();
+        retired.sort_unstable();
+        let mut retired_bytes = Vec::with_capacity(4 + retired.len() * 2);
+        varint::write_u64(&mut retired_bytes, retired.len() as u64);
+        for c in retired {
+            varint::write_u32(&mut retired_bytes, c);
+        }
         let pairs = vec![
             (
                 table_key(META_TABLE, b"projections"),
@@ -778,6 +865,7 @@ impl RStore {
                 table_key(META_TABLE, b"chunk_count"),
                 Bytes::from((self.chunk_maps.len() as u64).to_be_bytes().to_vec()),
             ),
+            (table_key(META_TABLE, b"retired"), Bytes::from(retired_bytes)),
         ];
         let t = Instant::now();
         let modeled = self.cluster.multi_put_scatter(pairs)?;
@@ -807,6 +895,22 @@ impl RStore {
                 .try_into()
                 .map_err(|_| CoreError::Codec("bad chunk count".into()))?,
         ) as usize;
+        // The retired-chunk list (absent on stores persisted before
+        // compaction existed — treated as empty).
+        let mut retired: FxHashSet<u32> = FxHashSet::default();
+        if let Some(bytes) = cluster.get(&table_key(META_TABLE, b"retired"))? {
+            let mut r = varint::VarintReader::new(&bytes);
+            let n = r.read_u64()? as usize;
+            if n > bytes.len() {
+                return Err(CoreError::Codec("retired count exceeds input".into()));
+            }
+            for _ in 0..n {
+                retired.insert(r.read_u32()?);
+            }
+            if !r.is_empty() {
+                return Err(CoreError::Codec("trailing bytes in retired list".into()));
+            }
+        }
 
         let mut store = RStore {
             cluster,
@@ -818,20 +922,31 @@ impl RStore {
             locator: FxHashMap::default(),
             chunk_maps: Vec::with_capacity(chunk_count),
             chunk_sizes: Vec::with_capacity(chunk_count),
+            retired,
             pending: Vec::new(),
+            flushes_since_compaction: 0,
+            last_compaction: None,
+            last_compaction_error: None,
         };
 
-        // Rebuild chunk-derived state with one scan over all chunks —
-        // a recovery plan executed through the scatter-gather pipeline
-        // (which also warms the cache when one is configured).
-        let scan = store.plan_chunks((0..chunk_count as u32).collect())?;
+        // Rebuild chunk-derived state with one scan over the *live*
+        // chunks — a recovery plan executed through the scatter-gather
+        // pipeline (which also warms the cache when one is
+        // configured). Retired ids keep empty tombstone slots so ids
+        // never shift.
+        let live: Vec<u32> = (0..chunk_count as u32)
+            .filter(|c| !store.retired.contains(c))
+            .collect();
+        let scan = store.plan_chunks(live.clone())?;
         let fetched = store.execute(scan)?;
         let mut contents_maps: Vec<FxHashMap<PrimaryKey, VersionId>> =
             vec![FxHashMap::default(); store.graph.len()];
-        for (c, dc) in fetched.into_chunks().into_iter().enumerate() {
+        store.chunk_maps.resize(chunk_count, ChunkMap::default());
+        store.chunk_sizes.resize(chunk_count, 0);
+        for (&c, dc) in live.iter().zip(fetched.into_chunks()) {
             let keys = dc.local_keys();
             for (local, ck) in keys.iter().enumerate() {
-                store.locator.insert(*ck, (c as u32, local as u32));
+                store.locator.insert(*ck, (c, local as u32));
             }
             for (v, bitmap) in dc.map.iter() {
                 for local in bitmap.iter_ones() {
@@ -839,14 +954,14 @@ impl RStore {
                     contents_maps[v.index()].insert(ck.pk, ck.origin);
                 }
             }
-            store.chunk_sizes.push(dc.chunk.compressed_bytes());
+            store.chunk_sizes[c as usize] = dc.chunk.compressed_bytes();
             // Sole owner (cache disabled) moves the map out; a cached
             // copy keeps its Arc and the map is cloned.
             let map = match Arc::try_unwrap(dc) {
                 Ok(owned) => owned.map,
                 Err(shared) => shared.map.clone(),
             };
-            store.chunk_maps.push(map);
+            store.chunk_maps[c as usize] = map;
         }
         store.contents = contents_maps
             .into_iter()
@@ -984,6 +1099,13 @@ impl RStore {
         self.pending.len()
     }
 
+    /// Version ids still buffered in the delta store (compaction must
+    /// not claim them in rebuilt chunk maps: their records are
+    /// unplaced and chunk maps require strictly increasing pushes).
+    pub(crate) fn pending_version_ids(&self) -> FxHashSet<u32> {
+        self.pending.iter().map(|&(v, _)| v.as_u32()).collect()
+    }
+
     /// Flushes the delta store: partitions the batch's new records
     /// into fresh chunks (never re-partitioning placed records, §4),
     /// updates chunk maps and projections, and persists everything —
@@ -1079,12 +1201,7 @@ impl RStore {
                 .enumerate()
                 .map(|(i, c)| (base_chunk + i as u32, c))
                 .collect();
-            let outcome = encode_and_stream(&self.cluster, workers, jobs, |(id, chunk)| {
-                (
-                    table_key(CHUNK_TABLE, &ChunkId(id).to_key()),
-                    Bytes::from(chunk.serialize()),
-                )
-            })?;
+            let outcome = stream_chunk_blobs(&self.cluster, workers, jobs)?;
             stages.assemble = t.elapsed();
             outcome.fold_into(&mut stages);
         }
@@ -1098,6 +1215,21 @@ impl RStore {
         let (meta_modeled, meta_wait) = self.persist_meta()?;
         stages.modeled_write += meta_modeled;
         stages.write += meta_wait;
+
+        // Auto-compaction: after the configured number of flushes the
+        // layout is measured, and if it decayed past the policy
+        // thresholds the store repartitions in place (§4 leaves
+        // periodic repartitioning as future work; this is it). The
+        // flush itself is durable by now, so a failing *maintenance*
+        // pass must not turn the successful commit into an error —
+        // a compaction failure leaves both generations consistent
+        // (see `compact.rs`) and is surfaced via
+        // [`RStore::last_compaction_error`] (which `compact` records
+        // itself) instead of propagating.
+        self.flushes_since_compaction += 1;
+        if self.config.compaction.auto_due(self.flushes_since_compaction) {
+            let _ = self.compact();
+        }
         Ok(FlushReport {
             versions: versions.len(),
             new_records,
@@ -1107,9 +1239,11 @@ impl RStore {
         })
     }
 
-    /// Flushes any pending commits (call before querying fresh data).
-    pub fn seal(&mut self) -> Result<(), CoreError> {
-        self.flush_batch().map(|_| ())
+    /// Flushes any pending commits (call before querying fresh data)
+    /// and returns the final batch's [`FlushReport`], so callers can
+    /// see the last ingest's stage breakdown instead of losing it.
+    pub fn seal(&mut self) -> Result<FlushReport, CoreError> {
+        self.flush_batch()
     }
 
     // ------------------------------------------------------------------
@@ -1132,7 +1266,12 @@ impl RStore {
     /// owning node. No backend round trip happens here.
     pub fn plan_query(&self, spec: QuerySpec) -> Result<QueryPlan, CoreError> {
         self.check_spec(&spec)?;
-        let chunk_ids = self.projections.chunks_for(&spec, self.chunk_maps.len());
+        // A full scan plans over the *live* ids (compaction-retired
+        // ids have no backend keys); the projections never reference
+        // retired chunks, so every other spec is safe already.
+        let chunk_ids = self
+            .projections
+            .chunks_for(&spec, || self.live_chunk_ids().collect());
         plan::build_plan(&self.cluster, &self.cache, spec, chunk_ids)
     }
 

@@ -72,7 +72,12 @@ fn assert_backend_identical(a: &RStore, b: &RStore) {
             assert_eq!(va, vb, "{table}/{c} bytes differ");
         }
     }
-    for meta in [b"projections".as_slice(), b"graph", b"chunk_count"] {
+    for meta in [
+        b"projections".as_slice(),
+        b"graph",
+        b"chunk_count",
+        b"retired",
+    ] {
         let key = table_key(META_TABLE, meta);
         let va = a.cluster().get(&key).unwrap().expect("meta present");
         let vb = b.cluster().get(&key).unwrap().expect("meta present");
@@ -257,7 +262,7 @@ fn down_node_during_flush_is_clean_error() {
             KvError::AllReplicasDown { .. } | KvError::NodeDown(_) | KvError::NodeGone(_),
         )) => {}
         Err(e) => panic!("expected a clean KV error, got {e}"),
-        Ok(()) => panic!("flush through a downed unreplicated node must fail"),
+        Ok(_) => panic!("flush through a downed unreplicated node must fail"),
     }
 
     // The failed flush must not corrupt what was already persisted:

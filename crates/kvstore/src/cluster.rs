@@ -10,7 +10,7 @@
 
 use crate::engine::{LogEngine, MemEngine, StorageEngine};
 use crate::error::KvError;
-use crate::msg::{BatchGet, BatchPut, NodeInfo, Request};
+use crate::msg::{BatchDelete, BatchGet, BatchPut, NodeInfo, Request};
 use crate::netmodel::NetworkModel;
 use crate::ring::Ring;
 use crate::stats::{ClusterStats, StatsSnapshot};
@@ -235,7 +235,35 @@ fn node_loop(
                     stats.record_delete();
                     charge(0);
                 }
-                let _ = reply.send(result);
+                let _ = reply.send(result.map(|_| ()));
+            }
+            Request::MultiDelete { keys, reply } => {
+                if down {
+                    let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                stats.record_batch_delete();
+                let mut batch = BatchDelete::default();
+                let mut result = Ok(());
+                for key in &keys {
+                    match engine.delete(key) {
+                        Ok(present) => {
+                            stats.record_delete();
+                            batch.modeled += charge(0);
+                            // A key this replica never stored (e.g.
+                            // written while the node was down) is not
+                            // a removal.
+                            if present {
+                                batch.removed += 1;
+                            }
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                let _ = reply.send(result.map(|()| batch));
             }
             Request::SetDown(flag) => down = flag,
             Request::Info { reply } => {
@@ -378,6 +406,68 @@ impl Cluster {
             let _ = rx.recv();
         }
         Ok(())
+    }
+
+    /// Removes many keys, batched per replica node, and returns the
+    /// modeled network time of the *slowest* node batch together with
+    /// the number of replica copies actually removed (copies a
+    /// replica never held do not count) — the scatter-gather
+    /// reclamation path of store compaction, symmetric with
+    /// [`Cluster::multi_put_scatter`]. Each key is deleted from every
+    /// *live* replica; like [`Cluster::delete`], down replicas are
+    /// skipped rather than treated as failures (a copy lingering on a
+    /// dead node is an orphan, not data loss), and a node answering
+    /// `NodeDown` mid-flight is likewise ignored.
+    pub fn multi_delete_scatter(&self, keys: Vec<Key>) -> Result<(Duration, usize), KvError> {
+        let mut per_node: Vec<Vec<Key>> = (0..self.node_count()).map(|_| Vec::new()).collect();
+        for key in keys {
+            let replicas = self.ring.replicas(&key, self.replication);
+            let mut live = replicas.iter().copied().filter(|&n| !self.is_down(n));
+            let Some(mut prev) = live.next() else {
+                continue;
+            };
+            // Move the key into its last live replica's batch; only
+            // the extra replicas (replication > 1) clone.
+            for node in live {
+                per_node[prev].push(key.clone());
+                prev = node;
+            }
+            per_node[prev].push(key);
+        }
+        let mut pending = Vec::new();
+        for (node, batch) in per_node.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::MultiDelete {
+                    keys: batch,
+                    reply: tx,
+                })
+                .map_err(|_| KvError::NodeGone(node))?;
+            pending.push((node, rx));
+        }
+        let mut slowest = Duration::ZERO;
+        let mut removed = 0usize;
+        for (node, rx) in pending {
+            match rx.recv().map_err(|_| KvError::NodeGone(node))? {
+                Ok(batch) => {
+                    slowest = slowest.max(batch.modeled);
+                    removed += batch.removed;
+                }
+                // Raced with failure injection: the skipped copies are
+                // orphans on a dead node, exactly as with `delete`.
+                Err(KvError::NodeDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((slowest, removed))
+    }
+
+    /// [`Cluster::multi_delete_scatter`] without the accounting.
+    pub fn multi_delete(&self, keys: Vec<Key>) -> Result<(), KvError> {
+        self.multi_delete_scatter(keys).map(|_| ())
     }
 
     /// The node that serves reads for `key`: its first live replica
@@ -996,6 +1086,78 @@ mod tests {
             other => panic!("expected NodeDown(0), got {other:?}"),
         }
         c.set_node_down(0, false);
+    }
+
+    #[test]
+    fn multi_delete_removes_all_replicas_and_counts_batches() {
+        let c = small_cluster(3, 2);
+        for i in 0..80u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        assert_eq!(c.info().keys, 160, "2 replicas per key");
+        c.reset_stats();
+        let keys: Vec<Key> = (0..80u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let (modeled, removed) = c.multi_delete_scatter(keys).unwrap();
+        assert_eq!(removed, 160, "every replica copy removed");
+        let _ = modeled;
+        let s = c.stats();
+        assert_eq!(s.deletes, 160);
+        assert!(
+            s.batch_deletes >= 1 && s.batch_deletes <= 3,
+            "one batch round trip per contacted node, got {}",
+            s.batch_deletes
+        );
+        assert_eq!(c.info().keys, 0);
+        for i in 0..80u32 {
+            assert_eq!(c.get(&i.to_be_bytes()).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn multi_delete_scatter_reports_slowest_node_batch() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .network(NetworkModel::lan_virtual())
+            .build();
+        for i in 0..16u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        let keys: Vec<Key> = (0..16u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let (modeled, removed) = c.multi_delete_scatter(keys).unwrap();
+        assert_eq!(removed, 16);
+        // Max over two nodes serving ~8 keys each at >= 250 µs per
+        // key; strictly less than the 16-key serial sum.
+        assert!(modeled >= std::time::Duration::from_micros(4 * 250));
+        assert!(modeled < std::time::Duration::from_micros(16 * 300));
+    }
+
+    #[test]
+    fn multi_delete_skips_down_replicas_like_delete() {
+        let c = small_cluster(2, 1);
+        for i in 0..40u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        c.set_node_down(0, true);
+        // Keys owned by the down node are skipped (orphans), keys on
+        // the live node are removed; no error either way.
+        let keys: Vec<Key> = (0..40u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let (_, removed) = c.multi_delete_scatter(keys).unwrap();
+        assert!(removed > 0 && removed < 40, "only the live node's keys go");
+        c.set_node_down(0, false);
+        let survivors = (0..40u32)
+            .filter(|i| c.get(&i.to_be_bytes()).unwrap().is_some())
+            .count();
+        assert_eq!(survivors, 40 - removed, "down node kept its copies");
+    }
+
+    #[test]
+    fn empty_multi_delete() {
+        let c = small_cluster(2, 1);
+        let (modeled, removed) = c.multi_delete_scatter(Vec::new()).unwrap();
+        assert_eq!((modeled, removed), (Duration::ZERO, 0));
     }
 
     #[test]

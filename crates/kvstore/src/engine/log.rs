@@ -255,14 +255,16 @@ impl StorageEngine for LogEngine {
         Ok(())
     }
 
-    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+    fn delete(&mut self, key: &[u8]) -> Result<bool, KvError> {
         if let Some(old) = self.directory.remove(key) {
             self.append(TOMBSTONE, key, &[])?;
             self.garbage_bytes +=
                 (HEADER_LEN + old.key_len as usize + old.value_len as usize) as u64;
             self.garbage_bytes += (HEADER_LEN + key.len()) as u64;
+            Ok(true)
+        } else {
+            Ok(false)
         }
-        Ok(())
     }
 
     fn len(&self) -> usize {

@@ -34,11 +34,13 @@ impl StorageEngine for MemEngine {
         Ok(())
     }
 
-    fn delete(&mut self, key: &[u8]) -> Result<(), KvError> {
+    fn delete(&mut self, key: &[u8]) -> Result<bool, KvError> {
         if let Some(old) = self.map.remove(key) {
             self.live_bytes = self.live_bytes.saturating_sub(key.len() + old.len());
+            Ok(true)
+        } else {
+            Ok(false)
         }
-        Ok(())
     }
 
     fn len(&self) -> usize {

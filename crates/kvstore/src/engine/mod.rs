@@ -18,8 +18,9 @@ pub trait StorageEngine: Send {
     /// Stores `value` under `key`, replacing any existing value.
     fn put(&mut self, key: Key, value: Value) -> Result<(), KvError>;
 
-    /// Removes `key`; succeeds silently when absent.
-    fn delete(&mut self, key: &[u8]) -> Result<(), KvError>;
+    /// Removes `key`, reporting whether it was present (absent keys
+    /// succeed silently with `false`).
+    fn delete(&mut self, key: &[u8]) -> Result<bool, KvError>;
 
     /// Number of live keys.
     fn len(&self) -> usize;
@@ -55,9 +56,9 @@ pub(crate) mod conformance {
         assert_eq!(engine.len(), 2);
 
         // Delete present and absent keys.
-        engine.delete(b"a").unwrap();
+        assert!(engine.delete(b"a").unwrap(), "present key reports removal");
         assert_eq!(engine.get(b"a").unwrap(), None);
-        engine.delete(b"never-there").unwrap();
+        assert!(!engine.delete(b"never-there").unwrap(), "absent key is a no-op");
         assert_eq!(engine.len(), 1);
         assert!(engine.live_bytes() >= 2);
     }

@@ -35,7 +35,7 @@ pub mod types;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterWriter, EngineKind, WriteSummary};
 pub use error::KvError;
-pub use msg::{BatchGet, BatchPut};
+pub use msg::{BatchDelete, BatchGet, BatchPut};
 pub use netmodel::NetworkModel;
 pub use stats::StatsSnapshot;
 pub use types::{table_key, Key, Value};

@@ -33,6 +33,21 @@ pub struct BatchPut {
     pub modeled: Duration,
 }
 
+/// Reply to a [`Request::MultiDelete`]: how many keys the node
+/// removed and the modeled network time it accrued doing so. As with
+/// [`BatchGet`]/[`BatchPut`], a node serves its batch serially while
+/// nodes overlap, so a scatter-gather client takes the *max* of these
+/// sums across the nodes it contacted in parallel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchDelete {
+    /// Keys this batch actually removed (keys the engine never held —
+    /// e.g. written while this replica was down — do not count).
+    pub removed: usize,
+    /// Modeled network time for the batch (one round-trip latency per
+    /// key, summed over the batch).
+    pub modeled: Duration,
+}
+
 /// Summary a node reports about its engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NodeInfo {
@@ -83,6 +98,15 @@ pub enum Request {
         key: Key,
         /// Completion signal.
         reply: Sender<Result<(), KvError>>,
+    },
+    /// Remove many keys in one message (each charged as one query) —
+    /// the reclamation path of store compaction, which would otherwise
+    /// pay one round trip per obsolete chunk key.
+    MultiDelete {
+        /// Keys to remove.
+        keys: Vec<Key>,
+        /// Completion signal with the batch's modeled time.
+        reply: Sender<Result<BatchDelete, KvError>>,
     },
     /// Failure injection: mark the node down/up.
     SetDown(bool),

@@ -19,6 +19,7 @@ pub struct ClusterStats {
     misses: AtomicU64,
     batch_gets: AtomicU64,
     batch_puts: AtomicU64,
+    batch_deletes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     modeled_nanos: AtomicU64,
@@ -51,6 +52,10 @@ impl ClusterStats {
         self.batch_puts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_batch_delete(&self) {
+        self.batch_deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_put(&self, bytes: usize) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.puts.fetch_add(1, Ordering::Relaxed);
@@ -77,6 +82,7 @@ impl ClusterStats {
             misses: self.misses.load(Ordering::Relaxed),
             batch_gets: self.batch_gets.load(Ordering::Relaxed),
             batch_puts: self.batch_puts.load(Ordering::Relaxed),
+            batch_deletes: self.batch_deletes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             modeled_time: Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed)),
@@ -92,6 +98,7 @@ impl ClusterStats {
         self.misses.store(0, Ordering::Relaxed);
         self.batch_gets.store(0, Ordering::Relaxed);
         self.batch_puts.store(0, Ordering::Relaxed);
+        self.batch_deletes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.modeled_nanos.store(0, Ordering::Relaxed);
@@ -117,6 +124,10 @@ pub struct StatsSnapshot {
     /// Node-batch write round trips (one per `MultiPut` message) —
     /// the streaming-writer fan-out, as opposed to per-pair `puts`.
     pub batch_puts: u64,
+    /// Node-batch delete round trips (one per `MultiDelete` message)
+    /// — the compaction-reclamation fan-out, as opposed to per-key
+    /// `deletes`.
+    pub batch_deletes: u64,
     /// Payload bytes returned by GETs.
     pub bytes_read: u64,
     /// Payload bytes accepted by PUTs.
@@ -136,6 +147,7 @@ impl StatsSnapshot {
             misses: self.misses - earlier.misses,
             batch_gets: self.batch_gets - earlier.batch_gets,
             batch_puts: self.batch_puts - earlier.batch_puts,
+            batch_deletes: self.batch_deletes - earlier.batch_deletes,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             modeled_time: self.modeled_time.saturating_sub(earlier.modeled_time),

@@ -36,7 +36,8 @@ fn usage() -> ! {
            get PK --version V                     one record from a version\n\
            history PK                             evolution of a key\n\
            log                                    the version graph\n\
-           stats                                  store statistics"
+           stats                                  store + fragmentation statistics\n\
+           compact                                repartition fragmented chunks in place"
     );
     exit(2)
 }
@@ -243,12 +244,43 @@ fn run() -> Result<(), CoreError> {
         "stats" => {
             let store = open_store(&args)?;
             let (vbytes, kbytes) = store.index_bytes();
+            let frag = store.fragmentation_stats();
             println!("versions:            {}", store.version_count());
             println!("chunks:              {}", store.chunk_count());
+            println!("retired chunks:      {}", store.retired_chunk_count());
             println!("stored chunk bytes:  {}", store.storage_bytes());
             println!("total version span:  {}", store.total_version_span());
             println!("version->chunks idx: {vbytes} B");
             println!("key->chunks idx:     {kbytes} B");
+            println!(
+                "mean chunk fill:     {:.2} ({} under-filled)",
+                frag.mean_fill, frag.under_filled
+            );
+            println!(
+                "version span:        mean {:.2} / max {}",
+                frag.mean_version_span, frag.max_version_span
+            );
+            println!(
+                "est read amplif.:    {:.2}x",
+                frag.est_read_amplification
+            );
+        }
+        "compact" => {
+            let mut store = open_store(&args)?;
+            match store.compact()? {
+                Some(r) => println!(
+                    "compacted {} chunks into {} ({} records moved), \
+                     span {} -> {}, reclaimed {} chunk bytes, {} backend keys deleted",
+                    r.victims,
+                    r.new_chunks,
+                    r.records_moved,
+                    r.before.total_version_span,
+                    r.after.total_version_span,
+                    r.bytes_reclaimed,
+                    r.keys_deleted,
+                ),
+                None => println!("nothing to compact (layout already healthy)"),
+            }
         }
         _ => usage(),
     }
