@@ -54,5 +54,5 @@ pub use compact::{CompactionConfig, CompactionReport, CompactionStages, Fragment
 pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 pub use partition::{Partitioner, PartitionerKind};
-pub use plan::{ExecutedQuery, FetchMetrics, QueryPlan, QuerySpec, RecordStream};
+pub use plan::{ExecutedQuery, FetchMetrics, QueryPlan, QuerySpec, ReadRouting, RecordStream};
 pub use store::{CommitRequest, RStore, RStoreBuilder, StoreConfig};

@@ -20,7 +20,11 @@
 //!    (chunk blob + chunk map) have arrived — decode overlaps with
 //!    the other nodes' transfers — and admits the decoded pair to the
 //!    cache. Modeled network time is taken as the **max over node
-//!    batches** (parallel scatter-gather), not their sum.
+//!    batches** (parallel scatter-gather), not their sum. A node that
+//!    fails mid-query does not fail the query: its batch's keys are
+//!    re-planned against each key's next live replica (see
+//!    [`ReadRouting`]) and only a key with no live replica left
+//!    surfaces the error.
 //! 3. **Extract** — [`RecordStream`] yields records chunk by chunk,
 //!    decompressing each chunk's sub-chunks only when the consumer
 //!    reaches it, so callers that stop early (point lookups, limits)
@@ -38,11 +42,30 @@ use crate::error::CoreError;
 use crate::model::{ChunkId, PrimaryKey, Record, VersionId};
 use crate::query;
 use crate::store::{CHUNK_TABLE, CMAP_TABLE};
-use rstore_kvstore::{table_key, Cluster, Key};
-use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use rstore_kvstore::{table_key, Cluster, Key, KvError};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+/// How the planner spreads a query's backend keys across each key's
+/// replica set. With `replication = 1` the policies coincide; beyond
+/// that they trade the reference behaviour for read throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReadRouting {
+    /// Route every key to its first live replica in ring order — the
+    /// original behaviour and the reference path: deterministic, and
+    /// the one the cost-model experiments assume.
+    #[default]
+    FirstLive,
+    /// Route each key to the least-loaded live member of its replica
+    /// set (load = keys already planned onto that node for this
+    /// query), falling back to first-live assignment when the greedy
+    /// pass does not flatten the critical path. A hot span's node
+    /// batches spread across `replication` copies instead of piling
+    /// onto the first, so the max-over-nodes modeled time shrinks.
+    Balanced,
+}
 
 /// What a read wants: the four query classes of §2.1 plus the full
 /// scan used by store recovery.
@@ -114,7 +137,7 @@ impl QuerySpec {
 /// Which half of a chunk's backend state a fetched key carries. The
 /// two halves live under different tables, so the hash ring may place
 /// them on different nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Part {
     /// The serialized chunk (sub-chunk payloads).
     Blob,
@@ -157,6 +180,9 @@ impl NodeBatch {
 #[derive(Debug)]
 pub struct QueryPlan {
     spec: QuerySpec,
+    /// The routing policy the plan was built under; mid-query
+    /// failover re-routes with the same policy.
+    routing: ReadRouting,
     /// The query's span in planning order (slot i holds chunk_ids[i]).
     chunk_ids: Vec<u32>,
     /// Slot-aligned cache hits (`None` = must be fetched).
@@ -214,11 +240,73 @@ impl QueryPlan {
     }
 }
 
+/// The least-loaded of `candidates` under `load` (unknown nodes count
+/// as 0). Strictly-less comparison keeps the *earliest* minimum, so
+/// ties break toward ring order — the shared selection rule of the
+/// planner's greedy pass and the executor's failover re-plan.
+fn least_loaded(
+    candidates: impl IntoIterator<Item = usize>,
+    load: &FxHashMap<usize, usize>,
+) -> Option<usize> {
+    let cost = |n: usize| load.get(&n).copied().unwrap_or(0);
+    let mut candidates = candidates.into_iter();
+    let first = candidates.next()?;
+    Some(candidates.fold(first, |pick, n| if cost(n) < cost(pick) { n } else { pick }))
+}
+
+/// Picks a serving node for every missing key under the configured
+/// routing policy.
+///
+/// `FirstLive` sends each key to the head of its live replica set.
+/// `Balanced` assigns greedily to the least-loaded live replica (ties
+/// break toward ring order, so replication 1 degenerates to first-
+/// live); because greedy assignment is order-sensitive it can — in
+/// contrived replica-set overlaps — end up with a *taller* critical
+/// path than first-live, so the result is compared against the
+/// first-live assignment and the flatter of the two wins. Balanced
+/// routing is therefore never worse than the reference policy on
+/// `max_node_batch`.
+fn route_keys(
+    cluster: &Cluster,
+    routing: ReadRouting,
+    keys: &[Key],
+) -> Result<Vec<usize>, CoreError> {
+    if routing == ReadRouting::FirstLive {
+        return keys
+            .iter()
+            .map(|key| cluster.owner_of(key).map_err(CoreError::from))
+            .collect();
+    }
+    let candidates: Vec<Vec<usize>> = keys
+        .iter()
+        .map(|key| cluster.replicas_of(key).map_err(CoreError::from))
+        .collect::<Result<_, _>>()?;
+    let mut load: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut greedy = Vec::with_capacity(keys.len());
+    for cands in &candidates {
+        let pick = least_loaded(cands.iter().copied(), &load).expect("non-empty candidates");
+        *load.entry(pick).or_insert(0) += 1;
+        greedy.push(pick);
+    }
+    let greedy_max = load.values().copied().max().unwrap_or(0);
+    let mut first_live_load: FxHashMap<usize, usize> = FxHashMap::default();
+    for cands in &candidates {
+        *first_live_load.entry(cands[0]).or_insert(0) += 1;
+    }
+    let first_live_max = first_live_load.values().copied().max().unwrap_or(0);
+    if greedy_max > first_live_max {
+        return Ok(candidates.into_iter().map(|c| c[0]).collect());
+    }
+    Ok(greedy)
+}
+
 /// Builds a [`QueryPlan`]: probe the cache per chunk, then group the
-/// missing chunks' backend keys by owning node.
+/// missing chunks' backend keys by serving node under the store's
+/// [`ReadRouting`] policy.
 pub(crate) fn build_plan(
     cluster: &Cluster,
     cache: &ChunkCache,
+    routing: ReadRouting,
     spec: QuerySpec,
     chunk_ids: Vec<u32>,
 ) -> Result<QueryPlan, CoreError> {
@@ -240,26 +328,31 @@ pub(crate) fn build_plan(
         (0, 0)
     };
 
-    let mut by_node: FxHashMap<usize, NodeBatch> = FxHashMap::default();
+    let mut keys = Vec::with_capacity(misses.len() * 2);
+    let mut key_parts = Vec::with_capacity(misses.len() * 2);
     for (m, &(_, c)) in misses.iter().enumerate() {
-        let chunk_key = table_key(CHUNK_TABLE, &ChunkId(c).to_key());
-        let map_key = table_key(CMAP_TABLE, &ChunkId(c).to_key());
-        for (key, part) in [(chunk_key, Part::Blob), (map_key, Part::Map)] {
-            let node = cluster.owner_of(&key)?;
-            let batch = by_node.entry(node).or_insert_with(|| NodeBatch {
-                node,
-                keys: Vec::new(),
-                parts: Vec::new(),
-            });
-            batch.keys.push(key);
-            batch.parts.push((m, part));
+        for part in [Part::Blob, Part::Map] {
+            keys.push(backend_key(c, part));
+            key_parts.push((m, part));
         }
+    }
+    let nodes = route_keys(cluster, routing, &keys)?;
+    let mut by_node: FxHashMap<usize, NodeBatch> = FxHashMap::default();
+    for ((key, part), node) in keys.into_iter().zip(key_parts).zip(nodes) {
+        let batch = by_node.entry(node).or_insert_with(|| NodeBatch {
+            node,
+            keys: Vec::new(),
+            parts: Vec::new(),
+        });
+        batch.keys.push(key);
+        batch.parts.push(part);
     }
     let mut batches: Vec<NodeBatch> = by_node.into_values().collect();
     batches.sort_unstable_by_key(NodeBatch::node);
 
     Ok(QueryPlan {
         spec,
+        routing,
         chunk_ids,
         resident,
         misses,
@@ -279,13 +372,23 @@ pub struct FetchMetrics {
     pub cache_hits: usize,
     /// Chunks fetched from the backend.
     pub cache_misses: usize,
-    /// Distinct nodes contacted by the scatter-gather fetch.
+    /// Distinct nodes contacted by the scatter-gather fetch,
+    /// including replicas contacted only by mid-query failover.
     pub nodes_contacted: usize,
     /// Keys in the largest per-node batch.
     pub max_node_batch: usize,
+    /// Node-batch fetch failures the executor recovered from by
+    /// re-routing the batch's keys to their next live replica.
+    pub failovers: usize,
+    /// Keys re-routed to another replica mid-query — after their
+    /// serving node failed, or after a replica turned out never to
+    /// have stored them (it was down during the write).
+    pub rerouted_keys: usize,
     /// Modeled network time: the max over parallel node batches
     /// (their sum under
-    /// [`RStore::execute_serial`](crate::store::RStore::execute_serial)).
+    /// [`RStore::execute_serial`](crate::store::RStore::execute_serial));
+    /// failover retry rounds serialize after the round that exposed
+    /// the failure, so their max adds on top.
     pub modeled_network: Duration,
 }
 
@@ -297,6 +400,30 @@ struct PendingChunk {
     id: u32,
     parts: Mutex<(Option<rstore_kvstore::Value>, Option<rstore_kvstore::Value>)>,
     decoded: OnceLock<Arc<DecodedChunk>>,
+}
+
+/// A key the current fetch round could not serve, queued for its next
+/// live replica. `from` is the node that just failed (or answered
+/// without the key); `cause` is the error to surface if the key runs
+/// out of replicas. The backend key itself is not stored: it is a
+/// pure function of the chunk id and half, rebuilt by
+/// [`backend_key`], so the happy path never clones its key batches
+/// for the retry machinery's sake.
+struct RetryKey {
+    m: usize,
+    part: Part,
+    from: usize,
+    cause: CoreError,
+}
+
+/// The backend key of one half of a chunk (the inverse of the
+/// planner's key construction, shared with the retry re-plan).
+fn backend_key(id: u32, part: Part) -> Key {
+    let table = match part {
+        Part::Blob => CHUNK_TABLE,
+        Part::Map => CMAP_TABLE,
+    };
+    table_key(table, &ChunkId(id).to_key())
 }
 
 fn record_err(first_err: &Mutex<Option<CoreError>>, e: CoreError) {
@@ -425,6 +552,7 @@ pub(crate) fn execute_plan(
 ) -> Result<ExecutedQuery, CoreError> {
     let QueryPlan {
         spec,
+        routing,
         chunk_ids,
         mut resident,
         misses,
@@ -433,11 +561,12 @@ pub(crate) fn execute_plan(
         cache_misses,
     } = plan;
 
+    // `max_node_batch` is folded in per fetch round (a failover
+    // retry can merge batches onto one surviving replica).
     let mut metrics = FetchMetrics {
         cache_hits,
         cache_misses,
         nodes_contacted: batches.len(),
-        max_node_batch: batches.iter().map(NodeBatch::len).max().unwrap_or(0),
         ..FetchMetrics::default()
     };
 
@@ -452,102 +581,201 @@ pub(crate) fn execute_plan(
             })
             .collect();
         let bytes = AtomicUsize::new(0);
-        // Scatter-gather accounting: a node serves its (sub-)batches
-        // serially, so its modeled time is the sum over them; nodes
-        // overlap, so the parallel query's network bill is the
-        // slowest node, while the serial walk pays all nodes in turn.
-        let node_index: FxHashMap<usize, usize> = batches
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (b.node, i))
-            .collect();
-        let node_modeled: Vec<AtomicU64> =
-            (0..batches.len()).map(|_| AtomicU64::new(0)).collect();
         let first_err: Mutex<Option<CoreError>> = Mutex::new(None);
+        // Failover bookkeeping across retry rounds: nodes whose whole
+        // batch failed are excluded from re-routing, and each key
+        // remembers the replicas it already tried so a retry never
+        // loops back. Both only grow, so the round loop terminates.
+        let mut excluded: FxHashSet<usize> = FxHashSet::default();
+        let mut tried: FxHashMap<(usize, Part), Vec<usize>> = FxHashMap::default();
+        let mut contacted: FxHashSet<usize> = batches.iter().map(NodeBatch::node).collect();
+        let mut modeled_nanos: u64 = 0;
+        let mut round_batches = batches;
 
-        // With spare cores and few nodes, split batches so decode
-        // fans out beyond the node count.
-        let batches = if parallel {
-            split_for_decode(batches)
-        } else {
-            batches
-        };
+        while !round_batches.is_empty() {
+            // Round batches are grouped one-per-node, so a retry
+            // round that merges several failed batches onto one
+            // surviving replica raises the critical-path batch — keep
+            // the reported max honest across rounds.
+            metrics.max_node_batch = metrics
+                .max_node_batch
+                .max(round_batches.iter().map(NodeBatch::len).max().unwrap_or(0));
+            // With spare cores and few nodes, split batches so decode
+            // fans out beyond the node count.
+            let exec_batches = if parallel {
+                split_for_decode(round_batches)
+            } else {
+                round_batches
+            };
+            // Scatter-gather accounting: a node serves its
+            // (sub-)batches serially, so its modeled time is the sum
+            // over them; nodes overlap, so the parallel query's
+            // network bill is the slowest node, while the serial walk
+            // pays all nodes in turn.
+            let node_modeled: Mutex<FxHashMap<usize, u64>> = Mutex::new(FxHashMap::default());
+            let retries: Mutex<Vec<RetryKey>> = Mutex::new(Vec::new());
+            let failed_nodes: Mutex<FxHashSet<usize>> = Mutex::new(FxHashSet::default());
 
-        let run_batch = |batch: NodeBatch| {
-            let NodeBatch { node, keys, parts } = batch;
-            let reply = match cluster.fetch_from(node, keys) {
-                Ok(reply) => reply,
-                Err(e) => {
-                    record_err(&first_err, e.into());
-                    return;
+            let run_batch = |batch: NodeBatch| {
+                let NodeBatch { node, keys, parts } = batch;
+                let reply = match cluster.fetch_from(node, keys) {
+                    Ok(reply) => reply,
+                    Err(e @ (KvError::NodeDown(_) | KvError::NodeGone(_))) => {
+                        // The node died between planning and fetch (or
+                        // mid-query): queue every key of the batch for
+                        // its next live replica instead of failing the
+                        // whole query.
+                        failed_nodes.lock().unwrap().insert(node);
+                        let mut r = retries.lock().unwrap();
+                        for (m, part) in parts {
+                            r.push(RetryKey {
+                                m,
+                                part,
+                                from: node,
+                                cause: CoreError::Kv(e.clone()),
+                            });
+                        }
+                        return;
+                    }
+                    Err(e) => {
+                        record_err(&first_err, e.into());
+                        return;
+                    }
+                };
+                let batch_bytes: usize = reply
+                    .values
+                    .iter()
+                    .map(|v| v.as_ref().map_or(0, |b| b.len()))
+                    .sum();
+                bytes.fetch_add(batch_bytes, Ordering::Relaxed);
+                *node_modeled.lock().unwrap().entry(node).or_insert(0) +=
+                    reply.modeled.as_nanos() as u64;
+                for ((m, part), value) in parts.into_iter().zip(reply.values) {
+                    let p = &pending[m];
+                    let Some(value) = value else {
+                        // This replica never stored the key (e.g. it
+                        // was down during the write): try the next
+                        // one before declaring the chunk missing.
+                        retries.lock().unwrap().push(RetryKey {
+                            m,
+                            part,
+                            from: node,
+                            cause: CoreError::MissingChunk(p.id),
+                        });
+                        continue;
+                    };
+                    let ready = {
+                        let mut halves = p.parts.lock().unwrap();
+                        match part {
+                            Part::Blob => halves.0 = Some(value),
+                            Part::Map => halves.1 = Some(value),
+                        }
+                        if halves.0.is_some() && halves.1.is_some() {
+                            Some((halves.0.take().unwrap(), halves.1.take().unwrap()))
+                        } else {
+                            None
+                        }
+                    };
+                    // Both halves in hand: decode here, inside the
+                    // node's executor thread, overlapping the other
+                    // nodes' I/O.
+                    if let Some((blob, map)) = ready {
+                        let decoded = Chunk::deserialize(&blob).and_then(|chunk| {
+                            Ok(DecodedChunk::new(chunk, ChunkMap::deserialize(&map)?))
+                        });
+                        match decoded {
+                            Ok(dc) => {
+                                let dc = Arc::new(dc);
+                                cache.insert(p.id, Arc::clone(&dc));
+                                let _ = p.decoded.set(dc);
+                            }
+                            Err(e) => record_err(&first_err, e),
+                        }
+                    }
                 }
             };
-            let batch_bytes: usize = reply
-                .values
-                .iter()
-                .map(|v| v.as_ref().map_or(0, |b| b.len()))
-                .sum();
-            bytes.fetch_add(batch_bytes, Ordering::Relaxed);
-            node_modeled[node_index[&node]]
-                .fetch_add(reply.modeled.as_nanos() as u64, Ordering::Relaxed);
-            for ((m, part), value) in parts.into_iter().zip(reply.values) {
-                let p = &pending[m];
-                let Some(value) = value else {
-                    record_err(&first_err, CoreError::MissingChunk(p.id));
+
+            if parallel && exec_batches.len() > 1 {
+                std::thread::scope(|scope| {
+                    for batch in exec_batches {
+                        let run_batch = &run_batch;
+                        scope.spawn(move || run_batch(batch));
+                    }
+                });
+            } else {
+                for batch in exec_batches {
+                    run_batch(batch);
+                }
+            }
+
+            // A retry round starts only after some batch of this round
+            // came back failed, so rounds serialize: the round's
+            // max-over-nodes (or serial sum) adds onto the total.
+            let per_node = node_modeled.into_inner().unwrap();
+            modeled_nanos += if parallel {
+                per_node.values().copied().max().unwrap_or(0)
+            } else {
+                per_node.values().copied().sum()
+            };
+
+            let newly_failed = failed_nodes.into_inner().unwrap();
+            metrics.failovers += newly_failed.len();
+            excluded.extend(newly_failed);
+
+            if first_err.lock().unwrap().is_some() {
+                break;
+            }
+
+            // Re-plan every queued key against its untried live
+            // replicas — under `FirstLive` the next one in ring
+            // order, under `Balanced` the least-loaded of them, so a
+            // dead node's hot-span keys spread over the survivors
+            // instead of piling onto one. A key with no replica left
+            // fails the query with the error that stranded it.
+            let mut by_node: FxHashMap<usize, NodeBatch> = FxHashMap::default();
+            let mut retry_load: FxHashMap<usize, usize> = FxHashMap::default();
+            for rk in retries.into_inner().unwrap() {
+                let hist = tried.entry((rk.m, rk.part)).or_default();
+                hist.push(rk.from);
+                let key = backend_key(pending[rk.m].id, rk.part);
+                let next = cluster.replicas_of(&key).ok().and_then(|cands| {
+                    let mut usable = cands
+                        .into_iter()
+                        .filter(|n| !excluded.contains(n) && !hist.contains(n));
+                    match routing {
+                        ReadRouting::FirstLive => usable.next(),
+                        ReadRouting::Balanced => least_loaded(usable, &retry_load),
+                    }
+                });
+                let Some(node) = next else {
+                    record_err(&first_err, rk.cause);
                     continue;
                 };
-                let ready = {
-                    let mut halves = p.parts.lock().unwrap();
-                    match part {
-                        Part::Blob => halves.0 = Some(value),
-                        Part::Map => halves.1 = Some(value),
-                    }
-                    if halves.0.is_some() && halves.1.is_some() {
-                        Some((halves.0.take().unwrap(), halves.1.take().unwrap()))
-                    } else {
-                        None
-                    }
-                };
-                // Both halves in hand: decode here, inside the node's
-                // executor thread, overlapping the other nodes' I/O.
-                if let Some((blob, map)) = ready {
-                    let decoded = Chunk::deserialize(&blob)
-                        .and_then(|chunk| Ok(DecodedChunk::new(chunk, ChunkMap::deserialize(&map)?)));
-                    match decoded {
-                        Ok(dc) => {
-                            let dc = Arc::new(dc);
-                            cache.insert(p.id, Arc::clone(&dc));
-                            let _ = p.decoded.set(dc);
-                        }
-                        Err(e) => record_err(&first_err, e),
-                    }
-                }
+                *retry_load.entry(node).or_insert(0) += 1;
+                metrics.rerouted_keys += 1;
+                contacted.insert(node);
+                let batch = by_node.entry(node).or_insert_with(|| NodeBatch {
+                    node,
+                    keys: Vec::new(),
+                    parts: Vec::new(),
+                });
+                batch.keys.push(key);
+                batch.parts.push((rk.m, rk.part));
             }
-        };
-
-        if parallel && batches.len() > 1 {
-            std::thread::scope(|scope| {
-                for batch in batches {
-                    let run_batch = &run_batch;
-                    scope.spawn(move || run_batch(batch));
-                }
-            });
-        } else {
-            for batch in batches {
-                run_batch(batch);
+            if first_err.lock().unwrap().is_some() {
+                break;
             }
+            let mut next_round: Vec<NodeBatch> = by_node.into_values().collect();
+            next_round.sort_unstable_by_key(NodeBatch::node);
+            round_batches = next_round;
         }
 
         if let Some(e) = first_err.into_inner().unwrap() {
             return Err(e);
         }
         metrics.bytes_fetched = bytes.into_inner();
-        let per_node = node_modeled.into_iter().map(AtomicU64::into_inner);
-        metrics.modeled_network = Duration::from_nanos(if parallel {
-            per_node.max().unwrap_or(0)
-        } else {
-            per_node.sum()
-        });
+        metrics.modeled_network = Duration::from_nanos(modeled_nanos);
+        metrics.nodes_contacted = contacted.len();
         for p in pending {
             let Some(dc) = p.decoded.into_inner() else {
                 // Unreachable with a well-behaved backend (a short or

@@ -29,6 +29,11 @@ pub struct QueryStats {
     /// Keys in the largest per-node fetch batch — the critical-path
     /// batch of the scatter-gather.
     pub max_node_batch: usize,
+    /// Node-batch fetch failures recovered mid-query by re-routing to
+    /// the keys' next live replicas (0 on a healthy cluster).
+    pub failovers: usize,
+    /// Keys re-routed to another replica mid-query.
+    pub rerouted_keys: usize,
     /// Records produced.
     pub records: usize,
     /// Wall-clock time.

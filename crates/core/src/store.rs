@@ -40,7 +40,7 @@ use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 use crate::partition::{PartitionInput, PartitionerKind};
-use crate::plan::{self, ExecutedQuery, QueryPlan, QuerySpec, RecordStream};
+use crate::plan::{self, ExecutedQuery, QueryPlan, QuerySpec, ReadRouting, RecordStream};
 use crate::query::QueryStats;
 use crate::subchunk::SubchunkPlan;
 use bytes::Bytes;
@@ -99,6 +99,11 @@ pub struct StoreConfig {
     /// reference path — no scoped threads, and every backend write
     /// deferred to one scatter-gather put at the end of the stage.
     pub ingest_threads: usize,
+    /// How the query planner spreads backend keys across each key's
+    /// live replica set ([`ReadRouting::FirstLive`] by default — the
+    /// reference path; [`ReadRouting::Balanced`] flattens hot spans
+    /// across replicas when `replication > 1`).
+    pub read_routing: ReadRouting,
     /// Background compaction policy (see
     /// [`CompactionConfig`]): candidate-selection thresholds and the
     /// auto-trigger cadence. Auto-compaction is off by default;
@@ -117,6 +122,7 @@ impl Default for StoreConfig {
             cache_budget: DEFAULT_CACHE_BUDGET,
             cache_shards: 8,
             ingest_threads: 0,
+            read_routing: ReadRouting::default(),
             compaction: CompactionConfig::default(),
         }
     }
@@ -177,6 +183,13 @@ impl RStoreBuilder {
     /// 1 = the serial reference path).
     pub fn ingest_threads(mut self, threads: usize) -> Self {
         self.config.ingest_threads = threads;
+        self
+    }
+
+    /// Sets the read-routing policy (how planned backend keys spread
+    /// across each key's live replica set).
+    pub fn read_routing(mut self, routing: ReadRouting) -> Self {
+        self.config.read_routing = routing;
         self
     }
 
@@ -1272,14 +1285,26 @@ impl RStore {
         let chunk_ids = self
             .projections
             .chunks_for(&spec, || self.live_chunk_ids().collect());
-        plan::build_plan(&self.cluster, &self.cache, spec, chunk_ids)
+        plan::build_plan(
+            &self.cluster,
+            &self.cache,
+            self.config.read_routing,
+            spec,
+            chunk_ids,
+        )
     }
 
     /// Plans a fetch of explicit chunk ids — the recovery scan, where
     /// the in-memory chunk maps are not rebuilt yet so the projections
     /// cannot be consulted.
     pub fn plan_chunks(&self, chunk_ids: Vec<u32>) -> Result<QueryPlan, CoreError> {
-        plan::build_plan(&self.cluster, &self.cache, QuerySpec::Scan, chunk_ids)
+        plan::build_plan(
+            &self.cluster,
+            &self.cache,
+            self.config.read_routing,
+            QuerySpec::Scan,
+            chunk_ids,
+        )
     }
 
     /// Stage 2 — **fetch**: scatter-gather. Each node batch runs on
@@ -1331,6 +1356,8 @@ impl RStore {
             cache_misses: fetch.cache_misses,
             nodes_contacted: fetch.nodes_contacted,
             max_node_batch: fetch.max_node_batch,
+            failovers: fetch.failovers,
+            rerouted_keys: fetch.rerouted_keys,
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: fetch.modeled_network,

@@ -1,0 +1,276 @@
+//! Replica-aware read routing: balanced planning must agree with the
+//! serial first-live oracle byte for byte, flatten hot-span node
+//! batches, and the executor must survive a node dying *between*
+//! planning and execution whenever the keys have a live replica left.
+
+use proptest::prelude::*;
+use rstore_core::model::{Record, VersionId};
+use rstore_core::plan::{QuerySpec, ReadRouting};
+use rstore_core::store::RStore;
+use rstore_core::CoreError;
+use rstore_kvstore::{Cluster, KvError};
+use rstore_vgraph::{Dataset, DatasetSpec, SelectionKind};
+
+fn loaded_store(
+    ds: &Dataset,
+    nodes: usize,
+    replication: usize,
+    routing: ReadRouting,
+) -> RStore {
+    let cluster = Cluster::builder()
+        .nodes(nodes)
+        .replication(replication)
+        .build();
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        // Cache disabled: every plan must fetch, so routing and
+        // failover are exercised on each query.
+        .cache_budget(0)
+        .read_routing(routing)
+        .build(cluster);
+    store.load_dataset(ds).unwrap();
+    store
+}
+
+fn assert_identical(a: &[Record], b: &[Record]) {
+    assert_eq!(a.len(), b.len(), "record count differs");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.pk, y.pk);
+        assert_eq!(x.origin, y.origin);
+        assert_eq!(&x.payload[..], &y.payload[..], "payload bytes differ");
+    }
+}
+
+/// The foregrounded bugfix: a node dying after `plan_query` but
+/// before `execute` used to fail the whole query even though live
+/// replicas held every key. With `replication >= 2` the executor now
+/// re-routes the dead node's batch and the query answers correctly,
+/// reporting the failover in its metrics.
+#[test]
+fn node_failure_mid_execute_fails_over_with_replication() {
+    let mut spec = DatasetSpec::tiny(2025);
+    spec.num_versions = 24;
+    spec.root_records = 60;
+    let ds = spec.generate();
+
+    for routing in [ReadRouting::FirstLive, ReadRouting::Balanced] {
+        let store = loaded_store(&ds, 4, 2, routing);
+
+        // Healthy baseline for every version.
+        let baseline: Vec<Vec<Record>> = (0..ds.graph.len())
+            .map(|v| store.get_version(VersionId(v as u32)).unwrap())
+            .collect();
+
+        // Plan everything while healthy, then kill a node before any
+        // fetch happens.
+        let plans: Vec<_> = (0..ds.graph.len())
+            .map(|v| {
+                store
+                    .plan_query(QuerySpec::Version(VersionId(v as u32)))
+                    .unwrap()
+            })
+            .collect();
+        let serial_plans: Vec<_> = (0..ds.graph.len())
+            .map(|v| {
+                store
+                    .plan_query(QuerySpec::Version(VersionId(v as u32)))
+                    .unwrap()
+            })
+            .collect();
+        store.cluster().set_node_down(0, true);
+
+        let mut failovers = 0usize;
+        let mut rerouted = 0usize;
+        for (plan, expected) in plans.into_iter().zip(&baseline) {
+            let executed = store.execute(plan).expect("replicated query must survive");
+            failovers += executed.metrics.failovers;
+            rerouted += executed.metrics.rerouted_keys;
+            let mut records = executed.into_stream().drain().unwrap();
+            records.sort_unstable_by_key(|r| (r.pk, r.origin));
+            assert_identical(&records, expected);
+        }
+        assert!(
+            failovers > 0 && rerouted > 0,
+            "{routing:?}: no plan routed to the downed node \
+             (failovers {failovers}, rerouted {rerouted})"
+        );
+
+        // The serial reference path fails over identically.
+        for (plan, expected) in serial_plans.into_iter().zip(&baseline) {
+            let executed = store
+                .execute_serial(plan)
+                .expect("serial executor must fail over too");
+            let mut records = executed.into_stream().drain().unwrap();
+            records.sort_unstable_by_key(|r| (r.pk, r.origin));
+            assert_identical(&records, expected);
+        }
+
+        // A healthy re-query reports no failover.
+        store.cluster().set_node_down(0, false);
+        let (_, stats) = store.get_version_with_stats(VersionId(0)).unwrap();
+        assert_eq!((stats.failovers, stats.rerouted_keys), (0, 0));
+    }
+}
+
+/// Without replication there is no replica to fail over to: the same
+/// mid-execute failure must surface as a clean `NodeDown` error, never
+/// a panic or a wrong answer.
+#[test]
+fn node_failure_mid_execute_errors_cleanly_without_replication() {
+    let mut spec = DatasetSpec::tiny(2026);
+    spec.num_versions = 24;
+    spec.root_records = 60;
+    let ds = spec.generate();
+    let store = loaded_store(&ds, 4, 1, ReadRouting::Balanced);
+
+    let plans: Vec<_> = (0..ds.graph.len())
+        .map(|v| {
+            store
+                .plan_query(QuerySpec::Version(VersionId(v as u32)))
+                .unwrap()
+        })
+        .collect();
+    store.cluster().set_node_down(0, true);
+    let mut failures = 0usize;
+    for plan in plans {
+        match store.execute(plan) {
+            Ok(_) => {}
+            Err(CoreError::Kv(KvError::NodeDown(0))) => failures += 1,
+            Err(e) => panic!("expected NodeDown, got {e}"),
+        }
+    }
+    assert!(failures > 0, "no plan touched the downed node");
+    store.cluster().set_node_down(0, false);
+}
+
+/// Losing `replication - 1` nodes mid-execute still leaves one live
+/// replica per key: the executor must walk past *several* dead
+/// replicas, not just the first.
+#[test]
+fn multi_node_failure_mid_execute_walks_the_whole_replica_set() {
+    let mut spec = DatasetSpec::tiny(2027);
+    spec.num_versions = 20;
+    spec.root_records = 50;
+    let ds = spec.generate();
+    let store = loaded_store(&ds, 5, 3, ReadRouting::Balanced);
+
+    let baseline: Vec<Vec<Record>> = (0..ds.graph.len())
+        .map(|v| store.get_version(VersionId(v as u32)).unwrap())
+        .collect();
+    let plans: Vec<_> = (0..ds.graph.len())
+        .map(|v| {
+            store
+                .plan_query(QuerySpec::Version(VersionId(v as u32)))
+                .unwrap()
+        })
+        .collect();
+    store.cluster().set_node_down(0, true);
+    store.cluster().set_node_down(1, true);
+    for (plan, expected) in plans.into_iter().zip(&baseline) {
+        let mut records = store
+            .execute(plan)
+            .expect("two of three replicas down is survivable")
+            .into_stream()
+            .drain()
+            .unwrap();
+        records.sort_unstable_by_key(|r| (r.pk, r.origin));
+        assert_identical(&records, expected);
+    }
+    store.cluster().set_node_down(0, false);
+    store.cluster().set_node_down(1, false);
+}
+
+fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
+    (
+        1u64..1000,   // seed
+        8usize..18,   // versions
+        10usize..40,  // root records
+        0.0f64..0.4,  // branch probability
+        0.05f64..0.4, // update fraction
+        32usize..96,  // record size
+    )
+        .prop_map(|(seed, nv, rr, bp, uf, rs)| DatasetSpec {
+            name: format!("replica-{seed}"),
+            num_versions: nv,
+            root_records: rr,
+            branch_prob: bp,
+            update_frac: uf,
+            insert_frac: 0.05,
+            delete_frac: 0.05,
+            selection: SelectionKind::Uniform,
+            record_size: rs,
+            pd: 0.1,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Balanced routing returns byte-identical results to the
+    /// first-live serial oracle over random stores, replication 2–3
+    /// and random down-sets — and never plans a taller critical-path
+    /// node batch than first-live routing does.
+    #[test]
+    fn balanced_routing_agrees_with_serial_oracle(
+        spec in spec_strategy(),
+        replication in 2usize..4,
+        down_pick in 0usize..20,
+    ) {
+        const NODES: usize = 5;
+        let ds = spec.generate();
+        let balanced = loaded_store(&ds, NODES, replication, ReadRouting::Balanced);
+        let first_live = loaded_store(&ds, NODES, replication, ReadRouting::FirstLive);
+
+        // A random down-set smaller than the replication factor, so
+        // every key keeps at least one live replica. Applied to both
+        // clusters after the (healthy) load.
+        let down_count = down_pick % replication; // 0..=replication-1
+        let down: Vec<usize> = (0..down_count)
+            .map(|i| (down_pick + i * 3) % NODES)
+            .collect();
+        for &n in &down {
+            balanced.cluster().set_node_down(n, true);
+            first_live.cluster().set_node_down(n, true);
+        }
+
+        let max_pk = spec.root_records as u64 + 8;
+        let mid = VersionId((ds.graph.len() / 2) as u32);
+        let mut specs: Vec<QuerySpec> = (0..ds.graph.len())
+            .map(|v| QuerySpec::Version(VersionId(v as u32)))
+            .collect();
+        specs.push(QuerySpec::Range { lo: 2, hi: max_pk / 2, v: mid });
+        specs.push(QuerySpec::Record { pk: 3, v: mid });
+        specs.push(QuerySpec::Evolution { pk: 1 });
+
+        for &qspec in &specs {
+            // Balance property: the balanced plan's critical-path
+            // batch never exceeds the first-live plan's.
+            let plan_b = balanced.plan_query(qspec).unwrap();
+            let plan_f = first_live.plan_query(qspec).unwrap();
+            prop_assert!(
+                plan_b.max_node_batch() <= plan_f.max_node_batch(),
+                "balanced max batch {} > first-live {} for {qspec:?} (down {down:?})",
+                plan_b.max_node_batch(),
+                plan_f.max_node_batch()
+            );
+
+            // Agreement: parallel balanced execution == the serial
+            // first-live oracle, byte for byte (both stores hold
+            // identical chunk layouts, so record order matches too).
+            let got = balanced
+                .execute(plan_b)
+                .unwrap()
+                .into_stream()
+                .drain()
+                .unwrap();
+            let oracle = first_live
+                .execute_serial(plan_f)
+                .unwrap()
+                .into_stream()
+                .drain()
+                .unwrap();
+            assert_identical(&got, &oracle);
+        }
+    }
+}

@@ -13,7 +13,7 @@ use crate::error::KvError;
 use crate::msg::{BatchDelete, BatchGet, BatchPut, NodeInfo, Request};
 use crate::netmodel::NetworkModel;
 use crate::ring::Ring;
-use crate::stats::{ClusterStats, StatsSnapshot};
+use crate::stats::{ClusterStats, NodeLoad, StatsSnapshot};
 use crate::types::{Key, Value};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::path::PathBuf;
@@ -95,7 +95,7 @@ impl ClusterBuilder {
     /// Panics if `nodes` is zero or a log engine fails to open.
     pub fn build(self) -> Cluster {
         assert!(self.nodes > 0, "cluster needs at least one node");
-        let stats = ClusterStats::new_shared();
+        let stats = ClusterStats::new_shared(self.nodes);
         let ring = Ring::new(self.nodes, self.vnodes);
         let mut senders = Vec::with_capacity(self.nodes);
         let mut handles = Vec::with_capacity(self.nodes);
@@ -165,7 +165,7 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                stats.record_batch_get();
+                stats.record_batch_get(node_id, keys.len());
                 let mut values = Vec::with_capacity(keys.len());
                 let mut modeled = Duration::ZERO;
                 let mut failed = None;
@@ -306,6 +306,13 @@ impl Cluster {
     /// Shared request/byte counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Per-node read-batch load (`MultiGet` round trips and keys
+    /// served per node), in node-id order — the observable that makes
+    /// read-routing skew visible without a benchmark run.
+    pub fn per_node_stats(&self) -> Vec<NodeLoad> {
+        self.stats.per_node()
     }
 
     /// Resets the counters.
@@ -479,6 +486,26 @@ impl Cluster {
             .ok_or_else(|| KvError::AllReplicasDown {
                 tried: self.ring.replicas(key, self.replication),
             })
+    }
+
+    /// Every node that can serve reads for `key` right now: the live
+    /// members of its replica set, in ring (failover) order — the
+    /// full-placement companion of [`Cluster::owner_of`]. Replica-
+    /// aware routing picks the least-loaded member to flatten hot
+    /// spans, and the executor walks the tail when an earlier member
+    /// fails mid-query. Errors when no replica is live, with the full
+    /// set that was considered.
+    pub fn replicas_of(&self, key: &[u8]) -> Result<Vec<usize>, KvError> {
+        let live = self
+            .ring
+            .replicas_where(key, self.replication, |n| !self.is_down(n));
+        if live.is_empty() {
+            Err(KvError::AllReplicasDown {
+                tried: self.ring.replicas(key, self.replication),
+            })
+        } else {
+            Ok(live)
+        }
     }
 
     /// Sends one owned batch of keys to `node` and waits for the
@@ -963,6 +990,61 @@ mod tests {
             assert!(got.values[0].is_some(), "key {i} lost on failover");
         }
         c.set_node_down(0, false);
+    }
+
+    #[test]
+    fn replicas_of_lists_live_replica_set_in_failover_order() {
+        let c = small_cluster(4, 3);
+        for i in 0..40u32 {
+            let key = i.to_be_bytes().to_vec();
+            let reps = c.replicas_of(&key).unwrap();
+            assert_eq!(reps.len(), 3, "full replica set while healthy");
+            // The head of the set is exactly the first-live owner.
+            assert_eq!(reps[0], c.owner_of(&key).unwrap());
+        }
+        // Downing the owner drops it from the set; the tail survives
+        // in order, and the new head is the new owner.
+        let key = 7u32.to_be_bytes();
+        let healthy = c.replicas_of(&key).unwrap();
+        c.set_node_down(healthy[0], true);
+        let degraded = c.replicas_of(&key).unwrap();
+        assert_eq!(degraded, healthy[1..]);
+        assert_eq!(degraded[0], c.owner_of(&key).unwrap());
+        // All replicas down: a clean error carrying the tried set.
+        for &n in &healthy[1..] {
+            c.set_node_down(n, true);
+        }
+        match c.replicas_of(&key) {
+            Err(KvError::AllReplicasDown { tried }) => assert_eq!(tried, healthy),
+            other => panic!("expected AllReplicasDown, got {other:?}"),
+        }
+        for &n in &healthy {
+            c.set_node_down(n, false);
+        }
+    }
+
+    #[test]
+    fn per_node_stats_track_batch_load() {
+        let c = small_cluster(3, 1);
+        for i in 0..60u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        c.reset_stats();
+        let keys: Vec<Key> = (0..60u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let _ = c.multi_get_owned(keys).unwrap();
+        let per_node = c.per_node_stats();
+        assert_eq!(per_node.len(), 3);
+        let total_batches: u64 = per_node.iter().map(|n| n.batch_gets).sum();
+        let total_keys: u64 = per_node.iter().map(|n| n.keys_served).sum();
+        assert_eq!(total_batches, c.stats().batch_gets);
+        assert_eq!(total_keys, 60, "every key is served by exactly one node");
+        assert!(
+            per_node.iter().all(|n| n.batch_gets >= 1),
+            "a 60-key scatter should touch all 3 nodes: {per_node:?}"
+        );
+        c.reset_stats();
+        assert!(c.per_node_stats().iter().all(|n| n.keys_served == 0));
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use cluster::{Cluster, ClusterBuilder, ClusterWriter, EngineKind, WriteSumma
 pub use error::KvError;
 pub use msg::{BatchDelete, BatchGet, BatchPut};
 pub use netmodel::NetworkModel;
-pub use stats::StatsSnapshot;
+pub use stats::{NodeLoad, StatsSnapshot};
 pub use types::{table_key, Key, Value};

@@ -48,9 +48,35 @@ impl Ring {
                 points.push((hash_bytes(label.as_bytes()), node));
             }
         }
+        Self {
+            points: Self::normalize_points(points),
+            num_nodes,
+        }
+    }
+
+    /// Sorts ring points and resolves hash collisions. Colliding
+    /// points of *different* nodes are both kept, ordered by node id
+    /// (the tuple sort), so a collision deterministically interleaves
+    /// the nodes instead of silently dropping one — a dropped vnode
+    /// could leave a node under-represented and, in the extreme, make
+    /// [`Ring::replicas`] return fewer than the requested number of
+    /// distinct nodes. Only exact `(point, node)` duplicates (the same
+    /// node colliding with itself) collapse.
+    fn normalize_points(mut points: Vec<(u64, usize)>) -> Vec<(u64, usize)> {
         points.sort_unstable();
-        points.dedup_by_key(|p| p.0);
-        Self { points, num_nodes }
+        points.dedup();
+        points
+    }
+
+    /// Test-only constructor over explicit `(point, node)` pairs, used
+    /// to force hash collisions that real vnode labels would need
+    /// astronomically many nodes to produce.
+    #[cfg(test)]
+    fn from_raw_points(points: Vec<(u64, usize)>, num_nodes: usize) -> Self {
+        Self {
+            points: Self::normalize_points(points),
+            num_nodes,
+        }
     }
 
     /// Number of physical nodes.
@@ -107,18 +133,50 @@ impl Ring {
 
     /// The first `replication` distinct physical nodes clockwise from
     /// the key's hash. Clamped to the node count.
+    ///
+    /// Every node keeps all of its vnode points (collisions are
+    /// interleaved, never dropped — see [`Ring::new`]), so the walk
+    /// always finds the full clamped replica count.
     pub fn replicas(&self, key: &[u8], replication: usize) -> Vec<usize> {
+        let out = self.replicas_where(key, replication, |_| true);
+        debug_assert_eq!(
+            out.len(),
+            replication.clamp(1, self.num_nodes),
+            "replica walk returned fewer distinct nodes than requested"
+        );
+        out
+    }
+
+    /// The members of `key`'s replica set (the first `replication`
+    /// distinct physical nodes clockwise from its hash) that satisfy
+    /// `pred`, in ring order — the full-placement companion of
+    /// [`Ring::first_replica_where`], used by replica-aware read
+    /// routing to consult *every* live copy of a key instead of only
+    /// the first. Nodes outside the replica set are never returned:
+    /// the walk stops after `replication` distinct nodes whether or
+    /// not they pass the predicate.
+    pub fn replicas_where(
+        &self,
+        key: &[u8],
+        replication: usize,
+        mut pred: impl FnMut(usize) -> bool,
+    ) -> Vec<usize> {
         let want = replication.clamp(1, self.num_nodes);
         let h = hash_bytes(key);
         let start = self.points.partition_point(|&(p, _)| p < h);
         let mut out = Vec::with_capacity(want);
+        let mut seen = Vec::with_capacity(want);
         for i in 0..self.points.len() {
             let (_, node) = self.points[(start + i) % self.points.len()];
-            if !out.contains(&node) {
+            if seen.contains(&node) {
+                continue;
+            }
+            seen.push(node);
+            if pred(node) {
                 out.push(node);
-                if out.len() == want {
-                    break;
-                }
+            }
+            if seen.len() == want {
+                break;
             }
         }
         out
@@ -202,6 +260,44 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         Ring::new(0, 8);
+    }
+
+    #[test]
+    fn colliding_vnodes_of_different_nodes_are_both_kept() {
+        // Two nodes whose only points collide at 10: the old
+        // `dedup_by_key` would have dropped node 1's vnode entirely,
+        // making `replicas(_, 2)` return a single node.
+        let ring = Ring::from_raw_points(vec![(10, 0), (10, 1), (900, 0), (901, 1)], 2);
+        for key in 0..64u32 {
+            let reps = ring.replicas(&key.to_be_bytes(), 2);
+            assert_eq!(reps.len(), 2, "short replica set for key {key}");
+            assert_ne!(reps[0], reps[1]);
+        }
+        // The tie breaks deterministically by node id: a walk landing
+        // on the collision point visits node 0 first.
+        let full: Vec<(u64, usize)> = ring.points.clone();
+        assert_eq!(full, vec![(10, 0), (10, 1), (900, 0), (901, 1)]);
+
+        // Same-node duplicates (a node colliding with itself) still
+        // collapse to one point.
+        let ring = Ring::from_raw_points(vec![(10, 0), (10, 0), (20, 1)], 2);
+        assert_eq!(ring.points, vec![(10, 0), (20, 1)]);
+    }
+
+    #[test]
+    fn replicas_where_filters_within_the_replica_set() {
+        let r = Ring::new(5, 64);
+        for i in 0..200u32 {
+            let k = i.to_be_bytes();
+            let reps = r.replicas(&k, 3);
+            // Unfiltered: identical to the replica walk.
+            assert_eq!(r.replicas_where(&k, 3, |_| true), reps);
+            // Excluding the primary keeps the tail, in order.
+            assert_eq!(r.replicas_where(&k, 3, |n| n != reps[0]), reps[1..]);
+            // The predicate can only shrink the set, never extend it
+            // past the replication factor.
+            assert!(r.replicas_where(&k, 2, |n| !reps[..2].contains(&n)).is_empty());
+        }
     }
 
     #[test]

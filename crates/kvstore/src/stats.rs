@@ -9,6 +9,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Per-node read-batch counters: how many `MultiGet` round trips a
+/// node served and how many keys rode them. This is the routing-skew
+/// signal — under first-live routing a hot span piles its keys onto
+/// each key's first replica, while balanced routing flattens these
+/// counts across the replica set.
+#[derive(Debug, Default)]
+struct NodeCounters {
+    batch_gets: AtomicU64,
+    keys_served: AtomicU64,
+}
+
+/// A point-in-time view of one node's read-batch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeLoad {
+    /// The node id.
+    pub node: usize,
+    /// `MultiGet` batch round trips this node served.
+    pub batch_gets: u64,
+    /// Keys requested across those batches.
+    pub keys_served: u64,
+}
+
 /// Shared, lock-free counters for one cluster.
 #[derive(Debug, Default)]
 pub struct ClusterStats {
@@ -23,12 +45,18 @@ pub struct ClusterStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     modeled_nanos: AtomicU64,
+    /// Per-node read-batch load, indexed by node id.
+    per_node: Vec<NodeCounters>,
 }
 
 impl ClusterStats {
-    /// Creates zeroed counters behind an `Arc`.
-    pub fn new_shared() -> Arc<Self> {
-        Arc::new(Self::default())
+    /// Creates zeroed counters behind an `Arc`, with per-node
+    /// read-batch slots for `nodes` nodes.
+    pub fn new_shared(nodes: usize) -> Arc<Self> {
+        Arc::new(Self {
+            per_node: (0..nodes).map(|_| NodeCounters::default()).collect(),
+            ..Self::default()
+        })
     }
 
     pub(crate) fn record_get(&self, hit_bytes: Option<usize>) {
@@ -44,8 +72,25 @@ impl ClusterStats {
         }
     }
 
-    pub(crate) fn record_batch_get(&self) {
+    pub(crate) fn record_batch_get(&self, node: usize, keys: usize) {
         self.batch_gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.per_node.get(node) {
+            c.batch_gets.fetch_add(1, Ordering::Relaxed);
+            c.keys_served.fetch_add(keys as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-node read-batch load, in node-id order.
+    pub fn per_node(&self) -> Vec<NodeLoad> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(node, c)| NodeLoad {
+                node,
+                batch_gets: c.batch_gets.load(Ordering::Relaxed),
+                keys_served: c.keys_served.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     pub(crate) fn record_batch_put(&self) {
@@ -102,6 +147,10 @@ impl ClusterStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.modeled_nanos.store(0, Ordering::Relaxed);
+        for c in &self.per_node {
+            c.batch_gets.store(0, Ordering::Relaxed);
+            c.keys_served.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -161,7 +210,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate_and_reset() {
-        let s = ClusterStats::new_shared();
+        let s = ClusterStats::new_shared(2);
         s.record_get(Some(100));
         s.record_get(None);
         s.record_put(50);
@@ -179,8 +228,28 @@ mod tests {
     }
 
     #[test]
+    fn per_node_batch_load_accumulates_and_resets() {
+        let s = ClusterStats::new_shared(3);
+        s.record_batch_get(0, 5);
+        s.record_batch_get(0, 7);
+        s.record_batch_get(2, 1);
+        let per_node = s.per_node();
+        assert_eq!(per_node.len(), 3);
+        assert_eq!(per_node[0].batch_gets, 2);
+        assert_eq!(per_node[0].keys_served, 12);
+        assert_eq!(per_node[1], NodeLoad { node: 1, ..NodeLoad::default() });
+        assert_eq!(per_node[2].keys_served, 1);
+        assert_eq!(s.snapshot().batch_gets, 3, "totals stay consistent");
+        // An out-of-range node id (defensive) is a no-op, not a panic.
+        s.record_batch_get(9, 4);
+        assert_eq!(s.snapshot().batch_gets, 4);
+        s.reset();
+        assert!(s.per_node().iter().all(|n| n.batch_gets == 0 && n.keys_served == 0));
+    }
+
+    #[test]
     fn since_subtracts() {
-        let s = ClusterStats::new_shared();
+        let s = ClusterStats::new_shared(1);
         s.record_put(10);
         let a = s.snapshot();
         s.record_put(20);

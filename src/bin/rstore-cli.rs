@@ -13,6 +13,7 @@
 //! rstore-cli --data-dir /tmp/db stats
 //! ```
 
+use rstore::core::plan::ReadRouting;
 use rstore::core::store::{CommitRequest, RStore, StoreConfig};
 use rstore::core::{CoreError, VersionId};
 use rstore::kvstore::{Cluster, EngineKind};
@@ -22,13 +23,14 @@ use std::process::exit;
 struct Args {
     data_dir: PathBuf,
     nodes: usize,
+    routing: ReadRouting,
     command: String,
     rest: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rstore-cli --data-dir DIR [--nodes N] COMMAND ...\n\
+        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] COMMAND ...\n\
          commands:\n\
            init     --set PK=VALUE ...            create the root version\n\
            commit   --parent V [--set PK=VALUE]... [--del PK]...\n\
@@ -36,7 +38,7 @@ fn usage() -> ! {
            get PK --version V                     one record from a version\n\
            history PK                             evolution of a key\n\
            log                                    the version graph\n\
-           stats                                  store + fragmentation statistics\n\
+           stats                                  store + fragmentation + per-node load statistics\n\
            compact                                repartition fragmented chunks in place"
     );
     exit(2)
@@ -46,13 +48,29 @@ fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1).peekable();
     let mut data_dir = None;
     let mut nodes = 2usize;
+    let mut routing = ReadRouting::default();
     let mut command = None;
     let mut rest = Vec::new();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--data-dir" => data_dir = argv.next().map(PathBuf::from),
-            "--nodes" if command.is_none() => {
+            // Accepted before or after the command, so a trailing
+            // `--routing balanced` is honoured rather than silently
+            // swallowed as a positional argument.
+            "--nodes" => {
                 nodes = argv.next().and_then(|s| s.parse().ok()).unwrap_or(2)
+            }
+            "--routing" => {
+                routing = match argv.next().as_deref() {
+                    Some("first-live") => ReadRouting::FirstLive,
+                    Some("balanced") => ReadRouting::Balanced,
+                    other => {
+                        eprintln!(
+                            "--routing expects first-live or balanced, got {other:?}"
+                        );
+                        exit(2)
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             _ if command.is_none() => command = Some(arg),
@@ -65,6 +83,7 @@ fn parse_args() -> Args {
     Args {
         data_dir,
         nodes,
+        routing,
         command,
         rest,
     }
@@ -120,6 +139,7 @@ fn open_store(args: &Args) -> Result<RStore, CoreError> {
     RStore::reopen(
         StoreConfig {
             batch_size: 1,
+            read_routing: args.routing,
             ..StoreConfig::default()
         },
         open_cluster(args),
@@ -264,6 +284,16 @@ fn run() -> Result<(), CoreError> {
                 "est read amplif.:    {:.2}x",
                 frag.est_read_amplification
             );
+            // Per-node read-batch load of this session (the reopen
+            // recovery scan ran through the configured routing
+            // policy), so routing skew shows without a bench run.
+            println!("read routing:        {:?}", store.config().read_routing);
+            for load in store.cluster().per_node_stats() {
+                println!(
+                    "node {}:              {} batch read(s), {} key(s) served",
+                    load.node, load.batch_gets, load.keys_served
+                );
+            }
         }
         "compact" => {
             let mut store = open_store(&args)?;
