@@ -572,6 +572,12 @@ impl RStore {
         stages.delete = t.elapsed();
         stages.modeled_delete = modeled_delete;
 
+        // Compaction is a natural self-healing point: the deletes just
+        // purged any hints for retired keys, so replaying what remains
+        // re-replicates only live data onto recovered nodes. Best
+        // effort — a node still down keeps its hints queued.
+        let _ = self.cluster.replay_hints();
+
         let report = CompactionReport {
             victims: victims.len(),
             new_chunks,

@@ -380,6 +380,11 @@ pub struct FetchMetrics {
     /// Node-batch fetch failures the executor recovered from by
     /// re-routing the batch's keys to their next live replica.
     pub failovers: usize,
+    /// In-place retries of transient backend refusals, healed by the
+    /// cluster's retry policy *without* re-routing. Counted separately
+    /// from `failovers`: a flaky node is retried where it is, a dead
+    /// one is failed over.
+    pub retries: usize,
     /// Keys re-routed to another replica mid-query — after their
     /// serving node failed, or after a replica turned out never to
     /// have stored them (it was down during the write).
@@ -581,6 +586,7 @@ pub(crate) fn execute_plan(
             })
             .collect();
         let bytes = AtomicUsize::new(0);
+        let retried = AtomicUsize::new(0);
         let first_err: Mutex<Option<CoreError>> = Mutex::new(None);
         // Failover bookkeeping across retry rounds: nodes whose whole
         // batch failed are excluded from re-routing, and each key
@@ -637,11 +643,30 @@ pub(crate) fn execute_plan(
                         }
                         return;
                     }
+                    Err(e @ KvError::Transient(_)) => {
+                        // The cluster layer already retried in place
+                        // and gave up; fail the keys over to their
+                        // next replicas. The node is flaky, not dead,
+                        // so it is *not* excluded — it may be another
+                        // key's only live replica — but each key's
+                        // tried-history keeps it from looping back.
+                        let mut r = retries.lock().unwrap();
+                        for (m, part) in parts {
+                            r.push(RetryKey {
+                                m,
+                                part,
+                                from: node,
+                                cause: CoreError::Kv(e.clone()),
+                            });
+                        }
+                        return;
+                    }
                     Err(e) => {
                         record_err(&first_err, e.into());
                         return;
                     }
                 };
+                retried.fetch_add(reply.retries, Ordering::Relaxed);
                 let batch_bytes: usize = reply
                     .values
                     .iter()
@@ -774,6 +799,7 @@ pub(crate) fn execute_plan(
             return Err(e);
         }
         metrics.bytes_fetched = bytes.into_inner();
+        metrics.retries = retried.into_inner();
         metrics.modeled_network = Duration::from_nanos(modeled_nanos);
         metrics.nodes_contacted = contacted.len();
         for p in pending {

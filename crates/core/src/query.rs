@@ -34,6 +34,10 @@ pub struct QueryStats {
     pub failovers: usize,
     /// Keys re-routed to another replica mid-query.
     pub rerouted_keys: usize,
+    /// Transient backend refusals healed by in-place retries at the
+    /// cluster layer (0 unless fault injection is active). Distinct
+    /// from `failovers`: a retry stays on the same node.
+    pub retries: usize,
     /// Records produced.
     pub records: usize,
     /// Wall-clock time.

@@ -1255,8 +1255,17 @@ impl RStore {
     /// Flushes any pending commits (call before querying fresh data)
     /// and returns the final batch's [`FlushReport`], so callers can
     /// see the last ingest's stage breakdown instead of losing it.
+    ///
+    /// Sealing is also a durability barrier: every node syncs its
+    /// engine (group-commit under a relaxed
+    /// [`SyncPolicy`](rstore_kvstore::SyncPolicy)), and any hinted
+    /// writes that missed a replica during an outage are replayed so
+    /// the sealed data is fully replicated again.
     pub fn seal(&mut self) -> Result<FlushReport, CoreError> {
-        self.flush_batch()
+        let report = self.flush_batch()?;
+        self.cluster.sync_all()?;
+        self.cluster.replay_hints()?;
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -1358,6 +1367,7 @@ impl RStore {
             max_node_batch: fetch.max_node_batch,
             failovers: fetch.failovers,
             rerouted_keys: fetch.rerouted_keys,
+            retries: fetch.retries,
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: fetch.modeled_network,

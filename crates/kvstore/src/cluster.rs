@@ -7,20 +7,38 @@
 //! parallel across nodes (one batch message per node, processed
 //! concurrently by the node threads) — mirroring how RStore "issues
 //! queries in parallel to the backend store" (§2.4).
+//!
+//! Failure handling comes in three layers:
+//!
+//! * administrative down flags ([`Cluster::set_node_down`]) — the
+//!   coarse, client-visible outage used by failover tests;
+//! * a scripted chaos layer ([`ClusterBuilder::faults`]) injecting
+//!   transient errors, latency and crash/restarts *inside* the node
+//!   threads, invisible to the client until a reply comes back;
+//! * self-healing on the client side: transient faults are retried
+//!   under the [`RetryPolicy`], and writes that miss a replica are
+//!   recorded as hints and re-replicated by
+//!   [`Cluster::replay_hints`] (hinted handoff).
 
-use crate::engine::{LogEngine, MemEngine, StorageEngine};
+use crate::engine::{LogEngine, MemEngine, StorageEngine, SyncPolicy};
 use crate::error::KvError;
+use crate::fault::{FaultPlan, Injected, NodeFaults, RetryPolicy};
 use crate::msg::{BatchDelete, BatchGet, BatchPut, NodeInfo, Request};
 use crate::netmodel::NetworkModel;
 use crate::ring::Ring;
 use crate::stats::{ClusterStats, NodeLoad, StatsSnapshot};
 use crate::types::{Key, Value};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use rustc_hash::FxHashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Hints drained for replay: per target node, the queued key →
+/// value entries (`None` = count-only hint, resolved by read-repair).
+type DrainedHints = Vec<(usize, Vec<(Key, Option<Value>)>)>;
 
 /// Which storage engine each node runs.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +62,10 @@ pub struct ClusterBuilder {
     vnodes: usize,
     engine: EngineKind,
     network: NetworkModel,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    handoff: bool,
+    sync: SyncPolicy,
 }
 
 impl Default for ClusterBuilder {
@@ -54,6 +76,10 @@ impl Default for ClusterBuilder {
             vnodes: 64,
             engine: EngineKind::Mem,
             network: NetworkModel::zero(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            handoff: true,
+            sync: SyncPolicy::Always,
         }
     }
 }
@@ -89,6 +115,39 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a scripted chaos schedule (default none). Each node
+    /// thread evaluates the plan deterministically per request; see
+    /// [`crate::fault`] for the action vocabulary.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Client-side retry policy for transient faults (default
+    /// [`RetryPolicy::default`]; use [`RetryPolicy::none`] to surface
+    /// every transient error immediately).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Enables or disables hinted handoff (default on). When off, a
+    /// write that misses a down replica is still *counted* (the
+    /// under-replicated gauge and `hints_recorded` move) but the
+    /// value is not kept for replay — [`Cluster::replay_hints`] then
+    /// re-replicates via read-repair from a live replica.
+    pub fn handoff(mut self, enabled: bool) -> Self {
+        self.handoff = enabled;
+        self
+    }
+
+    /// Group-commit policy for log-engine nodes (default
+    /// [`SyncPolicy::Always`]; ignored by the in-memory engine).
+    pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
     /// Starts the node threads and returns the cluster handle.
     ///
     /// # Panics
@@ -104,15 +163,19 @@ impl ClusterBuilder {
             let engine: Box<dyn StorageEngine> = match &self.engine {
                 EngineKind::Mem => Box::new(MemEngine::new()),
                 EngineKind::Log { dir } => Box::new(
-                    LogEngine::open(dir.join(format!("node-{node_id}.log")))
-                        .expect("open node log"),
+                    LogEngine::open_with(
+                        dir.join(format!("node-{node_id}.log")),
+                        self.sync,
+                    )
+                    .expect("open node log"),
                 ),
             };
             let stats = Arc::clone(&stats);
             let network = self.network;
+            let faults = self.faults.as_ref().map(|p| p.for_node(node_id));
             let handle = std::thread::Builder::new()
                 .name(format!("kv-node-{node_id}"))
-                .spawn(move || node_loop(node_id, engine, rx, stats, network))
+                .spawn(move || node_loop(node_id, engine, rx, stats, network, faults))
                 .expect("spawn node thread");
             senders.push(tx);
             handles.push(handle);
@@ -124,7 +187,47 @@ impl ClusterBuilder {
             stats,
             replication: self.replication.clamp(1, self.nodes),
             down: (0..self.nodes).map(|_| AtomicBool::new(false)).collect(),
+            retry: self.retry,
+            handoff: self.handoff,
+            chaos: self.faults.as_ref().is_some_and(|p| !p.is_empty()),
+            hints: Mutex::new((0..self.nodes).map(|_| FxHashMap::default()).collect()),
         }
+    }
+}
+
+/// Evaluates the node's chaos plan for one data request: `Some(err)`
+/// refuses the request with that error, `None` lets it serve (after
+/// any injected latency has been charged). Crash actions restart the
+/// engine in place before refusing.
+fn injected_failure(
+    faults: &mut Option<NodeFaults>,
+    engine: &mut dyn StorageEngine,
+    stats: &ClusterStats,
+    network: &NetworkModel,
+    node_id: usize,
+) -> Option<KvError> {
+    let f = faults.as_mut()?;
+    match f.on_op() {
+        Injected::None => None,
+        Injected::SlowBy(d) => {
+            stats.record_modeled(d);
+            if network.real_sleep && !d.is_zero() {
+                std::thread::sleep(d);
+            }
+            None
+        }
+        Injected::Transient => {
+            stats.record_fault_injected();
+            Some(KvError::Transient(node_id))
+        }
+        Injected::Crash { damage, .. } => {
+            stats.record_fault_injected();
+            if let Err(e) = engine.crash_restart(damage) {
+                return Some(e);
+            }
+            Some(KvError::NodeDown(node_id))
+        }
+        Injected::Outage => Some(KvError::NodeDown(node_id)),
     }
 }
 
@@ -135,6 +238,7 @@ fn node_loop(
     rx: crossbeam::channel::Receiver<Request>,
     stats: Arc<ClusterStats>,
     network: NetworkModel,
+    mut faults: Option<NodeFaults>,
 ) {
     let mut down = false;
     let charge = |bytes: usize| -> Duration {
@@ -152,6 +256,12 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
+                if let Some(e) =
+                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
+                {
+                    let _ = reply.send(Err(e));
+                    continue;
+                }
                 let result = engine.get(&key);
                 if let Ok(v) = &result {
                     let n = v.as_ref().map(Value::len);
@@ -163,6 +273,12 @@ fn node_loop(
             Request::MultiGet { keys, reply } => {
                 if down {
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                if let Some(e) =
+                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
+                {
+                    let _ = reply.send(Err(e));
                     continue;
                 }
                 stats.record_batch_get(node_id, keys.len());
@@ -185,12 +301,18 @@ fn node_loop(
                 }
                 let _ = reply.send(match failed {
                     Some(e) => Err(e),
-                    None => Ok(BatchGet { values, modeled }),
+                    None => Ok(BatchGet { values, modeled, retries: 0 }),
                 });
             }
             Request::Put { key, value, reply } => {
                 if down {
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                if let Some(e) =
+                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
+                {
+                    let _ = reply.send(Err(e));
                     continue;
                 }
                 let n = key.len() + value.len();
@@ -204,6 +326,12 @@ fn node_loop(
             Request::MultiPut { pairs, reply } => {
                 if down {
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                if let Some(e) =
+                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
+                {
+                    let _ = reply.send(Err(e));
                     continue;
                 }
                 stats.record_batch_put();
@@ -230,6 +358,12 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
+                if let Some(e) =
+                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
+                {
+                    let _ = reply.send(Err(e));
+                    continue;
+                }
                 let result = engine.delete(&key);
                 if result.is_ok() {
                     stats.record_delete();
@@ -240,6 +374,12 @@ fn node_loop(
             Request::MultiDelete { keys, reply } => {
                 if down {
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
+                    continue;
+                }
+                if let Some(e) =
+                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
+                {
+                    let _ = reply.send(Err(e));
                     continue;
                 }
                 stats.record_batch_delete();
@@ -266,6 +406,16 @@ fn node_loop(
                 let _ = reply.send(result.map(|()| batch));
             }
             Request::SetDown(flag) => down = flag,
+            // A durability barrier is administrative: it is not
+            // subject to fault injection and does not advance the
+            // chaos op counter.
+            Request::Sync { reply } => {
+                let _ = reply.send(if down {
+                    Err(KvError::NodeDown(node_id))
+                } else {
+                    engine.sync()
+                });
+            }
             Request::Info { reply } => {
                 let _ = reply.send(NodeInfo {
                     keys: engine.len(),
@@ -285,6 +435,17 @@ pub struct Cluster {
     stats: Arc<ClusterStats>,
     replication: usize,
     down: Vec<AtomicBool>,
+    retry: RetryPolicy,
+    /// Whether hints keep the written value for replay (hinted
+    /// handoff proper) or only count the under-replication.
+    handoff: bool,
+    /// True when a non-empty fault plan is attached; gates the batch
+    /// copies the retry paths need (the healthy path never clones).
+    chaos: bool,
+    /// Per-node pending hints: key -> value to re-replicate
+    /// (`None` when handoff is disabled — count-only, resolved by
+    /// read-repair at replay time). Latest write wins per key.
+    hints: Mutex<Vec<FxHashMap<Key, Option<Value>>>>,
 }
 
 impl Cluster {
@@ -321,27 +482,225 @@ impl Cluster {
     }
 
     /// Marks a node down (true) or back up (false). Reads fail over
-    /// to the next replica; writes to a down node are skipped.
+    /// to the next replica; writes to a down node are recorded as
+    /// hints and skipped. Reviving a node replays its pending hints,
+    /// restoring full replication.
     pub fn set_node_down(&self, node: usize, down: bool) {
         self.down[node].store(down, Ordering::Relaxed);
         let _ = self.senders[node].send(Request::SetDown(down));
+        if !down {
+            let _ = self.replay_hints();
+        }
     }
 
     fn is_down(&self, node: usize) -> bool {
         self.down[node].load(Ordering::Relaxed)
     }
 
-    /// Stores `value` under `key` on every live replica.
-    ///
-    /// Fails only if *no* replica accepted the write.
-    pub fn put(&self, key: Key, value: Value) -> Result<(), KvError> {
-        let replicas = self.ring.replicas(&key, self.replication);
-        let mut any_ok = false;
-        let mut replies = Vec::with_capacity(replicas.len());
-        for &node in &replicas {
-            if self.is_down(node) {
+    /// Records that `node` missed the write of `key` (it was down or
+    /// unreachable while another replica accepted it). With handoff
+    /// enabled the value is kept for replay; without, only the
+    /// under-replication is counted.
+    fn record_hint(&self, node: usize, key: Key, value: Value) {
+        let mut hints = self.hints.lock().expect("hint queue poisoned");
+        let stored = if self.handoff { Some(value) } else { None };
+        hints[node].insert(key, stored);
+        self.stats.record_hints(1);
+        let total: usize = hints.iter().map(FxHashMap::len).sum();
+        self.stats.set_under_replicated(total as u64);
+    }
+
+    /// Drops pending hints for `key` on every node — a deleted key
+    /// must not be resurrected by a later replay.
+    fn purge_hint(&self, key: &[u8]) {
+        let mut hints = self.hints.lock().expect("hint queue poisoned");
+        let mut removed = false;
+        for per_node in hints.iter_mut() {
+            removed |= per_node.remove(key).is_some();
+        }
+        if removed {
+            let total: usize = hints.iter().map(FxHashMap::len).sum();
+            self.stats.set_under_replicated(total as u64);
+        }
+    }
+
+    /// Drops pending hints for `keys` on `node` after a *direct*
+    /// write to that node succeeded: the queued value predates the
+    /// write that just landed, so replaying it would resurrect
+    /// overwritten data. Gauge-gated — the healthy path (no hints
+    /// anywhere) pays one relaxed atomic load and no lock.
+    fn clear_stale_hints<'a>(&self, node: usize, keys: impl IntoIterator<Item = &'a Key>) {
+        if self.stats.under_replicated_now() == 0 {
+            return;
+        }
+        let mut hints = self.hints.lock().expect("hint queue poisoned");
+        let mut removed = false;
+        for key in keys {
+            removed |= hints[node].remove(key).is_some();
+        }
+        if removed {
+            let total: usize = hints.iter().map(FxHashMap::len).sum();
+            self.stats.set_under_replicated(total as u64);
+        }
+    }
+
+    /// Keys currently known to be under-replicated (pending hints).
+    pub fn pending_hints(&self) -> usize {
+        self.hints
+            .lock()
+            .expect("hint queue poisoned")
+            .iter()
+            .map(FxHashMap::len)
+            .sum()
+    }
+
+    /// Re-replicates pending hints to every live target node,
+    /// returning how many keys were restored to full replication.
+    /// Called automatically when a node is revived via
+    /// [`Cluster::set_node_down`] and by the store layer from
+    /// `seal()` and `compact()`; hints whose target is still down (or
+    /// whose value cannot yet be resolved) stay queued.
+    pub fn replay_hints(&self) -> Result<usize, KvError> {
+        // Take the live nodes' hints out of the queue, then work
+        // without holding the lock (replay sends requests).
+        let taken: DrainedHints = {
+            let mut hints = self.hints.lock().expect("hint queue poisoned");
+            (0..hints.len())
+                .filter(|&n| !self.is_down(n))
+                .map(|n| (n, hints[n].drain().collect::<Vec<_>>()))
+                .filter(|(_, entries)| !entries.is_empty())
+                .collect()
+        };
+        let mut replayed = 0usize;
+        let mut requeue: Vec<(usize, Key, Option<Value>)> = Vec::new();
+        for (node, entries) in taken {
+            let mut pairs: Vec<(Key, Value)> = Vec::with_capacity(entries.len());
+            for (key, value) in entries {
+                match value {
+                    Some(v) => pairs.push((key, v)),
+                    // Count-only hint: resolve by read-repair from a
+                    // live *sibling* replica — a routed get would be
+                    // served by the recovering node itself, which has
+                    // no copy yet.
+                    None => {
+                        let sibling = self
+                            .ring
+                            .replicas(&key, self.replication)
+                            .into_iter()
+                            .find(|&r| r != node && !self.is_down(r));
+                        match sibling.map(|r| self.fetch_from(r, vec![key.clone()])) {
+                            Some(Ok(got)) => {
+                                // A missing value means the key no
+                                // longer exists anywhere: nothing to
+                                // re-replicate.
+                                if let Some(v) = got.values.into_iter().next().flatten() {
+                                    pairs.push((key, v));
+                                }
+                            }
+                            // Fetch failed or no live sibling holds a
+                            // copy; keep the hint for a later pass.
+                            Some(Err(_)) | None => requeue.push((node, key, None)),
+                        }
+                    }
+                }
+            }
+            if pairs.is_empty() {
                 continue;
             }
+            let count = pairs.len();
+            // Keep a copy in case the target refuses mid-replay.
+            let copy = pairs.clone();
+            match self.put_batch_on_node(node, pairs) {
+                Ok(_) => replayed += count,
+                Err(_) => {
+                    requeue.extend(
+                        copy.into_iter().map(|(k, v)| (node, k, Some(v))),
+                    );
+                }
+            }
+        }
+        {
+            let mut hints = self.hints.lock().expect("hint queue poisoned");
+            for (node, key, value) in requeue {
+                // Do not clobber a newer hint recorded concurrently.
+                hints[node].entry(key).or_insert(value);
+            }
+            let total: usize = hints.iter().map(FxHashMap::len).sum();
+            self.stats.set_under_replicated(total as u64);
+        }
+        if replayed > 0 {
+            self.stats.record_hints_replayed(replayed);
+        }
+        Ok(replayed)
+    }
+
+    /// Charges the backoff before retry number `attempt` (tries made
+    /// so far) as modeled time; false when the retry budget — policy
+    /// attempts or per-op timeout — is exhausted.
+    fn charge_backoff(&self, attempt: u32, spent: &mut Duration) -> bool {
+        if attempt as usize >= self.retry.max_attempts {
+            return false;
+        }
+        let backoff = self.retry.backoff(attempt);
+        if *spent + backoff > self.retry.per_op_timeout {
+            return false;
+        }
+        *spent += backoff;
+        self.stats.record_modeled(backoff);
+        self.stats.record_retry();
+        true
+    }
+
+    /// Sends one `MultiPut` straight to `node` (bypassing ring
+    /// routing — the hint-replay and batch-repair path), retrying
+    /// transient refusals under the retry policy.
+    fn put_batch_on_node(
+        &self,
+        node: usize,
+        mut pairs: Vec<(Key, Value)>,
+    ) -> Result<BatchPut, KvError> {
+        if self.is_down(node) {
+            return Err(KvError::NodeDown(node));
+        }
+        // Snapshot the keys only when hints are pending: a successful
+        // write must invalidate any older queued value for its key.
+        let stale_check: Option<Vec<Key>> = (self.stats.under_replicated_now() > 0)
+            .then(|| pairs.iter().map(|(k, _)| k.clone()).collect());
+        let mut attempt = 0u32;
+        let mut spent = Duration::ZERO;
+        loop {
+            attempt += 1;
+            let may_retry = (attempt as usize) < self.retry.max_attempts;
+            let batch = if may_retry {
+                pairs.clone()
+            } else {
+                std::mem::take(&mut pairs)
+            };
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::MultiPut { pairs: batch, reply: tx })
+                .map_err(|_| KvError::NodeGone(node))?;
+            match rx.recv().map_err(|_| KvError::NodeGone(node))? {
+                Ok(batch) => {
+                    if let Some(keys) = &stale_check {
+                        self.clear_stale_hints(node, keys.iter());
+                    }
+                    return Ok(batch);
+                }
+                Err(KvError::Transient(_)) if self.charge_backoff(attempt, &mut spent) => {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one `Put` to `node`, retrying transient refusals.
+    fn put_on_node(&self, node: usize, key: &Key, value: &Value) -> Result<(), KvError> {
+        let mut attempt = 0u32;
+        let mut spent = Duration::ZERO;
+        loop {
+            attempt += 1;
             let (tx, rx) = bounded(1);
             self.senders[node]
                 .send(Request::Put {
@@ -350,67 +709,115 @@ impl Cluster {
                     reply: tx,
                 })
                 .map_err(|_| KvError::NodeGone(node))?;
-            replies.push((node, rx));
-        }
-        for (node, rx) in replies {
-            match rx.recv() {
-                Ok(Ok(())) => any_ok = true,
-                Ok(Err(_)) | Err(_) => {
-                    let _ = node;
+            match rx.recv().map_err(|_| KvError::NodeGone(node))? {
+                Ok(()) => {
+                    self.clear_stale_hints(node, std::iter::once(key));
+                    return Ok(());
                 }
+                Err(KvError::Transient(_)) if self.charge_backoff(attempt, &mut spent) => {
+                    continue
+                }
+                Err(e) => return Err(e),
             }
-        }
-        if any_ok {
-            Ok(())
-        } else {
-            Err(KvError::AllReplicasDown {
-                tried: replicas,
-            })
         }
     }
 
-    /// Fetches `key` from the first live replica.
+    /// Stores `value` under `key` on every live replica, retrying
+    /// transient faults per replica. A replica that was down or
+    /// refused the write gets a hint for later replay.
+    ///
+    /// Fails only if *no* replica accepted the write.
+    pub fn put(&self, key: Key, value: Value) -> Result<(), KvError> {
+        let replicas = self.ring.replicas(&key, self.replication);
+        let mut any_ok = false;
+        let mut missed: Vec<usize> = Vec::new();
+        for &node in &replicas {
+            if self.is_down(node) {
+                missed.push(node);
+                continue;
+            }
+            match self.put_on_node(node, &key, &value) {
+                Ok(()) => any_ok = true,
+                Err(_) => missed.push(node),
+            }
+        }
+        if any_ok {
+            for node in missed {
+                self.record_hint(node, key.clone(), value.clone());
+            }
+            Ok(())
+        } else {
+            Err(KvError::AllReplicasDown { tried: replicas })
+        }
+    }
+
+    /// Fetches `key` from the first live replica, retrying transient
+    /// faults in place before failing over to the next replica.
     pub fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError> {
         let replicas = self.ring.replicas(key, self.replication);
         for &node in &replicas {
             if self.is_down(node) {
                 continue;
             }
-            let (tx, rx) = bounded(1);
-            self.senders[node]
-                .send(Request::Get {
-                    key: key.to_vec(),
-                    reply: tx,
-                })
-                .map_err(|_| KvError::NodeGone(node))?;
-            match rx.recv() {
-                Ok(Ok(v)) => return Ok(v),
-                Ok(Err(KvError::NodeDown(_))) | Err(_) => continue,
-                Ok(Err(e)) => return Err(e),
+            let mut attempt = 0u32;
+            let mut spent = Duration::ZERO;
+            loop {
+                attempt += 1;
+                let (tx, rx) = bounded(1);
+                self.senders[node]
+                    .send(Request::Get {
+                        key: key.to_vec(),
+                        reply: tx,
+                    })
+                    .map_err(|_| KvError::NodeGone(node))?;
+                match rx.recv() {
+                    Ok(Ok(v)) => return Ok(v),
+                    Ok(Err(KvError::Transient(_))) => {
+                        if self.charge_backoff(attempt, &mut spent) {
+                            continue;
+                        }
+                        // Retry budget exhausted: fail over.
+                        break;
+                    }
+                    Ok(Err(KvError::NodeDown(_))) | Err(_) => break,
+                    Ok(Err(e)) => return Err(e),
+                }
             }
         }
         Err(KvError::AllReplicasDown { tried: replicas })
     }
 
-    /// Removes `key` from every live replica.
+    /// Removes `key` from every live replica (retrying transient
+    /// refusals) and drops any pending hint for it, so a later hint
+    /// replay cannot resurrect the deleted key.
     pub fn delete(&self, key: &[u8]) -> Result<(), KvError> {
+        self.purge_hint(key);
         let replicas = self.ring.replicas(key, self.replication);
-        let mut replies = Vec::with_capacity(replicas.len());
         for &node in &replicas {
             if self.is_down(node) {
                 continue;
             }
-            let (tx, rx) = bounded(1);
-            self.senders[node]
-                .send(Request::Delete {
-                    key: key.to_vec(),
-                    reply: tx,
-                })
-                .map_err(|_| KvError::NodeGone(node))?;
-            replies.push(rx);
-        }
-        for rx in replies {
-            let _ = rx.recv();
+            let mut attempt = 0u32;
+            let mut spent = Duration::ZERO;
+            loop {
+                attempt += 1;
+                let (tx, rx) = bounded(1);
+                self.senders[node]
+                    .send(Request::Delete {
+                        key: key.to_vec(),
+                        reply: tx,
+                    })
+                    .map_err(|_| KvError::NodeGone(node))?;
+                match rx.recv() {
+                    Ok(Err(KvError::Transient(_)))
+                        if self.charge_backoff(attempt, &mut spent) =>
+                    {
+                        continue
+                    }
+                    // Down/raced replicas keep orphan copies, as before.
+                    _ => break,
+                }
+            }
         }
         Ok(())
     }
@@ -426,6 +833,20 @@ impl Cluster {
     /// dead node is an orphan, not data loss), and a node answering
     /// `NodeDown` mid-flight is likewise ignored.
     pub fn multi_delete_scatter(&self, keys: Vec<Key>) -> Result<(Duration, usize), KvError> {
+        // Deleted keys must not be resurrected by a later hint replay.
+        {
+            let mut hints = self.hints.lock().expect("hint queue poisoned");
+            let mut purged = false;
+            for per_node in hints.iter_mut() {
+                for key in &keys {
+                    purged |= per_node.remove(key).is_some();
+                }
+            }
+            if purged {
+                let total: usize = hints.iter().map(FxHashMap::len).sum();
+                self.stats.set_under_replicated(total as u64);
+            }
+        }
         let mut per_node: Vec<Vec<Key>> = (0..self.node_count()).map(|_| Vec::new()).collect();
         for key in keys {
             let replicas = self.ring.replicas(&key, self.replication);
@@ -446,6 +867,9 @@ impl Cluster {
             if batch.is_empty() {
                 continue;
             }
+            // A retry needs the keys again; only pay the copy when a
+            // chaos plan can actually inject transients.
+            let copy = self.chaos.then(|| batch.clone());
             let (tx, rx) = bounded(1);
             self.senders[node]
                 .send(Request::MultiDelete {
@@ -453,14 +877,31 @@ impl Cluster {
                     reply: tx,
                 })
                 .map_err(|_| KvError::NodeGone(node))?;
-            pending.push((node, rx));
+            pending.push((node, rx, copy));
         }
         let mut slowest = Duration::ZERO;
         let mut removed = 0usize;
-        for (node, rx) in pending {
-            match rx.recv().map_err(|_| KvError::NodeGone(node))? {
+        for (node, rx, copy) in pending {
+            let mut result = rx.recv().map_err(|_| KvError::NodeGone(node))?;
+            let mut attempt = 0u32;
+            let mut spent = Duration::ZERO;
+            while let (Err(KvError::Transient(_)), Some(batch_copy)) = (&result, &copy) {
+                attempt += 1;
+                if !self.charge_backoff(attempt, &mut spent) {
+                    break;
+                }
+                let (tx, retry_rx) = bounded(1);
+                self.senders[node]
+                    .send(Request::MultiDelete {
+                        keys: batch_copy.clone(),
+                        reply: tx,
+                    })
+                    .map_err(|_| KvError::NodeGone(node))?;
+                result = retry_rx.recv().map_err(|_| KvError::NodeGone(node))?;
+            }
+            match result {
                 Ok(batch) => {
-                    slowest = slowest.max(batch.modeled);
+                    slowest = slowest.max(batch.modeled + spent);
                     removed += batch.removed;
                 }
                 // Raced with failure injection: the skipped copies are
@@ -513,21 +954,50 @@ impl Cluster {
     /// half of a scatter-gather read. Callers route each key to its
     /// serving node via [`Cluster::owner_of`] first; a key the node
     /// does not hold simply comes back `None`.
-    pub fn fetch_from(&self, node: usize, keys: Vec<Key>) -> Result<BatchGet, KvError> {
+    pub fn fetch_from(&self, node: usize, mut keys: Vec<Key>) -> Result<BatchGet, KvError> {
         if keys.is_empty() {
             return Ok(BatchGet {
                 values: Vec::new(),
                 modeled: Duration::ZERO,
+                retries: 0,
             });
         }
         if self.is_down(node) {
             return Err(KvError::NodeDown(node));
         }
-        let (tx, rx) = bounded(1);
-        self.senders[node]
-            .send(Request::MultiGet { keys, reply: tx })
-            .map_err(|_| KvError::NodeGone(node))?;
-        rx.recv().map_err(|_| KvError::NodeGone(node))?
+        let mut attempt = 0u32;
+        let mut spent = Duration::ZERO;
+        let mut retries = 0usize;
+        loop {
+            attempt += 1;
+            // Clone the keys only while another attempt is possible
+            // (and only under a chaos plan); the last try moves them.
+            let may_retry = self.chaos && (attempt as usize) < self.retry.max_attempts;
+            let batch = if may_retry {
+                keys.clone()
+            } else {
+                std::mem::take(&mut keys)
+            };
+            let (tx, rx) = bounded(1);
+            self.senders[node]
+                .send(Request::MultiGet { keys: batch, reply: tx })
+                .map_err(|_| KvError::NodeGone(node))?;
+            match rx.recv().map_err(|_| KvError::NodeGone(node))? {
+                Ok(mut got) => {
+                    // Backoff waits ride the op's modeled time, so
+                    // retried batches honestly look slower.
+                    got.modeled += spent;
+                    got.retries = retries;
+                    return Ok(got);
+                }
+                Err(KvError::Transient(_))
+                    if may_retry && self.charge_backoff(attempt, &mut spent) =>
+                {
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Fetches many keys, in parallel across nodes: each node gets one
@@ -552,12 +1022,14 @@ impl Cluster {
             per_node[node].0.push(i);
             per_node[node].1.push(key);
         }
-        // Send all batches first (parallel service), then collect.
+        // Send all batches first (parallel service), then collect;
+        // transient refusals are retried in place.
         let mut pending = Vec::new();
         for (node, (indices, batch)) in per_node.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
+            let copy = self.chaos.then(|| batch.clone());
             let (tx, rx) = bounded(1);
             self.senders[node]
                 .send(Request::MultiGet {
@@ -565,13 +1037,30 @@ impl Cluster {
                     reply: tx,
                 })
                 .map_err(|_| KvError::NodeGone(node))?;
-            pending.push((node, indices, rx));
+            pending.push((node, indices, rx, copy));
         }
         let mut out: Vec<Option<Value>> = vec![None; total];
         let mut slowest = Duration::ZERO;
-        for (node, indices, rx) in pending {
-            let batch = rx.recv().map_err(|_| KvError::NodeGone(node))??;
-            slowest = slowest.max(batch.modeled);
+        for (node, indices, rx, copy) in pending {
+            let mut result = rx.recv().map_err(|_| KvError::NodeGone(node))?;
+            let mut attempt = 0u32;
+            let mut spent = Duration::ZERO;
+            while let (Err(KvError::Transient(_)), Some(batch_copy)) = (&result, &copy) {
+                attempt += 1;
+                if !self.charge_backoff(attempt, &mut spent) {
+                    break;
+                }
+                let (tx, retry_rx) = bounded(1);
+                self.senders[node]
+                    .send(Request::MultiGet {
+                        keys: batch_copy.clone(),
+                        reply: tx,
+                    })
+                    .map_err(|_| KvError::NodeGone(node))?;
+                result = retry_rx.recv().map_err(|_| KvError::NodeGone(node))?;
+            }
+            let batch = result?;
+            slowest = slowest.max(batch.modeled + spent);
             for (slot, value) in indices.into_iter().zip(batch.values) {
                 out[slot] = value;
             }
@@ -634,6 +1123,30 @@ impl Cluster {
         }
     }
 
+    /// Issues a durability barrier to every live node: each engine
+    /// flushes its buffered writes (the group-commit point for
+    /// [`SyncPolicy::EveryN`]/[`SyncPolicy::OnSeal`]). Down nodes are
+    /// skipped — they will recover to their own last durable prefix.
+    pub fn sync_all(&self) -> Result<(), KvError> {
+        let mut pending = Vec::new();
+        for (node, sender) in self.senders.iter().enumerate() {
+            if self.is_down(node) {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            if sender.send(Request::Sync { reply: tx }).is_ok() {
+                pending.push(rx);
+            }
+        }
+        for rx in pending {
+            match rx.recv() {
+                Ok(Ok(())) | Ok(Err(KvError::NodeDown(_))) | Err(_) => {}
+                Ok(Err(e)) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     /// Aggregated engine statistics across live nodes.
     pub fn info(&self) -> NodeInfo {
         let mut total = NodeInfo::default();
@@ -689,18 +1202,32 @@ pub struct ClusterWriter<'a> {
     buffers: Vec<Vec<(Key, Value)>>,
     /// Payload bytes buffered per node.
     buffered_bytes: Vec<usize>,
-    /// Outstanding batch replies, tagged with the serving node.
-    pending: Vec<(usize, Receiver<Result<BatchPut, KvError>>)>,
+    /// Outstanding batch replies, tagged with the serving node and —
+    /// when retries or batch repair are possible — a copy of the
+    /// shipped batch.
+    pending: Vec<PendingBatch>,
     /// Per-node buffer size that triggers a flush.
     flush_bytes: usize,
     summary: WriteSummary,
+}
+
+/// One shipped-but-unsettled `MultiPut` batch.
+struct PendingBatch {
+    node: usize,
+    rx: Receiver<Result<BatchPut, KvError>>,
+    /// The shipped pairs, kept only when they might be needed again
+    /// (transient retry under chaos, or re-replication to another
+    /// replica after a mid-stream `NodeDown`). Value clones are
+    /// refcounted `Bytes`; keys are real copies.
+    copy: Option<Vec<(Key, Value)>>,
 }
 
 impl ClusterWriter<'_> {
     /// Buffers one pair for every live replica of `key`, shipping any
     /// node buffer that crossed the flush threshold. Does not wait for
     /// the shipped batches — their results are collected by
-    /// [`ClusterWriter::finish`].
+    /// [`ClusterWriter::finish`]. Replicas that are down get a hint
+    /// so the copy they missed can be replayed later.
     ///
     /// Unlike a lone [`Cluster::put`] (which succeeds if *any*
     /// replica took the write), a bulk writer refuses to silently drop
@@ -710,14 +1237,21 @@ impl ClusterWriter<'_> {
         let mut live = replicas
             .iter()
             .copied()
-            .filter(|&n| !self.cluster.is_down(n));
-        let Some(mut prev) = live.next() else {
+            .filter(|&n| !self.cluster.is_down(n))
+            .peekable();
+        if live.peek().is_none() {
             return Err(KvError::AllReplicasDown { tried: replicas });
-        };
+        }
+        // Replicas that missed the write get a hint (under-replication
+        // is recorded even when handoff itself is disabled).
+        for &node in replicas.iter().filter(|&&n| self.cluster.is_down(n)) {
+            self.cluster.record_hint(node, key.clone(), value.clone());
+        }
         self.summary.pairs += 1;
         self.summary.bytes += key.len() + value.len();
         // Move the pair into its last live replica's buffer; only the
         // extra replicas (replication > 1) clone.
+        let mut prev = live.next().expect("peeked non-empty");
         for node in live {
             self.buffer(prev, key.clone(), value.clone())?;
             prev = node;
@@ -746,31 +1280,39 @@ impl ClusterWriter<'_> {
         }
         let batch = std::mem::take(&mut self.buffers[node]);
         self.buffered_bytes[node] = 0;
+        // Self-healing needs the pairs again: transient retries under
+        // a chaos plan, and re-replication when the node dies before
+        // storing the batch (only possible to heal with replication).
+        let copy = (self.cluster.chaos || self.cluster.replication > 1)
+            .then(|| batch.clone());
         let (tx, rx) = bounded(1);
         self.cluster.senders[node]
             .send(Request::MultiPut { pairs: batch, reply: tx })
             .map_err(|_| KvError::NodeGone(node))?;
         self.summary.batches += 1;
-        self.pending.push((node, rx));
+        self.pending.push(PendingBatch { node, rx, copy });
         Ok(())
     }
 
     /// Flushes every buffer and waits for all outstanding batches,
-    /// returning the session summary or the first batch error.
+    /// returning the session summary or the first unhealable batch
+    /// error. Transient refusals are retried under the cluster's
+    /// [`RetryPolicy`]; a batch refused with `NodeDown` is
+    /// re-replicated pair-by-pair to surviving replicas (recording a
+    /// hint for the dead node) and only surfaces as an error when a
+    /// pair has no live replica left.
     pub fn finish(mut self) -> Result<WriteSummary, KvError> {
         for node in 0..self.buffers.len() {
             self.flush_node(node)?;
         }
         let mut per_node = vec![Duration::ZERO; self.buffers.len()];
         let mut first_err = None;
-        for (node, rx) in self.pending.drain(..) {
-            match rx.recv() {
-                Ok(Ok(batch)) => per_node[node] += batch.modeled,
-                Ok(Err(e)) => {
+        for batch in std::mem::take(&mut self.pending) {
+            let node = batch.node;
+            match settle_batch(self.cluster, batch) {
+                Ok(modeled) => per_node[node] += modeled,
+                Err(e) => {
                     first_err.get_or_insert(e);
-                }
-                Err(_) => {
-                    first_err.get_or_insert(KvError::NodeGone(node));
                 }
             }
         }
@@ -779,6 +1321,66 @@ impl ClusterWriter<'_> {
         }
         self.summary.modeled = per_node.into_iter().max().unwrap_or(Duration::ZERO);
         Ok(self.summary)
+    }
+}
+
+/// Waits for one shipped batch and heals what it can: transient
+/// refusals retry in place, a dead node's batch re-replicates to
+/// surviving replicas (with hints for the dead node). Returns the
+/// modeled time this batch contributed on its node.
+fn settle_batch(cluster: &Cluster, batch: PendingBatch) -> Result<Duration, KvError> {
+    let PendingBatch { node, rx, copy } = batch;
+    let mut result = rx.recv().map_err(|_| KvError::NodeGone(node))?;
+    let mut attempt = 0u32;
+    let mut spent = Duration::ZERO;
+    while let (Err(KvError::Transient(_)), Some(pairs)) = (&result, &copy) {
+        attempt += 1;
+        if !cluster.charge_backoff(attempt, &mut spent) {
+            break;
+        }
+        let (tx, retry_rx) = bounded(1);
+        cluster.senders[node]
+            .send(Request::MultiPut { pairs: pairs.clone(), reply: tx })
+            .map_err(|_| KvError::NodeGone(node))?;
+        result = retry_rx.recv().map_err(|_| KvError::NodeGone(node))?;
+    }
+    match result {
+        Ok(stored) => {
+            if let Some(pairs) = &copy {
+                cluster.clear_stale_hints(node, pairs.iter().map(|(k, _)| k));
+            }
+            Ok(stored.modeled + spent)
+        }
+        // The node died (administratively or by injected crash) with
+        // the batch unstored: push every pair to another live replica
+        // so at least one live copy exists, and hint the dead node.
+        Err(KvError::NodeDown(_)) if copy.is_some() && cluster.replication > 1 => {
+            let pairs = copy.expect("guarded by copy.is_some()");
+            let mut rerouted: Vec<Vec<(Key, Value)>> =
+                (0..cluster.node_count()).map(|_| Vec::new()).collect();
+            for (key, value) in pairs {
+                let replicas = cluster.ring.replicas(&key, cluster.replication);
+                let Some(target) = replicas
+                    .iter()
+                    .copied()
+                    .find(|&n| n != node && !cluster.is_down(n))
+                else {
+                    return Err(KvError::NodeDown(node));
+                };
+                cluster.record_hint(node, key.clone(), value.clone());
+                rerouted[target].push((key, value));
+            }
+            let mut modeled = spent;
+            for (target, batch) in rerouted.into_iter().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let stored = cluster.put_batch_on_node(target, batch)?;
+                modeled += stored.modeled;
+            }
+            Ok(modeled)
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -796,6 +1398,7 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultRule, TailDamage};
     use bytes::Bytes;
 
     fn small_cluster(nodes: usize, replication: usize) -> Cluster {
@@ -1248,5 +1851,258 @@ mod tests {
         c.put(b"k".to_vec(), Bytes::from_static(b"old")).unwrap();
         c.put(b"k".to_vec(), Bytes::from_static(b"new")).unwrap();
         assert_eq!(c.get(b"k").unwrap(), Some(Bytes::from_static(b"new")));
+    }
+
+    #[test]
+    fn transient_faults_are_healed_by_retries() {
+        // Every 5th request on every node is refused once; the retry
+        // lands on the next op number, which the periodic rule skips.
+        let plan = FaultPlan::new(7).rule(FaultRule::transient().every(5));
+        let c = Cluster::builder()
+            .nodes(2)
+            .replication(1)
+            .faults(plan)
+            .build();
+        for i in 0..50u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from(vec![i as u8; 8]))
+                .unwrap();
+        }
+        for i in 0..50u32 {
+            assert_eq!(
+                c.get(&i.to_be_bytes()).unwrap(),
+                Some(Bytes::from(vec![i as u8; 8])),
+                "key {i} lost under transient faults"
+            );
+        }
+        let keys: Vec<Key> = (0..50u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let values = c.multi_get(&keys).unwrap();
+        assert!(values.iter().all(Option::is_some));
+        let s = c.stats();
+        assert!(s.faults_injected > 0, "the plan never fired");
+        assert!(s.retries > 0, "faults fired but nothing retried");
+    }
+
+    #[test]
+    fn disabled_retries_surface_transient_errors() {
+        let plan = FaultPlan::new(7).rule(FaultRule::transient().every(5));
+        let c = Cluster::builder()
+            .nodes(2)
+            .replication(1)
+            .faults(plan)
+            .retry(RetryPolicy::none())
+            .build();
+        let failed = (0..50u32)
+            .filter(|i| {
+                c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                    .is_err()
+            })
+            .count();
+        assert!(failed > 0, "without retries the faults must be visible");
+        assert_eq!(c.stats().retries, 0);
+    }
+
+    #[test]
+    fn scatter_paths_retry_transient_faults() {
+        let plan = FaultPlan::new(3).rule(FaultRule::transient().every(4));
+        let c = Cluster::builder()
+            .nodes(3)
+            .replication(2)
+            .faults(plan)
+            .build();
+        let pairs: Vec<(Key, Value)> = (0..80u32)
+            .map(|i| (i.to_be_bytes().to_vec(), Bytes::from(vec![i as u8; 8])))
+            .collect();
+        c.multi_put_scatter(pairs).unwrap();
+        let keys: Vec<Key> = (0..80u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let values = c.multi_get_owned(keys.clone()).unwrap();
+        assert!(values.iter().all(Option::is_some));
+        let (_, removed) = c.multi_delete_scatter(keys).unwrap();
+        assert_eq!(removed, 160, "both replicas of all 80 keys removed");
+        assert!(c.stats().retries > 0);
+    }
+
+    #[test]
+    fn hinted_handoff_restores_replication_after_outage() {
+        let c = small_cluster(3, 2);
+        // Capture the keys replicated on node 0 while it is healthy.
+        let on0: Vec<Key> = (0..120u32)
+            .map(|i| i.to_be_bytes().to_vec())
+            .filter(|k| c.replicas_of(k).unwrap().contains(&0))
+            .collect();
+        assert!(on0.len() > 10, "hash spread should put many keys on node 0");
+        c.set_node_down(0, true);
+        for key in &on0 {
+            c.put(key.clone(), Bytes::from_static(b"hinted")).unwrap();
+        }
+        assert_eq!(c.pending_hints(), on0.len());
+        assert_eq!(c.stats().under_replicated, on0.len() as u64);
+        // Recovery triggers replay; the key must now live on node 0
+        // itself, proven by fetching from it directly.
+        c.set_node_down(0, false);
+        assert_eq!(c.pending_hints(), 0);
+        let got = c.fetch_from(0, on0.clone()).unwrap();
+        assert!(
+            got.values
+                .iter()
+                .all(|v| v == &Some(Bytes::from_static(b"hinted"))),
+            "replayed keys must be served by the recovered replica"
+        );
+        let s = c.stats();
+        assert!(s.hints_recorded >= on0.len() as u64);
+        assert!(s.hints_replayed >= on0.len() as u64);
+        assert_eq!(s.under_replicated, 0);
+    }
+
+    #[test]
+    fn disabled_handoff_still_counts_and_read_repairs() {
+        let c = Cluster::builder()
+            .nodes(3)
+            .replication(2)
+            .handoff(false)
+            .build();
+        let on0: Vec<Key> = (0..60u32)
+            .map(|i| i.to_be_bytes().to_vec())
+            .filter(|k| c.replicas_of(k).unwrap().contains(&0))
+            .collect();
+        c.set_node_down(0, true);
+        for key in &on0 {
+            c.put(key.clone(), Bytes::from_static(b"v")).unwrap();
+        }
+        // No payloads are buffered, but under-replication is counted.
+        assert_eq!(c.pending_hints(), on0.len());
+        assert_eq!(c.stats().under_replicated, on0.len() as u64);
+        // Replay falls back to read-repair: fetch the surviving copy,
+        // then store it on the recovered node.
+        c.set_node_down(0, false);
+        assert_eq!(c.pending_hints(), 0);
+        let got = c.fetch_from(0, on0).unwrap();
+        assert!(got.values.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn deletes_purge_stale_hints() {
+        let c = small_cluster(3, 2);
+        let key = 9u32.to_be_bytes().to_vec();
+        let victim = c.replicas_of(&key).unwrap()[0];
+        c.set_node_down(victim, true);
+        c.put(key.clone(), Bytes::from_static(b"v")).unwrap();
+        assert_eq!(c.pending_hints(), 1);
+        // Deleting the key must also drop the hint, or replay would
+        // resurrect the value on the recovered node.
+        c.delete(&key).unwrap();
+        assert_eq!(c.pending_hints(), 0);
+        c.set_node_down(victim, false);
+        assert_eq!(c.get(&key).unwrap(), None);
+        let got = c.fetch_from(victim, vec![key]).unwrap();
+        assert_eq!(got.values, vec![None]);
+    }
+
+    #[test]
+    fn injected_crash_outage_heals_via_hints() {
+        // Node 0 crashes on its 4th request and refuses the next 4;
+        // replication 2 keeps every write alive on the sibling.
+        let plan = FaultPlan::new(11).rule(
+            FaultRule::crash(4, TailDamage::None)
+                .on_node(0)
+                .after(3)
+                .until(4),
+        );
+        let c = Cluster::builder()
+            .nodes(3)
+            .replication(2)
+            .faults(plan)
+            .build();
+        for i in 0..60u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from(vec![i as u8; 8]))
+                .unwrap();
+        }
+        let s = c.stats();
+        assert!(s.faults_injected >= 1, "the crash never fired");
+        assert!(c.pending_hints() > 0, "outage writes should leave hints");
+        // The outage has expired by now; replay restores replication.
+        let replayed = c.replay_hints().unwrap();
+        assert!(replayed > 0);
+        assert_eq!(c.pending_hints(), 0);
+        for i in 0..60u32 {
+            assert_eq!(
+                c.get(&i.to_be_bytes()).unwrap(),
+                Some(Bytes::from(vec![i as u8; 8])),
+                "key {i} lost across the injected crash"
+            );
+        }
+    }
+
+    #[test]
+    fn writer_heals_replica_outage_mid_stream() {
+        let c = small_cluster(3, 2);
+        let keys: Vec<Key> = (0..60u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let on0: Vec<Key> = keys
+            .iter()
+            .filter(|k| c.replicas_of(k).unwrap().contains(&0))
+            .cloned()
+            .collect();
+        assert!(!on0.is_empty());
+        let mut w = c.writer_with_batch(usize::MAX);
+        for key in &keys {
+            w.push(key.clone(), Bytes::from_static(b"v")).unwrap();
+        }
+        // Node 0 dies after buffering but before the flush. With a
+        // second replica available, finish re-replicates instead of
+        // failing, and leaves hints for the dead node.
+        c.set_node_down(0, true);
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.pairs, 60);
+        assert_eq!(c.pending_hints(), on0.len());
+        for key in &keys {
+            assert!(c.get(key).unwrap().is_some());
+        }
+        c.set_node_down(0, false);
+        assert_eq!(c.pending_hints(), 0);
+        let got = c.fetch_from(0, on0).unwrap();
+        assert!(got.values.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn direct_write_invalidates_stale_hint() {
+        // The race: a hint is queued for a node (it missed a write
+        // during an outage the client never saw, e.g. an injected
+        // crash), the node comes back, and a *newer* write lands on
+        // it directly before any replay runs. Replaying the old hint
+        // afterwards must not resurrect the overwritten value.
+        let c = small_cluster(3, 2);
+        let key = 5u32.to_be_bytes().to_vec();
+        let node = c.replicas_of(&key).unwrap()[0];
+        c.record_hint(node, key.clone(), Bytes::from_static(b"stale"));
+        assert_eq!(c.pending_hints(), 1);
+        c.put(key.clone(), Bytes::from_static(b"new")).unwrap();
+        assert_eq!(c.pending_hints(), 0, "direct write must clear the hint");
+        let _ = c.replay_hints().unwrap();
+        let got = c.fetch_from(node, vec![key]).unwrap();
+        assert_eq!(
+            got.values,
+            vec![Some(Bytes::from_static(b"new"))],
+            "replay resurrected an overwritten value"
+        );
+    }
+
+    #[test]
+    fn latency_faults_inflate_modeled_time_only() {
+        let plan = FaultPlan::new(5).rule(
+            FaultRule::latency(Duration::from_millis(2)).every(3),
+        );
+        let c = Cluster::builder()
+            .nodes(2)
+            .replication(1)
+            .faults(plan)
+            .build();
+        c.reset_stats();
+        for i in 0..30u32 {
+            c.put(i.to_be_bytes().to_vec(), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        let s = c.stats();
+        // Ten of the thirty puts hit the 2 ms latency rule.
+        assert!(s.modeled_time >= Duration::from_millis(20));
+        assert_eq!(s.faults_injected, 0, "latency is a delay, not a failure");
     }
 }

@@ -2,10 +2,35 @@
 //!
 //! Every put/delete is appended to a log file; an in-memory directory
 //! maps live keys to their latest log offset. On startup the log is
-//! replayed to rebuild the directory, so a crash loses at most a
-//! partially-written tail entry (detected by CRC and truncated).
-//! [`LogEngine::compact`] rewrites live entries into a fresh log,
-//! dropping garbage from overwrites and deletes.
+//! replayed to rebuild the directory, so a crash loses at most the
+//! writes that were not yet durable under the configured
+//! [`SyncPolicy`], plus a partially-written tail entry (detected by
+//! CRC and truncated). [`LogEngine::compact`] rewrites live entries
+//! into a fresh log, dropping garbage from overwrites and deletes.
+//!
+//! # Durability contract
+//!
+//! "Durable" here means *flushed out of the engine's write buffer*:
+//! the simulated crash ([`StorageEngine::crash_restart`]) is a
+//! process-level kill that loses exactly the buffered bytes, the same
+//! way a kill -9 loses a real `BufWriter`'s buffer. What each policy
+//! can lose on such a crash:
+//!
+//! * [`SyncPolicy::Always`] — nothing: every entry is flushed before
+//!   its `put`/`delete` returns. At most a torn tail from a crash
+//!   that lands mid-write at the filesystem level, which replay
+//!   truncates back to the last whole entry.
+//! * [`SyncPolicy::EveryN`]`(n)` — at most the last `n - 1` accepted
+//!   writes (the group-commit window).
+//! * [`SyncPolicy::OnSeal`] — everything since the last explicit
+//!   [`sync`](StorageEngine::sync) barrier; the store layer issues
+//!   that barrier from `seal()`, so a sealed batch is always durable.
+//!
+//! Under every policy, recovery replays the log and stops at the
+//! first torn or CRC-corrupt entry: the engine reopens with exactly
+//! the longest durable prefix, never a partial entry. Reads are
+//! unaffected by buffering — `get` flushes on demand when it needs a
+//! not-yet-flushed entry, preserving read-your-writes.
 //!
 //! Entry layout (little-endian):
 //!
@@ -17,6 +42,7 @@
 
 use crate::engine::StorageEngine;
 use crate::error::KvError;
+use crate::fault::TailDamage;
 use crate::types::{Key, Value};
 use bytes::Bytes;
 use rustc_hash::FxHashMap;
@@ -26,6 +52,21 @@ use std::path::{Path, PathBuf};
 
 const HEADER_LEN: usize = 4 + 1 + 4 + 4;
 const TOMBSTONE: u8 = 0x01;
+
+/// When the engine flushes accepted writes out of its buffer (the
+/// group-commit knob). See the module docs for exactly what each
+/// setting can lose on a crash.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Flush every entry before its write returns (loses nothing).
+    #[default]
+    Always,
+    /// Flush after every N accepted writes (loses < N writes).
+    EveryN(usize),
+    /// Flush only at explicit [`StorageEngine::sync`] barriers —
+    /// the store layer issues one per sealed batch.
+    OnSeal,
+}
 
 /// CRC-32 (IEEE 802.3), table-driven, built from scratch.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -69,13 +110,26 @@ pub struct LogEngine {
     tail: u64,
     /// Bytes occupied by dead (overwritten/deleted) entries.
     garbage_bytes: u64,
+    /// Group-commit policy.
+    sync: SyncPolicy,
+    /// Log length known to be flushed out of the write buffer (what a
+    /// crash cannot lose).
+    flushed: u64,
+    /// Accepted writes since the last flush (drives `EveryN`).
+    unflushed_writes: usize,
 }
 
 impl LogEngine {
-    /// Opens (or creates) the log at `path`, replaying it to rebuild
-    /// the key directory. A corrupt or torn tail entry truncates the
-    /// log at the last valid entry.
+    /// Opens (or creates) the log at `path` with [`SyncPolicy::Always`],
+    /// replaying it to rebuild the key directory. A corrupt or torn
+    /// tail entry truncates the log at the last valid entry.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, KvError> {
+        Self::open_with(path, SyncPolicy::Always)
+    }
+
+    /// Opens (or creates) the log at `path` under the given
+    /// group-commit policy.
+    pub fn open_with(path: impl AsRef<Path>, sync: SyncPolicy) -> Result<Self, KvError> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
@@ -99,6 +153,9 @@ impl LogEngine {
             directory,
             tail: valid_len,
             garbage_bytes: garbage,
+            sync,
+            flushed: valid_len,
+            unflushed_writes: 0,
         })
     }
 
@@ -159,10 +216,27 @@ impl LogEngine {
         let crc = crc32(&body);
         self.writer.write_all(&crc.to_le_bytes())?;
         self.writer.write_all(&body)?;
-        self.writer.flush()?;
         let entry_start = self.tail;
         self.tail += (4 + body.len()) as u64;
+        self.unflushed_writes += 1;
+        match self.sync {
+            SyncPolicy::Always => self.flush_writes()?,
+            SyncPolicy::EveryN(n) => {
+                if self.unflushed_writes >= n.max(1) {
+                    self.flush_writes()?;
+                }
+            }
+            SyncPolicy::OnSeal => {}
+        }
         Ok(entry_start)
+    }
+
+    /// Flushes the write buffer, advancing the durable frontier.
+    fn flush_writes(&mut self) -> Result<(), KvError> {
+        self.writer.flush()?;
+        self.flushed = self.tail;
+        self.unflushed_writes = 0;
+        Ok(())
     }
 
     /// Fraction of the log occupied by dead entries.
@@ -175,6 +249,9 @@ impl LogEngine {
 
     /// Rewrites live entries into a fresh log, reclaiming garbage.
     pub fn compact(&mut self) -> Result<(), KvError> {
+        // Buffered entries must hit the file before we stream slots
+        // out of it.
+        self.flush_writes()?;
         let tmp_path = self.path.with_extension("compact");
         {
             let tmp = OpenOptions::new()
@@ -212,6 +289,8 @@ impl LogEngine {
         self.directory = directory;
         self.tail = valid_len;
         self.garbage_bytes = garbage;
+        self.flushed = valid_len;
+        self.unflushed_writes = 0;
         Ok(())
     }
 
@@ -229,15 +308,18 @@ impl LogEngine {
 }
 
 impl StorageEngine for LogEngine {
-    fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError> {
-        let Some(slot) = self.directory.get(key) else {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Value>, KvError> {
+        let Some(slot) = self.directory.get(key).copied() else {
             return Ok(None);
         };
-        // Positioned reads need a mutable handle; clone a cheap view.
-        let mut reader = self.reader.try_clone()?;
+        // Read-your-writes under relaxed sync: flush if the slot is
+        // beyond the durable frontier.
+        if slot.value_offset + u64::from(slot.value_len) > self.flushed {
+            self.flush_writes()?;
+        }
         let mut buf = vec![0u8; slot.value_len as usize];
-        reader.seek(SeekFrom::Start(slot.value_offset))?;
-        reader.read_exact(&mut buf)?;
+        self.reader.seek(SeekFrom::Start(slot.value_offset))?;
+        self.reader.read_exact(&mut buf)?;
         Ok(Some(Bytes::from(buf)))
     }
 
@@ -276,6 +358,53 @@ impl StorageEngine for LogEngine {
             .iter()
             .map(|(k, s)| k.len() + s.value_len as usize)
             .sum()
+    }
+
+    fn sync(&mut self) -> Result<(), KvError> {
+        self.flush_writes()
+    }
+
+    fn crash_restart(&mut self, damage: TailDamage) -> Result<(), KvError> {
+        // Steal the writer WITHOUT flushing: its buffer is exactly
+        // what a kill -9 loses. The placeholder writer wraps a clone
+        // of the read-only handle and is never written to.
+        let placeholder = BufWriter::new(self.reader.try_clone()?);
+        let stolen = std::mem::replace(&mut self.writer, placeholder);
+        let (file, lost) = stolen.into_parts();
+        let lost = lost.unwrap_or_default();
+        drop(file);
+        // Apply the scripted damage to the on-disk tail.
+        match damage {
+            TailDamage::None => {}
+            TailDamage::TornBytes(n) if n > 0 => {
+                // A prefix of the in-flight entry reaches the disk; if
+                // nothing was buffered, junk lands after the tail (a
+                // filesystem-level torn write of the last entry).
+                let torn: Vec<u8> = if lost.is_empty() {
+                    vec![0xAA; n]
+                } else {
+                    lost[..n.min(lost.len())].to_vec()
+                };
+                let mut f = OpenOptions::new().append(true).open(&self.path)?;
+                f.write_all(&torn)?;
+            }
+            TailDamage::TornBytes(_) => {}
+            TailDamage::CorruptLastEntry => {
+                let mut f =
+                    OpenOptions::new().read(true).write(true).open(&self.path)?;
+                let len = f.metadata()?.len();
+                if len > 0 {
+                    let mut b = [0u8; 1];
+                    f.seek(SeekFrom::Start(len - 1))?;
+                    f.read_exact(&mut b)?;
+                    f.seek(SeekFrom::Start(len - 1))?;
+                    f.write_all(&[b[0] ^ 0xFF])?;
+                }
+            }
+        }
+        // Recover: replay whatever survived.
+        *self = LogEngine::open_with(self.path.clone(), self.sync)?;
+        Ok(())
     }
 }
 
@@ -333,7 +462,7 @@ mod tests {
             e.put(b"a".to_vec(), Bytes::from_static(b"updated")).unwrap();
             e.delete(b"b").unwrap();
         }
-        let e = LogEngine::open(&p).unwrap();
+        let mut e = LogEngine::open(&p).unwrap();
         assert_eq!(e.len(), 1);
         assert_eq!(e.get(b"a").unwrap(), Some(Bytes::from_static(b"updated")));
         assert_eq!(e.get(b"b").unwrap(), None);
@@ -352,7 +481,7 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&p).unwrap();
             f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
         }
-        let e = LogEngine::open(&p).unwrap();
+        let mut e = LogEngine::open(&p).unwrap();
         assert_eq!(e.len(), 1);
         assert_eq!(e.get(b"good").unwrap(), Some(Bytes::from_static(b"value")));
         // The torn bytes are gone; appending still works.
@@ -374,7 +503,7 @@ mod tests {
             f.seek(SeekFrom::Start(len - 1)).unwrap();
             f.write_all(&[0xff]).unwrap();
         }
-        let e = LogEngine::open(&p).unwrap();
+        let mut e = LogEngine::open(&p).unwrap();
         assert_eq!(e.len(), 1, "corrupt entry must be dropped");
         assert_eq!(e.get(b"k1").unwrap(), Some(Bytes::from_static(b"v1")));
         let _ = std::fs::remove_file(p);
@@ -395,7 +524,7 @@ mod tests {
             let mut e = LogEngine::open(&p).unwrap();
             e.put(b"b".to_vec(), Bytes::from_static(b"2")).unwrap();
         }
-        let e = LogEngine::open(&p).unwrap();
+        let mut e = LogEngine::open(&p).unwrap();
         assert_eq!(e.len(), 2);
         assert_eq!(e.get(b"b").unwrap(), Some(Bytes::from_static(b"2")));
         let _ = std::fs::remove_file(p);
@@ -429,6 +558,97 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_sync_keeps_read_your_writes() {
+        let p = temp_log("ryw");
+        let mut e = LogEngine::open_with(&p, SyncPolicy::OnSeal).unwrap();
+        e.put(b"k".to_vec(), Bytes::from_static(b"buffered")).unwrap();
+        // The entry may still be in the write buffer; get must see it.
+        assert_eq!(e.get(b"k").unwrap(), Some(Bytes::from_static(b"buffered")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn crash_under_always_loses_nothing() {
+        let p = temp_log("crash-always");
+        let mut e = LogEngine::open(&p).unwrap();
+        e.put(b"a".to_vec(), Bytes::from_static(b"1")).unwrap();
+        e.put(b"b".to_vec(), Bytes::from_static(b"2")).unwrap();
+        e.crash_restart(TailDamage::None).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(b"a").unwrap(), Some(Bytes::from_static(b"1")));
+        assert_eq!(e.get(b"b").unwrap(), Some(Bytes::from_static(b"2")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn crash_under_every_n_loses_at_most_the_window() {
+        let p = temp_log("crash-everyn");
+        let mut e = LogEngine::open_with(&p, SyncPolicy::EveryN(4)).unwrap();
+        for i in 0..10u32 {
+            e.put(vec![i as u8], Bytes::from(vec![i as u8; 8])).unwrap();
+        }
+        // 10 writes, flushes after 4 and 8: the crash can lose only
+        // writes 8 and 9.
+        e.crash_restart(TailDamage::None).unwrap();
+        assert_eq!(e.len(), 8);
+        for i in 0..8u8 {
+            assert!(e.get(&[i]).unwrap().is_some(), "write {i} was durable");
+        }
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn crash_under_on_seal_recovers_to_last_sync() {
+        let p = temp_log("crash-seal");
+        let mut e = LogEngine::open_with(&p, SyncPolicy::OnSeal).unwrap();
+        e.put(b"sealed".to_vec(), Bytes::from_static(b"yes")).unwrap();
+        e.sync().unwrap();
+        e.put(b"loose".to_vec(), Bytes::from_static(b"gone")).unwrap();
+        e.crash_restart(TailDamage::None).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(b"sealed").unwrap(), Some(Bytes::from_static(b"yes")));
+        assert_eq!(e.get(b"loose").unwrap(), None);
+        // The engine keeps working after recovery.
+        e.put(b"after".to_vec(), Bytes::from_static(b"ok")).unwrap();
+        e.sync().unwrap();
+        assert_eq!(e.get(b"after").unwrap(), Some(Bytes::from_static(b"ok")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn crash_with_torn_bytes_truncates_to_durable_prefix() {
+        let p = temp_log("crash-torn");
+        let mut e = LogEngine::open_with(&p, SyncPolicy::OnSeal).unwrap();
+        e.put(b"durable".to_vec(), Bytes::from_static(b"v")).unwrap();
+        e.sync().unwrap();
+        e.put(b"inflight".to_vec(), Bytes::from_static(b"partial")).unwrap();
+        // Crash lands mid-entry: 7 bytes of the buffered entry reach
+        // the disk; replay must truncate them away.
+        e.crash_restart(TailDamage::TornBytes(7)).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.get(b"durable").unwrap(), Some(Bytes::from_static(b"v")));
+        assert_eq!(e.get(b"inflight").unwrap(), None);
+        // Appends after recovery land on a clean tail.
+        e.put(b"next".to_vec(), Bytes::from_static(b"w")).unwrap();
+        e.sync().unwrap();
+        e.crash_restart(TailDamage::None).unwrap();
+        assert_eq!(e.get(b"next").unwrap(), Some(Bytes::from_static(b"w")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn crash_corrupting_last_entry_drops_it() {
+        let p = temp_log("crash-corrupt");
+        let mut e = LogEngine::open(&p).unwrap();
+        e.put(b"first".to_vec(), Bytes::from_static(b"1")).unwrap();
+        e.put(b"last".to_vec(), Bytes::from_static(b"2")).unwrap();
+        e.crash_restart(TailDamage::CorruptLastEntry).unwrap();
+        assert_eq!(e.len(), 1, "bit-flipped entry fails its CRC");
+        assert_eq!(e.get(b"first").unwrap(), Some(Bytes::from_static(b"1")));
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
     fn many_keys_survive_reopen() {
         let p = temp_log("many");
         {
@@ -441,7 +661,7 @@ mod tests {
                 .unwrap();
             }
         }
-        let e = LogEngine::open(&p).unwrap();
+        let mut e = LogEngine::open(&p).unwrap();
         assert_eq!(e.len(), 500);
         for i in (0..500u32).step_by(37) {
             let v = e.get(&i.to_le_bytes()).unwrap().unwrap();

@@ -21,7 +21,7 @@ impl MemEngine {
 }
 
 impl StorageEngine for MemEngine {
-    fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError> {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Value>, KvError> {
         Ok(self.map.get(key).cloned())
     }
 

@@ -1,19 +1,25 @@
 //! Pluggable per-node storage engines.
 
 use crate::error::KvError;
+use crate::fault::TailDamage;
 use crate::types::{Key, Value};
 
 pub mod log;
 pub mod mem;
 
-pub use log::LogEngine;
+pub use log::{LogEngine, SyncPolicy};
 pub use mem::MemEngine;
 
 /// The storage interface a node requires — deliberately just the
-/// `get`/`put` surface the paper assumes of the backend (§2.4).
+/// `get`/`put` surface the paper assumes of the backend (§2.4), plus
+/// the durability hooks ([`sync`](StorageEngine::sync),
+/// [`crash_restart`](StorageEngine::crash_restart)) the fault layer
+/// needs.
 pub trait StorageEngine: Send {
-    /// Fetches the value for `key`, if present.
-    fn get(&self, key: &[u8]) -> Result<Option<Value>, KvError>;
+    /// Fetches the value for `key`, if present. Takes `&mut self` so
+    /// engines with relaxed durability can make buffered writes
+    /// visible before reading.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Value>, KvError>;
 
     /// Stores `value` under `key`, replacing any existing value.
     fn put(&mut self, key: Key, value: Value) -> Result<(), KvError>;
@@ -32,6 +38,21 @@ pub trait StorageEngine: Send {
 
     /// Approximate bytes of live data (keys + values).
     fn live_bytes(&self) -> usize;
+
+    /// Makes every accepted write durable (group-commit barrier).
+    /// No-op for engines that are always durable (or never are).
+    fn sync(&mut self) -> Result<(), KvError> {
+        Ok(())
+    }
+
+    /// Simulates a kill -9 + restart: buffered-but-unsynced writes
+    /// are lost, the persistent tail takes `damage`, and the engine
+    /// recovers from what survived. Engines without persistence keep
+    /// their state (there is nothing to lose a buffer *to*).
+    fn crash_restart(&mut self, damage: TailDamage) -> Result<(), KvError> {
+        let _ = damage;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@ pub enum KvError {
     NodeGone(usize),
     /// The node is administratively down (failure injection).
     NodeDown(usize),
+    /// A transient, retryable fault (injected flakiness): the request
+    /// failed but the node is expected to serve an identical retry.
+    Transient(usize),
     /// The underlying storage engine failed (log engine I/O).
     Storage(String),
     /// The log engine found a corrupt entry during recovery.
@@ -33,6 +36,9 @@ impl fmt::Display for KvError {
             }
             KvError::NodeGone(n) => write!(f, "node {n} is gone"),
             KvError::NodeDown(n) => write!(f, "node {n} is down"),
+            KvError::Transient(n) => {
+                write!(f, "transient fault on node {n} (retryable)")
+            }
             KvError::Storage(msg) => write!(f, "storage error: {msg}"),
             KvError::Corrupt { offset, reason } => {
                 write!(f, "corrupt log entry at offset {offset}: {reason}")

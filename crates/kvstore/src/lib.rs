@@ -27,6 +27,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod msg;
 pub mod netmodel;
 pub mod ring;
@@ -34,7 +35,9 @@ pub mod stats;
 pub mod types;
 
 pub use cluster::{Cluster, ClusterBuilder, ClusterWriter, EngineKind, WriteSummary};
+pub use engine::SyncPolicy;
 pub use error::KvError;
+pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, TailDamage};
 pub use msg::{BatchDelete, BatchGet, BatchPut};
 pub use netmodel::NetworkModel;
 pub use stats::{NodeLoad, StatsSnapshot};

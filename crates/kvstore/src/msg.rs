@@ -17,6 +17,9 @@ pub struct BatchGet {
     /// Modeled network time for the batch (latency + transfer per
     /// key, summed over the batch).
     pub modeled: Duration,
+    /// Transient-fault retries the client spent obtaining this reply
+    /// (0 when the first attempt succeeded; filled in client-side).
+    pub retries: usize,
 }
 
 /// Reply to a [`Request::MultiPut`]: the modeled network time the
@@ -110,6 +113,13 @@ pub enum Request {
     },
     /// Failure injection: mark the node down/up.
     SetDown(bool),
+    /// Force the node's engine to make everything buffered durable
+    /// (a group-commit barrier for relaxed
+    /// [`SyncPolicy`](crate::SyncPolicy) settings).
+    Sync {
+        /// Completion signal.
+        reply: Sender<Result<(), KvError>>,
+    },
     /// Report engine statistics.
     Info {
         /// Where to send the info.

@@ -45,6 +45,15 @@ pub struct ClusterStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     modeled_nanos: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
+    hints_recorded: AtomicU64,
+    hints_replayed: AtomicU64,
+    /// Gauge (not a counter): keys currently known to be
+    /// under-replicated, i.e. pending hints. Excluded from
+    /// [`reset`](Self::reset) — it reflects live cluster state, not
+    /// accumulated traffic.
+    under_replicated: AtomicU64,
     /// Per-node read-batch load, indexed by node id.
     per_node: Vec<NodeCounters>,
 }
@@ -117,6 +126,35 @@ impl ClusterStats {
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hints(&self, n: usize) {
+        self.hints_recorded.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_hints_replayed(&self, n: usize) {
+        self.hints_replayed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Sets the under-replicated gauge to the authoritative pending
+    /// hint count (the hint queue owner recomputes it per mutation).
+    pub(crate) fn set_under_replicated(&self, n: u64) {
+        self.under_replicated.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the under-replicated gauge — a lock-free read
+    /// used as the fast path for stale-hint invalidation (zero means
+    /// no hint queue needs checking).
+    pub(crate) fn under_replicated_now(&self) -> u64 {
+        self.under_replicated.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -131,10 +169,17 @@ impl ClusterStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             modeled_time: Duration::from_nanos(self.modeled_nanos.load(Ordering::Relaxed)),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            hints_recorded: self.hints_recorded.load(Ordering::Relaxed),
+            hints_replayed: self.hints_replayed.load(Ordering::Relaxed),
+            under_replicated: self.under_replicated.load(Ordering::Relaxed),
         }
     }
 
-    /// Resets every counter to zero.
+    /// Resets every traffic counter to zero. The `under_replicated`
+    /// gauge is deliberately left alone: it mirrors the pending hint
+    /// queue, which a stats reset does not drain.
     pub fn reset(&self) {
         self.requests.store(0, Ordering::Relaxed);
         self.gets.store(0, Ordering::Relaxed);
@@ -147,6 +192,10 @@ impl ClusterStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.modeled_nanos.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.hints_recorded.store(0, Ordering::Relaxed);
+        self.hints_replayed.store(0, Ordering::Relaxed);
         for c in &self.per_node {
             c.batch_gets.store(0, Ordering::Relaxed);
             c.keys_served.store(0, Ordering::Relaxed);
@@ -183,6 +232,19 @@ pub struct StatsSnapshot {
     pub bytes_written: u64,
     /// Total modeled network time across all requests.
     pub modeled_time: Duration,
+    /// Client-side retries spent on transient faults.
+    pub retries: u64,
+    /// Faults the chaos layer injected (transient errors only; added
+    /// latency and crashes show up in `modeled_time` and `NodeDown`
+    /// traffic instead).
+    pub faults_injected: u64,
+    /// Hinted-handoff hints recorded for unreachable replicas.
+    pub hints_recorded: u64,
+    /// Hints successfully re-replicated by `replay_hints`.
+    pub hints_replayed: u64,
+    /// Gauge: keys currently under-replicated (pending hints). Not
+    /// cleared by `reset` — it mirrors live cluster state.
+    pub under_replicated: u64,
 }
 
 impl StatsSnapshot {
@@ -200,6 +262,13 @@ impl StatsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             modeled_time: self.modeled_time.saturating_sub(earlier.modeled_time),
+            retries: self.retries - earlier.retries,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            hints_recorded: self.hints_recorded - earlier.hints_recorded,
+            hints_replayed: self.hints_replayed - earlier.hints_replayed,
+            // A gauge, not a counter: the later reading stands on its
+            // own (saturating keeps an interval view well-defined).
+            under_replicated: self.under_replicated.saturating_sub(earlier.under_replicated),
         }
     }
 }

@@ -122,7 +122,7 @@ proptest! {
             let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
             f.write_all(&torn_bytes).unwrap();
         }
-        let engine = LogEngine::open(&path).unwrap();
+        let mut engine = LogEngine::open(&path).unwrap();
         prop_assert_eq!(engine.len(), model.len());
         for (k, v) in &model {
             let got = engine.get(&k.to_be_bytes()).unwrap();

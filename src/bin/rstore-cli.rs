@@ -16,7 +16,7 @@
 use rstore::core::plan::ReadRouting;
 use rstore::core::store::{CommitRequest, RStore, StoreConfig};
 use rstore::core::{CoreError, VersionId};
-use rstore::kvstore::{Cluster, EngineKind};
+use rstore::kvstore::{Cluster, EngineKind, FaultPlan};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -24,13 +24,18 @@ struct Args {
     data_dir: PathBuf,
     nodes: usize,
     routing: ReadRouting,
+    /// Seed for the canned flaky fault plan; `None` runs fault-free.
+    faults: Option<u64>,
     command: String,
     rest: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] COMMAND ...\n\
+        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] [--faults SEED] COMMAND ...\n\
+         --faults SEED enables the canned flaky chaos plan (10% transient\n\
+         refusals + 10% 1 ms latency per node); retries absorb the faults\n\
+         and `stats` reports the self-healing counters.\n\
          commands:\n\
            init     --set PK=VALUE ...            create the root version\n\
            commit   --parent V [--set PK=VALUE]... [--del PK]...\n\
@@ -49,6 +54,7 @@ fn parse_args() -> Args {
     let mut data_dir = None;
     let mut nodes = 2usize;
     let mut routing = ReadRouting::default();
+    let mut faults = None;
     let mut command = None;
     let mut rest = Vec::new();
     while let Some(arg) = argv.next() {
@@ -72,6 +78,13 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--faults" => {
+                let Some(seed) = argv.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--faults expects a numeric seed");
+                    exit(2)
+                };
+                faults = Some(seed);
+            }
             "--help" | "-h" => usage(),
             _ if command.is_none() => command = Some(arg),
             _ => rest.push(arg),
@@ -84,6 +97,7 @@ fn parse_args() -> Args {
         data_dir,
         nodes,
         routing,
+        faults,
         command,
         rest,
     }
@@ -127,12 +141,15 @@ fn parse_changes(rest: &[String]) -> ParsedChanges {
 }
 
 fn open_cluster(args: &Args) -> Cluster {
-    Cluster::builder()
+    let mut b = Cluster::builder()
         .nodes(args.nodes)
         .engine(EngineKind::Log {
             dir: args.data_dir.clone(),
-        })
-        .build()
+        });
+    if let Some(seed) = args.faults {
+        b = b.faults(FaultPlan::flaky(seed));
+    }
+    b.build()
 }
 
 fn open_store(args: &Args) -> Result<RStore, CoreError> {
@@ -288,6 +305,16 @@ fn run() -> Result<(), CoreError> {
             // recovery scan ran through the configured routing
             // policy), so routing skew shows without a bench run.
             println!("read routing:        {:?}", store.config().read_routing);
+            // Self-healing counters for this session (non-zero when
+            // --faults is set or nodes dropped out mid-write).
+            let snap = store.cluster().stats();
+            println!("faults injected:     {}", snap.faults_injected);
+            println!("transient retries:   {}", snap.retries);
+            println!(
+                "handoff hints:       {} recorded / {} replayed",
+                snap.hints_recorded, snap.hints_replayed
+            );
+            println!("under-replicated:    {} key(s)", snap.under_replicated);
             for load in store.cluster().per_node_stats() {
                 println!(
                     "node {}:              {} batch read(s), {} key(s) served",
