@@ -18,6 +18,13 @@ pub enum CoreError {
     MissingChunk(u32),
     /// A commit was malformed (duplicate keys, unknown parent, ...).
     BadCommit(String),
+    /// The serving core shed the query: the in-flight budget
+    /// ([`StoreConfig::max_concurrent_queries`](crate::store::StoreConfig::max_concurrent_queries))
+    /// and the admission queue
+    /// ([`StoreConfig::max_queued`](crate::store::StoreConfig::max_queued))
+    /// are both full. The store is healthy — the caller should back
+    /// off and retry.
+    Overloaded,
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +36,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownBranch(b) => write!(f, "unknown branch {b:?}"),
             CoreError::MissingChunk(c) => write!(f, "chunk C{c} missing from backend"),
             CoreError::BadCommit(msg) => write!(f, "bad commit: {msg}"),
+            CoreError::Overloaded => {
+                write!(f, "store overloaded: admission queue full, query shed")
+            }
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod online;
 pub mod partition;
 pub mod plan;
 pub mod query;
+pub mod serve;
 pub mod server;
 pub mod store;
 pub mod subchunk;
@@ -55,4 +56,5 @@ pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 pub use partition::{Partitioner, PartitionerKind};
 pub use plan::{ExecutedQuery, FetchMetrics, QueryPlan, QuerySpec, ReadRouting, RecordStream};
+pub use serve::{Admission, AdmitGuard, FetchPool, ServeStats, SMALL_SPAN_MAX};
 pub use store::{CommitRequest, RStore, RStoreBuilder, StoreConfig};

@@ -14,14 +14,19 @@
 //!    is a [`QueryPlan`]: an inspectable description of exactly what
 //!    will be fetched from where.
 //! 2. **Fetch** — [`RStore::execute`](crate::store::RStore::execute)
-//!    runs the plan's node batches in parallel with
-//!    `std::thread::scope`, one scoped thread per contacted node.
-//!    Each thread decodes a chunk the moment both of its halves
-//!    (chunk blob + chunk map) have arrived — decode overlaps with
-//!    the other nodes' transfers — and admits the decoded pair to the
-//!    cache. Modeled network time is taken as the **max over node
-//!    batches** (parallel scatter-gather), not their sum. A node that
-//!    fails mid-query does not fail the query: its batch's keys are
+//!    runs the plan's node batches concurrently on the store's shared
+//!    fetch pool ([`serve`](crate::serve)): each batch is one pool
+//!    job, so fetch threads are bounded by the pool size no matter
+//!    how many queries are in flight (the retired per-query
+//!    scatter-gather spawn survives as
+//!    [`RStore::execute_spawn`](crate::store::RStore::execute_spawn),
+//!    the baseline the throughput bench measures against). Whichever
+//!    executor slot delivers a chunk's second half (chunk blob +
+//!    chunk map) decodes the pair — decode overlaps with the other
+//!    batches' transfers — and admits it to the cache. Modeled
+//!    network time is taken as the **max over node batches**
+//!    (parallel scatter-gather), not their sum. A node that fails
+//!    mid-query does not fail the query: its batch's keys are
 //!    re-planned against each key's next live replica (see
 //!    [`ReadRouting`]) and only a key with no live replica left
 //!    surfaces the error.
@@ -41,6 +46,7 @@ use crate::chunkmap::ChunkMap;
 use crate::error::CoreError;
 use crate::model::{ChunkId, PrimaryKey, Record, VersionId};
 use crate::query;
+use crate::serve::{FetchPool, RoundTicket, WaitGroup};
 use crate::store::{CHUNK_TABLE, CMAP_TABLE};
 use rstore_kvstore::{table_key, Cluster, Key, KvError};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -395,6 +401,10 @@ pub struct FetchMetrics {
     /// failover retry rounds serialize after the round that exposed
     /// the failure, so their max adds on top.
     pub modeled_network: Duration,
+    /// Time spent queued in admission control before execution began
+    /// (pooled executor only; the serial and spawn executors bypass
+    /// admission and report zero).
+    pub queue_wait: Duration,
 }
 
 /// A chunk mid-flight: its two halves arrive independently (possibly
@@ -500,18 +510,25 @@ where
     parallel_map_owned(items.iter().collect(), workers, f)
 }
 
-/// Splits oversized node batches into sub-batches so spare cores can
-/// decode concurrently when few nodes hold a large span (the extreme:
-/// a single-node cluster would otherwise deserialize every chunk on
-/// one executor thread). A node thread still serves its sub-batches
-/// serially — per-node modeled time is summed across them — but each
-/// reply's decode work lands on its own executor thread, overlapping
-/// the node's remaining I/O.
-fn split_for_decode(batches: Vec<NodeBatch>) -> Vec<NodeBatch> {
+/// Splits oversized node batches into sub-batches so spare executor
+/// slots can decode concurrently when few nodes hold a large span
+/// (the extreme: a single-node cluster would otherwise deserialize
+/// every chunk on one executor thread). A node thread still serves
+/// its sub-batches serially — per-node modeled time is summed across
+/// them — but each reply's decode work lands on its own executor
+/// slot, overlapping the node's remaining I/O.
+///
+/// `workers` is the parallelism actually available to this query:
+/// the global core count for the spawn-per-query executor, but the
+/// fetch pool's *currently free* slots for the pooled one — a wide
+/// query arriving while the pool is busy serving other queries no
+/// longer fans out as if it owned every core, so it cannot starve
+/// concurrent queries' decode parallelism.
+fn split_for_decode(batches: Vec<NodeBatch>, workers: usize) -> Vec<NodeBatch> {
     /// Don't bother splitting below this many keys per sub-batch
-    /// (8 chunks): thread spawn would cost more than it buys.
+    /// (8 chunks): the extra round-trip bookkeeping would cost more
+    /// than it buys.
     const MIN_SPLIT_KEYS: usize = 16;
-    let workers = worker_count(0);
     if batches.len() >= workers {
         return batches;
     }
@@ -546,14 +563,164 @@ fn split_for_decode(batches: Vec<NodeBatch>) -> Vec<NodeBatch> {
     out
 }
 
-/// Runs a plan's fetch stage. `parallel` chooses between one scoped
-/// thread per node batch (the production scatter-gather) and the
-/// serial reference walk used by tests and baseline benchmarks.
+/// How a plan's fetch stage runs its node batches.
+#[derive(Clone, Copy)]
+pub(crate) enum ExecMode<'a> {
+    /// One node batch after another on the calling thread, modeled
+    /// network time summed over nodes: the reference walk the
+    /// property tests oracle against.
+    Serial,
+    /// One scoped thread per node (sub-)batch, spawned and joined by
+    /// this query alone — the pre-pool production executor, kept as
+    /// the spawn-per-query baseline the throughput bench measures the
+    /// shared pool against.
+    Spawn,
+    /// Batches submitted as jobs to the store's shared [`FetchPool`]
+    /// and awaited behind a round barrier: fetch threads are bounded
+    /// by the pool size no matter how many queries run concurrently.
+    Pool(&'a FetchPool),
+}
+
+impl ExecMode<'_> {
+    /// Whether modeled network time takes the parallel max over nodes
+    /// (both concurrent executors) or the serial sum.
+    fn parallel(&self) -> bool {
+        !matches!(self, ExecMode::Serial)
+    }
+}
+
+/// Shared state of one fetch execution, behind an `Arc` so pooled
+/// batch jobs (which outlive no borrow) and scoped spawn threads can
+/// run the identical [`run_batch`] code. The per-round fields are
+/// drained with `mem::take` at each round barrier — every job of the
+/// round has finished by then, so the round loop reads settled
+/// values.
+struct FetchCtx {
+    cluster: Arc<Cluster>,
+    cache: Arc<ChunkCache>,
+    pending: Vec<PendingChunk>,
+    bytes: AtomicUsize,
+    retried: AtomicUsize,
+    first_err: Mutex<Option<CoreError>>,
+    /// Per-round modeled nanos per node (a node serves its
+    /// sub-batches serially, so they sum within the node).
+    node_modeled: Mutex<FxHashMap<usize, u64>>,
+    /// Per-round keys stranded by a failed or short reply.
+    retries: Mutex<Vec<RetryKey>>,
+    /// Per-round nodes whose whole batch failed (down or gone).
+    failed_nodes: Mutex<FxHashSet<usize>>,
+}
+
+/// Ships one node (sub-)batch, files stranded keys for the failover
+/// re-plan, and decodes every chunk whose second half this reply
+/// delivered. Runs on the caller's thread (serial), a scoped thread
+/// (spawn), or a pool worker (pooled) — the failover semantics live
+/// entirely in the data it records, not in who runs it.
+fn run_batch(ctx: &FetchCtx, batch: NodeBatch) {
+    let NodeBatch { node, keys, parts } = batch;
+    let reply = match ctx.cluster.fetch_from(node, keys) {
+        Ok(reply) => reply,
+        Err(e @ (KvError::NodeDown(_) | KvError::NodeGone(_))) => {
+            // The node died between planning and fetch (or
+            // mid-query): queue every key of the batch for its next
+            // live replica instead of failing the whole query.
+            ctx.failed_nodes.lock().unwrap().insert(node);
+            let mut r = ctx.retries.lock().unwrap();
+            for (m, part) in parts {
+                r.push(RetryKey {
+                    m,
+                    part,
+                    from: node,
+                    cause: CoreError::Kv(e.clone()),
+                });
+            }
+            return;
+        }
+        Err(e @ KvError::Transient(_)) => {
+            // The cluster layer already retried in place and gave up;
+            // fail the keys over to their next replicas. The node is
+            // flaky, not dead, so it is *not* excluded — it may be
+            // another key's only live replica — but each key's
+            // tried-history keeps it from looping back.
+            let mut r = ctx.retries.lock().unwrap();
+            for (m, part) in parts {
+                r.push(RetryKey {
+                    m,
+                    part,
+                    from: node,
+                    cause: CoreError::Kv(e.clone()),
+                });
+            }
+            return;
+        }
+        Err(e) => {
+            record_err(&ctx.first_err, e.into());
+            return;
+        }
+    };
+    ctx.retried.fetch_add(reply.retries, Ordering::Relaxed);
+    let batch_bytes: usize = reply
+        .values
+        .iter()
+        .map(|v| v.as_ref().map_or(0, |b| b.len()))
+        .sum();
+    ctx.bytes.fetch_add(batch_bytes, Ordering::Relaxed);
+    *ctx.node_modeled.lock().unwrap().entry(node).or_insert(0) +=
+        reply.modeled.as_nanos() as u64;
+    for ((m, part), value) in parts.into_iter().zip(reply.values) {
+        let p = &ctx.pending[m];
+        let Some(value) = value else {
+            // This replica never stored the key (e.g. it was down
+            // during the write): try the next one before declaring
+            // the chunk missing.
+            ctx.retries.lock().unwrap().push(RetryKey {
+                m,
+                part,
+                from: node,
+                cause: CoreError::MissingChunk(p.id),
+            });
+            continue;
+        };
+        let ready = {
+            let mut halves = p.parts.lock().unwrap();
+            match part {
+                Part::Blob => halves.0 = Some(value),
+                Part::Map => halves.1 = Some(value),
+            }
+            if halves.0.is_some() && halves.1.is_some() {
+                Some((halves.0.take().unwrap(), halves.1.take().unwrap()))
+            } else {
+                None
+            }
+        };
+        // Both halves in hand: decode here, inside this batch's
+        // executor slot, overlapping the other batches' I/O.
+        if let Some((blob, map)) = ready {
+            let decoded = Chunk::deserialize(&blob)
+                .and_then(|chunk| Ok(DecodedChunk::new(chunk, ChunkMap::deserialize(&map)?)));
+            match decoded {
+                Ok(dc) => {
+                    let dc = Arc::new(dc);
+                    ctx.cache.insert(p.id, Arc::clone(&dc));
+                    let _ = p.decoded.set(dc);
+                }
+                Err(e) => record_err(&ctx.first_err, e),
+            }
+        }
+    }
+}
+
+/// Runs a plan's fetch stage under the chosen [`ExecMode`]. All three
+/// executors share [`run_batch`] and the round loop below, so the
+/// failover/retry semantics are mode-independent by construction:
+/// a round's batches run to completion (serially, on scoped threads,
+/// or behind the pool's round barrier), then failed nodes are
+/// excluded and stranded keys re-planned onto untried live replicas.
 pub(crate) fn execute_plan(
-    cluster: &Cluster,
-    cache: &ChunkCache,
+    cluster: &Arc<Cluster>,
+    cache: &Arc<ChunkCache>,
     plan: QueryPlan,
-    parallel: bool,
+    mode: ExecMode<'_>,
 ) -> Result<ExecutedQuery, CoreError> {
     let QueryPlan {
         spec,
@@ -585,15 +752,27 @@ pub(crate) fn execute_plan(
                 decoded: OnceLock::new(),
             })
             .collect();
-        let bytes = AtomicUsize::new(0);
-        let retried = AtomicUsize::new(0);
-        let first_err: Mutex<Option<CoreError>> = Mutex::new(None);
+        let ctx = Arc::new(FetchCtx {
+            cluster: Arc::clone(cluster),
+            cache: Arc::clone(cache),
+            pending,
+            bytes: AtomicUsize::new(0),
+            retried: AtomicUsize::new(0),
+            first_err: Mutex::new(None),
+            node_modeled: Mutex::new(FxHashMap::default()),
+            retries: Mutex::new(Vec::new()),
+            failed_nodes: Mutex::new(FxHashSet::default()),
+        });
         // Failover bookkeeping across retry rounds: nodes whose whole
         // batch failed are excluded from re-routing, and each key
         // remembers the replicas it already tried so a retry never
         // loops back. Both only grow, so the round loop terminates.
         let mut excluded: FxHashSet<usize> = FxHashSet::default();
         let mut tried: FxHashMap<(usize, Part), Vec<usize>> = FxHashMap::default();
+        // Distinct nodes this query talked to, across *all* rounds:
+        // a node serving both a primary batch and a later failover
+        // batch counts once, so admission's load picture stays
+        // honest.
         let mut contacted: FxHashSet<usize> = batches.iter().map(NodeBatch::node).collect();
         let mut modeled_nanos: u64 = 0;
         let mut round_batches = batches;
@@ -606,148 +785,67 @@ pub(crate) fn execute_plan(
             metrics.max_node_batch = metrics
                 .max_node_batch
                 .max(round_batches.iter().map(NodeBatch::len).max().unwrap_or(0));
-            // With spare cores and few nodes, split batches so decode
-            // fans out beyond the node count.
-            let exec_batches = if parallel {
-                split_for_decode(round_batches)
-            } else {
-                round_batches
+            // With spare executor slots and few nodes, split batches
+            // so decode fans out beyond the node count. The pooled
+            // executor sizes by the slots *currently free* — the pool
+            // is shared, and this query is only entitled to what the
+            // others left idle.
+            let exec_batches = match mode {
+                ExecMode::Serial => round_batches,
+                ExecMode::Spawn => split_for_decode(round_batches, worker_count(0)),
+                ExecMode::Pool(pool) => split_for_decode(round_batches, pool.free_slots().max(1)),
             };
+
             // Scatter-gather accounting: a node serves its
             // (sub-)batches serially, so its modeled time is the sum
             // over them; nodes overlap, so the parallel query's
             // network bill is the slowest node, while the serial walk
             // pays all nodes in turn.
-            let node_modeled: Mutex<FxHashMap<usize, u64>> = Mutex::new(FxHashMap::default());
-            let retries: Mutex<Vec<RetryKey>> = Mutex::new(Vec::new());
-            let failed_nodes: Mutex<FxHashSet<usize>> = Mutex::new(FxHashSet::default());
-
-            let run_batch = |batch: NodeBatch| {
-                let NodeBatch { node, keys, parts } = batch;
-                let reply = match cluster.fetch_from(node, keys) {
-                    Ok(reply) => reply,
-                    Err(e @ (KvError::NodeDown(_) | KvError::NodeGone(_))) => {
-                        // The node died between planning and fetch (or
-                        // mid-query): queue every key of the batch for
-                        // its next live replica instead of failing the
-                        // whole query.
-                        failed_nodes.lock().unwrap().insert(node);
-                        let mut r = retries.lock().unwrap();
-                        for (m, part) in parts {
-                            r.push(RetryKey {
-                                m,
-                                part,
-                                from: node,
-                                cause: CoreError::Kv(e.clone()),
-                            });
-                        }
-                        return;
-                    }
-                    Err(e @ KvError::Transient(_)) => {
-                        // The cluster layer already retried in place
-                        // and gave up; fail the keys over to their
-                        // next replicas. The node is flaky, not dead,
-                        // so it is *not* excluded — it may be another
-                        // key's only live replica — but each key's
-                        // tried-history keeps it from looping back.
-                        let mut r = retries.lock().unwrap();
-                        for (m, part) in parts {
-                            r.push(RetryKey {
-                                m,
-                                part,
-                                from: node,
-                                cause: CoreError::Kv(e.clone()),
-                            });
-                        }
-                        return;
-                    }
-                    Err(e) => {
-                        record_err(&first_err, e.into());
-                        return;
-                    }
-                };
-                retried.fetch_add(reply.retries, Ordering::Relaxed);
-                let batch_bytes: usize = reply
-                    .values
-                    .iter()
-                    .map(|v| v.as_ref().map_or(0, |b| b.len()))
-                    .sum();
-                bytes.fetch_add(batch_bytes, Ordering::Relaxed);
-                *node_modeled.lock().unwrap().entry(node).or_insert(0) +=
-                    reply.modeled.as_nanos() as u64;
-                for ((m, part), value) in parts.into_iter().zip(reply.values) {
-                    let p = &pending[m];
-                    let Some(value) = value else {
-                        // This replica never stored the key (e.g. it
-                        // was down during the write): try the next
-                        // one before declaring the chunk missing.
-                        retries.lock().unwrap().push(RetryKey {
-                            m,
-                            part,
-                            from: node,
-                            cause: CoreError::MissingChunk(p.id),
-                        });
-                        continue;
-                    };
-                    let ready = {
-                        let mut halves = p.parts.lock().unwrap();
-                        match part {
-                            Part::Blob => halves.0 = Some(value),
-                            Part::Map => halves.1 = Some(value),
-                        }
-                        if halves.0.is_some() && halves.1.is_some() {
-                            Some((halves.0.take().unwrap(), halves.1.take().unwrap()))
-                        } else {
-                            None
-                        }
-                    };
-                    // Both halves in hand: decode here, inside the
-                    // node's executor thread, overlapping the other
-                    // nodes' I/O.
-                    if let Some((blob, map)) = ready {
-                        let decoded = Chunk::deserialize(&blob).and_then(|chunk| {
-                            Ok(DecodedChunk::new(chunk, ChunkMap::deserialize(&map)?))
-                        });
-                        match decoded {
-                            Ok(dc) => {
-                                let dc = Arc::new(dc);
-                                cache.insert(p.id, Arc::clone(&dc));
-                                let _ = p.decoded.set(dc);
-                            }
-                            Err(e) => record_err(&first_err, e),
-                        }
-                    }
-                }
-            };
-
-            if parallel && exec_batches.len() > 1 {
-                std::thread::scope(|scope| {
+            match mode {
+                ExecMode::Pool(pool) if exec_batches.len() > 1 => {
+                    let barrier = Arc::new(WaitGroup::new(exec_batches.len()));
                     for batch in exec_batches {
-                        let run_batch = &run_batch;
-                        scope.spawn(move || run_batch(batch));
+                        let ctx = Arc::clone(&ctx);
+                        let ticket = RoundTicket(Arc::clone(&barrier));
+                        pool.submit(move || {
+                            let _ticket = ticket;
+                            run_batch(&ctx, batch);
+                        });
                     }
-                });
-            } else {
-                for batch in exec_batches {
-                    run_batch(batch);
+                    barrier.wait();
+                }
+                ExecMode::Spawn if exec_batches.len() > 1 => {
+                    std::thread::scope(|scope| {
+                        for batch in exec_batches {
+                            let ctx = &ctx;
+                            scope.spawn(move || run_batch(ctx, batch));
+                        }
+                    });
+                }
+                // A single batch runs inline on the query's own
+                // thread in every mode: no spawn, no pool round trip.
+                _ => {
+                    for batch in exec_batches {
+                        run_batch(&ctx, batch);
+                    }
                 }
             }
 
             // A retry round starts only after some batch of this round
             // came back failed, so rounds serialize: the round's
             // max-over-nodes (or serial sum) adds onto the total.
-            let per_node = node_modeled.into_inner().unwrap();
-            modeled_nanos += if parallel {
+            let per_node = std::mem::take(&mut *ctx.node_modeled.lock().unwrap());
+            modeled_nanos += if mode.parallel() {
                 per_node.values().copied().max().unwrap_or(0)
             } else {
                 per_node.values().copied().sum()
             };
 
-            let newly_failed = failed_nodes.into_inner().unwrap();
+            let newly_failed = std::mem::take(&mut *ctx.failed_nodes.lock().unwrap());
             metrics.failovers += newly_failed.len();
             excluded.extend(newly_failed);
 
-            if first_err.lock().unwrap().is_some() {
+            if ctx.first_err.lock().unwrap().is_some() {
                 break;
             }
 
@@ -757,13 +855,14 @@ pub(crate) fn execute_plan(
             // dead node's hot-span keys spread over the survivors
             // instead of piling onto one. A key with no replica left
             // fails the query with the error that stranded it.
+            let round_retries = std::mem::take(&mut *ctx.retries.lock().unwrap());
             let mut by_node: FxHashMap<usize, NodeBatch> = FxHashMap::default();
             let mut retry_load: FxHashMap<usize, usize> = FxHashMap::default();
-            for rk in retries.into_inner().unwrap() {
+            for rk in round_retries {
                 let hist = tried.entry((rk.m, rk.part)).or_default();
                 hist.push(rk.from);
-                let key = backend_key(pending[rk.m].id, rk.part);
-                let next = cluster.replicas_of(&key).ok().and_then(|cands| {
+                let key = backend_key(ctx.pending[rk.m].id, rk.part);
+                let next = ctx.cluster.replicas_of(&key).ok().and_then(|cands| {
                     let mut usable = cands
                         .into_iter()
                         .filter(|n| !excluded.contains(n) && !hist.contains(n));
@@ -773,7 +872,7 @@ pub(crate) fn execute_plan(
                     }
                 });
                 let Some(node) = next else {
-                    record_err(&first_err, rk.cause);
+                    record_err(&ctx.first_err, rk.cause);
                     continue;
                 };
                 *retry_load.entry(node).or_insert(0) += 1;
@@ -787,7 +886,7 @@ pub(crate) fn execute_plan(
                 batch.keys.push(key);
                 batch.parts.push((rk.m, rk.part));
             }
-            if first_err.lock().unwrap().is_some() {
+            if ctx.first_err.lock().unwrap().is_some() {
                 break;
             }
             let mut next_round: Vec<NodeBatch> = by_node.into_values().collect();
@@ -795,15 +894,18 @@ pub(crate) fn execute_plan(
             round_batches = next_round;
         }
 
-        if let Some(e) = first_err.into_inner().unwrap() {
+        if let Some(e) = ctx.first_err.lock().unwrap().take() {
             return Err(e);
         }
-        metrics.bytes_fetched = bytes.into_inner();
-        metrics.retries = retried.into_inner();
+        metrics.bytes_fetched = ctx.bytes.load(Ordering::Relaxed);
+        metrics.retries = ctx.retried.load(Ordering::Relaxed);
         metrics.modeled_network = Duration::from_nanos(modeled_nanos);
         metrics.nodes_contacted = contacted.len();
-        for p in pending {
-            let Some(dc) = p.decoded.into_inner() else {
+        for p in &ctx.pending {
+            // Cloning out of the `OnceLock` (instead of consuming the
+            // context) keeps this correct even if a finished pool job
+            // still holds its `Arc<FetchCtx>` clone for a moment.
+            let Some(dc) = p.decoded.get().cloned() else {
                 // Unreachable with a well-behaved backend (a short or
                 // failed batch records an error above), but a logic
                 // error must not panic the query path.

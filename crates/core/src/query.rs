@@ -42,6 +42,11 @@ pub struct QueryStats {
     pub records: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Time the query spent queued in admission control before the
+    /// serving core granted it an in-flight slot (zero when a slot
+    /// was free on arrival, and always zero for the serial and
+    /// spawn-per-query executors, which bypass admission).
+    pub queue_wait: Duration,
     /// Modeled network time accrued at the backend: the **max over
     /// the parallel node batches** (a real scatter-gather overlaps
     /// them), not their sum. Meaningful when the cluster's network

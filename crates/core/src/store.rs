@@ -40,8 +40,9 @@ use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 use crate::partition::{PartitionInput, PartitionerKind};
-use crate::plan::{self, ExecutedQuery, QueryPlan, QuerySpec, ReadRouting, RecordStream};
+use crate::plan::{self, ExecMode, ExecutedQuery, QueryPlan, QuerySpec, ReadRouting, RecordStream};
 use crate::query::QueryStats;
+use crate::serve::{ServeCore, ServeStats};
 use crate::subchunk::SubchunkPlan;
 use bytes::Bytes;
 use crossbeam::channel::bounded;
@@ -104,6 +105,22 @@ pub struct StoreConfig {
     /// reference path; [`ReadRouting::Balanced`] flattens hot spans
     /// across replicas when `replication > 1`).
     pub read_routing: ReadRouting,
+    /// Workers in the shared fetch pool that executes every query's
+    /// node batches ([`serve`](crate::serve)). `0` (the default)
+    /// sizes by the core count but floors at twice the cluster's node
+    /// count — fetch jobs are I/O-bound (blocked on a node round
+    /// trip), so the pool oversubscribes cores to keep every node's
+    /// request queue fed; an explicit value is honoured exactly.
+    pub fetch_threads: usize,
+    /// Queries allowed to execute concurrently before admission
+    /// control starts queueing arrivals (small spans ahead of large
+    /// ones). The default is generous — backpressure, not a
+    /// throttle.
+    pub max_concurrent_queries: usize,
+    /// Queries allowed to wait in the admission queue once the
+    /// in-flight budget is full; beyond this, queries are shed with
+    /// [`CoreError::Overloaded`].
+    pub max_queued: usize,
     /// Background compaction policy (see
     /// [`CompactionConfig`]): candidate-selection thresholds and the
     /// auto-trigger cadence. Auto-compaction is off by default;
@@ -123,6 +140,9 @@ impl Default for StoreConfig {
             cache_shards: 8,
             ingest_threads: 0,
             read_routing: ReadRouting::default(),
+            fetch_threads: 0,
+            max_concurrent_queries: 256,
+            max_queued: 1024,
             compaction: CompactionConfig::default(),
         }
     }
@@ -193,6 +213,26 @@ impl RStoreBuilder {
         self
     }
 
+    /// Sets the shared fetch-pool worker count (0 = size by cores,
+    /// floored at twice the cluster's node count).
+    pub fn fetch_threads(mut self, threads: usize) -> Self {
+        self.config.fetch_threads = threads;
+        self
+    }
+
+    /// Sets the admission in-flight budget (clamped to ≥ 1).
+    pub fn max_concurrent_queries(mut self, n: usize) -> Self {
+        self.config.max_concurrent_queries = n.max(1);
+        self
+    }
+
+    /// Sets the admission queue depth (0 = shed as soon as the
+    /// in-flight budget is full).
+    pub fn max_queued(mut self, n: usize) -> Self {
+        self.config.max_queued = n;
+        self
+    }
+
     /// Sets the compaction policy (thresholds + auto-trigger cadence).
     pub fn compaction(mut self, config: CompactionConfig) -> Self {
         self.config.compaction = config;
@@ -202,8 +242,17 @@ impl RStoreBuilder {
     /// Finishes the builder against a backend cluster.
     pub fn build(self, cluster: Cluster) -> RStore {
         RStore {
-            cluster,
-            cache: ChunkCache::new(self.config.cache_budget, self.config.cache_shards),
+            serve: ServeCore::new(
+                self.config.fetch_threads,
+                cluster.node_count(),
+                self.config.max_concurrent_queries,
+                self.config.max_queued,
+            ),
+            cluster: Arc::new(cluster),
+            cache: Arc::new(ChunkCache::new(
+                self.config.cache_budget,
+                self.config.cache_shards,
+            )),
             config: self.config,
             graph: VersionGraph::new(),
             contents: Vec::new(),
@@ -499,9 +548,16 @@ impl CommitRequest {
 
 /// The RStore instance (application-server state + backend handle).
 pub struct RStore {
-    pub(crate) cluster: Cluster,
-    /// Decoded-chunk cache; interior mutability keeps queries `&self`.
-    pub(crate) cache: ChunkCache,
+    /// Behind `Arc` so pooled fetch jobs — which cannot borrow from
+    /// the query's stack — share the backend handle with `&self`
+    /// query entry points.
+    pub(crate) cluster: Arc<Cluster>,
+    /// Decoded-chunk cache; interior mutability keeps queries `&self`
+    /// (`Arc` for the same reason as `cluster`).
+    pub(crate) cache: Arc<ChunkCache>,
+    /// The serving core: shared fetch pool (lazily started) plus
+    /// admission control.
+    pub(crate) serve: ServeCore,
     pub(crate) config: StoreConfig,
     pub(crate) graph: VersionGraph,
     /// Per version: sorted `(pk, origin)` pairs.
@@ -926,8 +982,14 @@ impl RStore {
         }
 
         let mut store = RStore {
-            cluster,
-            cache: ChunkCache::new(config.cache_budget, config.cache_shards),
+            serve: ServeCore::new(
+                config.fetch_threads,
+                cluster.node_count(),
+                config.max_concurrent_queries,
+                config.max_queued,
+            ),
+            cluster: Arc::new(cluster),
+            cache: Arc::new(ChunkCache::new(config.cache_budget, config.cache_shards)),
             config,
             graph,
             contents: Vec::new(),
@@ -1316,12 +1378,36 @@ impl RStore {
         )
     }
 
-    /// Stage 2 — **fetch**: scatter-gather. Each node batch runs on
-    /// its own scoped thread; a chunk is decoded by whichever thread
-    /// delivers its second half, overlapping decode with the other
-    /// nodes' transfers, and decoded pairs are admitted to the cache.
+    /// Stage 2 — **fetch**: scatter-gather through the serving core.
+    /// The query first passes admission control (waiting in the FIFO
+    /// queue when the in-flight budget is full, shed with
+    /// [`CoreError::Overloaded`] once the queue is full too), then
+    /// its node batches run as jobs on the store's shared fetch pool:
+    /// a chunk is decoded by whichever pool worker delivers its
+    /// second half, overlapping decode with the other batches'
+    /// transfers, and decoded pairs are admitted to the cache. Time
+    /// queued is reported in
+    /// [`QueryStats::queue_wait`](crate::query::QueryStats::queue_wait).
     pub fn execute(&self, plan: QueryPlan) -> Result<ExecutedQuery, CoreError> {
-        plan::execute_plan(&self.cluster, &self.cache, plan, true)
+        let guard = self.serve.admit(plan.span())?;
+        let mut executed = plan::execute_plan(
+            &self.cluster,
+            &self.cache,
+            plan,
+            ExecMode::Pool(self.serve.pool()),
+        )?;
+        executed.metrics.queue_wait = guard.waited();
+        Ok(executed)
+    }
+
+    /// The retired per-query scatter-gather executor: one scoped
+    /// thread per node (sub-)batch, spawned and joined by this query
+    /// alone, bypassing admission control and the shared pool. Kept
+    /// as the spawn-per-query baseline `bench_throughput` measures
+    /// the serving core against; results are identical to
+    /// [`RStore::execute`].
+    pub fn execute_spawn(&self, plan: QueryPlan) -> Result<ExecutedQuery, CoreError> {
+        plan::execute_plan(&self.cluster, &self.cache, plan, ExecMode::Spawn)
     }
 
     /// The serial reference executor: identical results to
@@ -1330,7 +1416,14 @@ impl RStore {
     /// max. This is the oracle the property tests compare against and
     /// the baseline `bench_pipeline` measures the speedup over.
     pub fn execute_serial(&self, plan: QueryPlan) -> Result<ExecutedQuery, CoreError> {
-        plan::execute_plan(&self.cluster, &self.cache, plan, false)
+        plan::execute_plan(&self.cluster, &self.cache, plan, ExecMode::Serial)
+    }
+
+    /// Serving-core counters: fetch-pool size and jobs run, queries
+    /// admitted/shed, peak in-flight and queue depths, and the total
+    /// admission queue wait.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.serve.stats()
     }
 
     /// Stage 3 — **extract**, streaming: the full pipeline, returning
@@ -1371,6 +1464,7 @@ impl RStore {
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: fetch.modeled_network,
+            queue_wait: fetch.queue_wait,
         };
         Ok((records, stats))
     }

@@ -24,6 +24,8 @@ struct Args {
     data_dir: PathBuf,
     nodes: usize,
     routing: ReadRouting,
+    /// Fetch-pool size for the serving core; 0 sizes by host cores.
+    fetch_threads: usize,
     /// Seed for the canned flaky fault plan; `None` runs fault-free.
     faults: Option<u64>,
     command: String,
@@ -32,7 +34,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] [--faults SEED] COMMAND ...\n\
+        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] [--fetch-threads N] [--faults SEED] COMMAND ...\n\
+         --fetch-threads N sizes the shared fetch pool (0 = auto by cores).\n\
          --faults SEED enables the canned flaky chaos plan (10% transient\n\
          refusals + 10% 1 ms latency per node); retries absorb the faults\n\
          and `stats` reports the self-healing counters.\n\
@@ -43,7 +46,7 @@ fn usage() -> ! {
            get PK --version V                     one record from a version\n\
            history PK                             evolution of a key\n\
            log                                    the version graph\n\
-           stats                                  store + fragmentation + per-node load statistics\n\
+           stats                                  store + fragmentation + per-node load + serving-core statistics\n\
            compact                                repartition fragmented chunks in place"
     );
     exit(2)
@@ -54,6 +57,7 @@ fn parse_args() -> Args {
     let mut data_dir = None;
     let mut nodes = 2usize;
     let mut routing = ReadRouting::default();
+    let mut fetch_threads = 0usize;
     let mut faults = None;
     let mut command = None;
     let mut rest = Vec::new();
@@ -65,6 +69,13 @@ fn parse_args() -> Args {
             // swallowed as a positional argument.
             "--nodes" => {
                 nodes = argv.next().and_then(|s| s.parse().ok()).unwrap_or(2)
+            }
+            "--fetch-threads" => {
+                let Some(n) = argv.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--fetch-threads expects a thread count (0 = auto)");
+                    exit(2)
+                };
+                fetch_threads = n;
             }
             "--routing" => {
                 routing = match argv.next().as_deref() {
@@ -97,6 +108,7 @@ fn parse_args() -> Args {
         data_dir,
         nodes,
         routing,
+        fetch_threads,
         faults,
         command,
         rest,
@@ -157,6 +169,7 @@ fn open_store(args: &Args) -> Result<RStore, CoreError> {
         StoreConfig {
             batch_size: 1,
             read_routing: args.routing,
+            fetch_threads: args.fetch_threads,
             ..StoreConfig::default()
         },
         open_cluster(args),
@@ -321,6 +334,18 @@ fn run() -> Result<(), CoreError> {
                     load.node, load.batch_gets, load.keys_served
                 );
             }
+            // Serving-core counters for this session (pool size shows
+            // 0 until the first pooled query starts the workers).
+            let serve = store.serve_stats();
+            println!("fetch pool:          {} worker(s), {} job(s) run", serve.pool_size, serve.jobs_run);
+            println!(
+                "admission:           {} admitted / {} shed, peak {} in-flight / {} queued",
+                serve.admitted, serve.shed, serve.peak_in_flight, serve.peak_queued
+            );
+            println!(
+                "queue wait:          {:.3} ms total",
+                serve.total_queue_wait.as_secs_f64() * 1e3
+            );
         }
         "compact" => {
             let mut store = open_store(&args)?;
