@@ -34,13 +34,29 @@
 //! workload and the scan p99 is reported alongside, so the point-read
 //! win can't hide scan starvation. Results are emitted to the
 //! gitignored `BENCH_throughput.json`.
+//!
+//! A closed loop can never observe overload: clients wait for each
+//! answer, so the offered rate self-throttles to whatever the store
+//! sustains and `shed` stays zero by construction. The **open-loop**
+//! section therefore replays a fixed arrival schedule — dispatcher
+//! threads issue queries at their scheduled instants whether or not
+//! earlier queries finished, and latency is charged from the
+//! *scheduled* arrival, not the issue time, so backlog cannot hide
+//! queueing delay (the coordinated-omission trap). Two phases run
+//! against a store with a deliberately small admission queue: one at
+//! a sustainable fraction of the measured closed-loop capacity (queue
+//! stays shallow, nothing sheds) and one well above it (the queue
+//! fills and admission must shed with [`CoreError::Overloaded`]
+//! rather than letting latency grow without bound). Goodput, tail
+//! latency, queue wait, and shed counts for both phases land in the
+//! same JSON report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rstore_bench::fmt_duration;
 use rstore_core::model::VersionId;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::RStore;
-use rstore_core::QuerySpec;
+use rstore_core::{CoreError, QuerySpec};
 use rstore_kvstore::{Cluster, NetworkModel};
 use std::hint::black_box;
 use std::sync::{Arc, Barrier};
@@ -62,6 +78,21 @@ const P99_TARGET: f64 = 1.5;
 /// went second, so rounds alternate order and the percentiles are
 /// taken over the pooled samples of all rounds.
 const ROUNDS: usize = 3;
+/// Open-loop dispatcher threads. Must exceed the store's in-flight
+/// budget plus [`OPEN_LOOP_QUEUE`], or the dispatchers themselves
+/// become the admission bound and overload can never reach the
+/// shedding path.
+const OPEN_LOOP_DISPATCHERS: usize = 48;
+/// Arrivals per open-loop phase.
+const OPEN_LOOP_ARRIVALS: usize = 480;
+/// Admission queue bound for the open-loop store — small enough that
+/// a genuine overload sheds within one phase instead of parking the
+/// whole backlog in the (default, generous) queue.
+const OPEN_LOOP_QUEUE: usize = 16;
+/// Offered open-loop rates as fractions of the measured closed-loop
+/// pooled capacity: comfortably below it, and well above it.
+const SUSTAINABLE_FRAC: f64 = 0.4;
+const OVERLOAD_FRAC: f64 = 2.5;
 
 fn dataset() -> rstore_vgraph::Dataset {
     let mut spec = rstore_vgraph::DatasetSpec::tiny(0x7407);
@@ -74,7 +105,7 @@ fn dataset() -> rstore_vgraph::Dataset {
     spec.generate()
 }
 
-fn build_store() -> RStore {
+fn build_store_with_queue(max_queued: Option<usize>) -> RStore {
     let cluster = Cluster::builder()
         .nodes(NODES)
         // The sleeping LAN: per-request latency and per-byte cost are
@@ -83,7 +114,7 @@ fn build_store() -> RStore {
         // for, exactly like a networked deployment.
         .network(NetworkModel::lan())
         .build();
-    let mut store = RStore::builder()
+    let mut builder = RStore::builder()
         .chunk_capacity(CHUNK_CAPACITY)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         // Cache disabled: every query pays its full fetch, keeping
@@ -92,10 +123,17 @@ fn build_store() -> RStore {
         // A moderate in-flight budget: enough concurrency to saturate
         // six nodes, small enough that node queues stay shallow and
         // completion order stays fair.
-        .max_concurrent_queries(NODES + 2)
-        .build(cluster);
+        .max_concurrent_queries(NODES + 2);
+    if let Some(q) = max_queued {
+        builder = builder.max_queued(q);
+    }
+    let mut store = builder.build(cluster);
     store.load_dataset(&dataset()).unwrap();
     store
+}
+
+fn build_store() -> RStore {
+    build_store_with_queue(None)
 }
 
 /// One workload operation: the serving mix is mostly point reads with
@@ -211,6 +249,98 @@ fn qps(sample: &ModeSample) -> f64 {
     sample.queries() as f64 / sample.wall.as_secs_f64().max(f64::MIN_POSITIVE)
 }
 
+/// Deterministic open-loop workload: the same point-dominant mix as
+/// the closed loop, with a scan threaded through every 16th arrival.
+fn arrival_op(k: usize, versions: u32) -> Op {
+    let v = VersionId(((k * 13 + 5) as u32) % versions);
+    if k.is_multiple_of(16) {
+        Op::Scan(v)
+    } else {
+        Op::Point {
+            pk: ((k * 7 + 3) % 200) as u64,
+            v,
+        }
+    }
+}
+
+/// One open-loop phase at a fixed offered rate.
+#[derive(Default)]
+struct OpenLoopSample {
+    offered_qps: f64,
+    achieved_qps: f64,
+    done: usize,
+    shed: usize,
+    /// Successful-query latency measured from the scheduled arrival.
+    lat: Vec<Duration>,
+    /// Total admission queue wait across successful queries.
+    queue_wait: Duration,
+}
+
+/// Replays [`OPEN_LOOP_ARRIVALS`] queries on a fixed schedule:
+/// arrival `k` is due at `start + k / rate`, owned by dispatcher
+/// `k % OPEN_LOOP_DISPATCHERS`. A dispatcher sleeps until its next
+/// arrival is due and then issues it regardless of what is still in
+/// flight — completions never gate arrivals, which is what makes the
+/// loop open. Latency is charged from the *scheduled* instant, so an
+/// arrival a backlogged dispatcher issues late reports the full
+/// schedule-to-answer delay instead of silently omitting its wait.
+fn run_open_loop(store: &Arc<RStore>, rate_qps: f64) -> OpenLoopSample {
+    let versions = store.version_count() as u32;
+    let interval = Duration::from_secs_f64(1.0 / rate_qps.max(1.0));
+    let barrier = Arc::new(Barrier::new(OPEN_LOOP_DISPATCHERS + 1));
+    // A small lead so every dispatcher is parked on the barrier
+    // before the first arrival is due.
+    let start = Instant::now() + Duration::from_millis(20);
+    let dispatchers: Vec<_> = (0..OPEN_LOOP_DISPATCHERS)
+        .map(|d| {
+            let store = Arc::clone(store);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut sample = OpenLoopSample::default();
+                barrier.wait();
+                let mut k = d;
+                while k < OPEN_LOOP_ARRIVALS {
+                    let scheduled = start + interval.mul_f64(k as f64);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let spec = match arrival_op(k, versions) {
+                        Op::Scan(v) => QuerySpec::Version(v),
+                        Op::Point { pk, v } => QuerySpec::Record { pk, v },
+                    };
+                    match store.query_with_stats(spec) {
+                        Ok((records, stats)) => {
+                            sample.lat.push(scheduled.elapsed());
+                            sample.queue_wait += stats.queue_wait;
+                            sample.done += 1;
+                            black_box(records.len());
+                        }
+                        Err(CoreError::Overloaded) => sample.shed += 1,
+                        Err(e) => panic!("open-loop query failed: {e}"),
+                    }
+                    k += OPEN_LOOP_DISPATCHERS;
+                }
+                sample
+            })
+        })
+        .collect();
+    barrier.wait();
+    let mut merged = OpenLoopSample::default();
+    for d in dispatchers {
+        let s = d.join().unwrap();
+        merged.lat.extend(s.lat);
+        merged.queue_wait += s.queue_wait;
+        merged.done += s.done;
+        merged.shed += s.shed;
+    }
+    let wall = start.elapsed();
+    merged.offered_qps = rate_qps;
+    merged.achieved_qps = merged.done as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    merged.lat.sort_unstable();
+    merged
+}
+
 fn bench_throughput_modes(c: &mut Criterion) {
     let store = Arc::new(build_store());
     let last = VersionId(store.version_count() as u32 - 1);
@@ -307,6 +437,41 @@ fn acceptance_summary(_c: &mut Criterion) {
         serve.shed,
     );
 
+    // Open loop: same workload shape, fixed arrival schedule, small
+    // admission queue. Rates are set relative to the capacity this
+    // host just demonstrated closed-loop, so "sustainable" and
+    // "overload" mean the same thing on a laptop and a CI runner.
+    let capacity = qps(&pool);
+    let ol_store = Arc::new(build_store_with_queue(Some(OPEN_LOOP_QUEUE)));
+    // Warm the fresh store (starts its fetch pool, pages indexes).
+    let warm_v = VersionId(ol_store.version_count() as u32 - 1);
+    for pk in 0..8u64 {
+        ol_store
+            .query_with_stats(QuerySpec::Record { pk, v: warm_v })
+            .unwrap();
+    }
+    let sustain = run_open_loop(&ol_store, capacity * SUSTAINABLE_FRAC);
+    let overload = run_open_loop(&ol_store, capacity * OVERLOAD_FRAC);
+    assert!(!sustain.lat.is_empty() && !overload.lat.is_empty());
+    let phase_line = |name: &str, s: &OpenLoopSample| {
+        println!(
+            "  {name} ({:7.1} q/s offered): {:7.1} q/s goodput, p50 {} / p99 {} \
+             (from scheduled arrival), {}/{OPEN_LOOP_ARRIVALS} shed, queue wait {}",
+            s.offered_qps,
+            s.achieved_qps,
+            fmt_duration(percentile(&s.lat, 0.50)),
+            fmt_duration(percentile(&s.lat, 0.99)),
+            s.shed,
+            fmt_duration(s.queue_wait),
+        );
+    };
+    println!(
+        "open loop       : {OPEN_LOOP_DISPATCHERS} dispatchers, queue cap {OPEN_LOOP_QUEUE}, \
+         capacity est {capacity:.1} q/s"
+    );
+    phase_line("sustainable", &sustain);
+    phase_line("overload   ", &overload);
+
     let asserted = cores >= 3;
     let json = format!(
         "{{\n  \"bench\": \"bench_throughput\",\n  \"nodes\": {NODES},\n  \
@@ -320,7 +485,17 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"point_p99_speedup\": {p99_speedup:.3},\n  \"p99_target\": {P99_TARGET},\n  \
          \"asserted\": {asserted},\n  \
          \"pool_size\": {},\n  \"pool_jobs\": {},\n  \"peak_in_flight\": {},\n  \
-         \"peak_queued\": {},\n  \"queue_wait_ms\": {:.3},\n  \"shed\": {}\n}}\n",
+         \"peak_queued\": {},\n  \"queue_wait_ms\": {:.3},\n  \"shed\": {},\n  \
+         \"open_loop_dispatchers\": {OPEN_LOOP_DISPATCHERS},\n  \
+         \"open_loop_arrivals\": {OPEN_LOOP_ARRIVALS},\n  \
+         \"open_loop_queue_cap\": {OPEN_LOOP_QUEUE},\n  \
+         \"open_loop_capacity_qps\": {capacity:.1},\n  \
+         \"sustain_offered_qps\": {:.1},\n  \"sustain_goodput_qps\": {:.1},\n  \
+         \"sustain_p50_us\": {:.1},\n  \"sustain_p99_us\": {:.1},\n  \
+         \"sustain_shed\": {},\n  \"sustain_queue_wait_ms\": {:.3},\n  \
+         \"overload_offered_qps\": {:.1},\n  \"overload_goodput_qps\": {:.1},\n  \
+         \"overload_p50_us\": {:.1},\n  \"overload_p99_us\": {:.1},\n  \
+         \"overload_shed\": {},\n  \"overload_queue_wait_ms\": {:.3}\n}}\n",
         pool.point.len(),
         pool.scan.len(),
         qps(&spawn),
@@ -337,6 +512,18 @@ fn acceptance_summary(_c: &mut Criterion) {
         serve.peak_queued,
         serve.total_queue_wait.as_secs_f64() * 1e3,
         serve.shed,
+        sustain.offered_qps,
+        sustain.achieved_qps,
+        percentile(&sustain.lat, 0.50).as_secs_f64() * 1e6,
+        percentile(&sustain.lat, 0.99).as_secs_f64() * 1e6,
+        sustain.shed,
+        sustain.queue_wait.as_secs_f64() * 1e3,
+        overload.offered_qps,
+        overload.achieved_qps,
+        percentile(&overload.lat, 0.50).as_secs_f64() * 1e6,
+        percentile(&overload.lat, 0.99).as_secs_f64() * 1e6,
+        overload.shed,
+        overload.queue_wait.as_secs_f64() * 1e3,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, json).expect("write BENCH_throughput.json");
@@ -349,11 +536,34 @@ fn acceptance_summary(_c: &mut Criterion) {
     assert!(serve.jobs_run > 0, "no batch jobs reached the pool");
     assert!(serve.peak_in_flight <= 2 * NODES);
 
+    // Open-loop accounting: every scheduled arrival was either
+    // answered or visibly shed — nothing may vanish into the loop.
+    assert_eq!(sustain.done + sustain.shed, OPEN_LOOP_ARRIVALS);
+    assert_eq!(overload.done + overload.shed, OPEN_LOOP_ARRIVALS);
+    // Overload MUST shed: the offered rate is 2.5x demonstrated
+    // capacity and the queue is bounded, so admission's only honest
+    // move is Overloaded. This holds on any core count — if it ever
+    // fails, the bounded queue silently stopped bounding.
+    assert!(
+        overload.shed > 0,
+        "offered {:.1} q/s against ~{capacity:.1} q/s capacity and a {OPEN_LOOP_QUEUE}-deep \
+         queue never shed — admission is not enforcing its bound",
+        overload.offered_qps
+    );
+
     if asserted {
         assert!(
             p99_speedup >= P99_TARGET,
             "shared pool point-read p99 must be >= {P99_TARGET}x better than \
              spawn-per-query at {CLIENTS} clients on {cores} cores, got {p99_speedup:.2}x"
+        );
+        // At 40% of demonstrated capacity the queue never backs up
+        // far enough to shed. (Report-only on starved hosts, where a
+        // scheduler stall can bunch arrivals into a burst.)
+        assert_eq!(
+            sustain.shed, 0,
+            "open loop shed at {:.1} q/s offered, well under ~{capacity:.1} q/s capacity",
+            sustain.offered_qps
         );
     } else {
         println!(

@@ -1,7 +1,9 @@
 //! Error type for the RStore layer.
 
+use crate::query::QueryStats;
 use rstore_kvstore::KvError;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors surfaced by RStore operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +27,22 @@ pub enum CoreError {
     /// are both full. The store is healthy — the caller should back
     /// off and retry.
     Overloaded,
+    /// The query's time budget
+    /// ([`StoreConfig::default_deadline`](crate::store::StoreConfig::default_deadline)
+    /// or an explicit per-execution deadline) ran out — in the
+    /// admission queue or across fetch/retry rounds — before the span
+    /// was served. The work done so far is attached so callers can
+    /// still account for the partial cost.
+    DeadlineExceeded {
+        /// The budget the query ran under.
+        budget: Duration,
+        /// Time charged when the budget tripped (queue wait plus
+        /// accrued modeled fetch time; ≥ `budget` by construction).
+        spent: Duration,
+        /// Accounting for the rounds that did complete (boxed: stats
+        /// are much larger than every other variant).
+        partial: Box<QueryStats>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +57,10 @@ impl fmt::Display for CoreError {
             CoreError::Overloaded => {
                 write!(f, "store overloaded: admission queue full, query shed")
             }
+            CoreError::DeadlineExceeded { budget, spent, .. } => write!(
+                f,
+                "deadline exceeded: {spent:?} spent against a {budget:?} budget"
+            ),
         }
     }
 }

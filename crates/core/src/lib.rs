@@ -55,6 +55,8 @@ pub use compact::{CompactionConfig, CompactionReport, CompactionStages, Fragment
 pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 pub use partition::{Partitioner, PartitionerKind};
-pub use plan::{ExecutedQuery, FetchMetrics, QueryPlan, QuerySpec, ReadRouting, RecordStream};
+pub use plan::{
+    ExecutedQuery, FetchMetrics, HedgeConfig, QueryPlan, QuerySpec, ReadRouting, RecordStream,
+};
 pub use serve::{Admission, AdmitGuard, FetchPool, ServeStats, SMALL_SPAN_MAX};
 pub use store::{CommitRequest, RStore, RStoreBuilder, StoreConfig};

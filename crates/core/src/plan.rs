@@ -50,8 +50,8 @@ use crate::serve::{FetchPool, RoundTicket, WaitGroup};
 use crate::store::{CHUNK_TABLE, CMAP_TABLE};
 use rstore_kvstore::{table_key, Cluster, Key, KvError};
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// How the planner spreads a query's backend keys across each key's
@@ -149,6 +149,58 @@ enum Part {
     Blob,
     /// The serialized chunk map.
     Map,
+}
+
+impl Part {
+    /// Stable slot of this half in per-chunk delivery gates.
+    fn index(self) -> usize {
+        match self {
+            Part::Blob => 0,
+            Part::Map => 1,
+        }
+    }
+}
+
+/// Tunables for hedged node batches: when a fetch round's straggler
+/// outlives `factor ×` the health scoreboard's expected time for the
+/// round's slowest batch (per-key service EWMA × batch length,
+/// floored at `min` so a cold scoreboard still hedges eventually),
+/// the unserved keys are re-issued to untried live replicas as backup
+/// pool jobs and the first answer wins. Off by default
+/// ([`StoreConfig::hedge`](crate::store::StoreConfig::hedge) is
+/// `None`); hedging never changes answer bytes, only who serves them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Multiple of the expected batch time a straggler must exceed
+    /// before backups are issued.
+    pub factor: f64,
+    /// Floor for the hedge delay, guarding against a cold scoreboard
+    /// (EWMA zero would otherwise hedge instantly).
+    pub min: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self {
+            factor: 2.0,
+            min: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Per-execution tail-defense policy. Both knobs default to off, so
+/// an unconfigured execution is bit-identical to the pre-hedging
+/// executor; hedging additionally requires the pooled mode (the
+/// serial oracle and the spawn baseline have no backup lane to run a
+/// hedge on, and their answers must stay byte-identical regardless).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExecPolicy {
+    /// Hedge straggler node batches (pooled executor only).
+    pub(crate) hedge: Option<HedgeConfig>,
+    /// Time budget: accrued modeled fetch time (max over each round's
+    /// parallel node batches, identically in every mode) plus any
+    /// queue wait already charged by the caller.
+    pub(crate) deadline: Option<Duration>,
 }
 
 /// One node's share of a scatter-gather fetch: the backend keys it
@@ -395,6 +447,12 @@ pub struct FetchMetrics {
     /// serving node failed, or after a replica turned out never to
     /// have stored them (it was down during the write).
     pub rerouted_keys: usize,
+    /// Backup node batches issued by the hedging layer after a
+    /// round's straggler exceeded the scoreboard-derived threshold.
+    pub hedges: usize,
+    /// Hedge batches that finished while a straggler they covered for
+    /// was still unfinished — the duplicate work that paid off.
+    pub hedge_wins: usize,
     /// Modeled network time: the max over parallel node batches
     /// (their sum under
     /// [`RStore::execute_serial`](crate::store::RStore::execute_serial));
@@ -407,6 +465,31 @@ pub struct FetchMetrics {
     pub queue_wait: Duration,
 }
 
+/// Snapshot of the work done so far, attached to
+/// [`CoreError::DeadlineExceeded`] so a timed-out query's cost is
+/// still accountable. No records were produced (extraction never
+/// ran) and the caller patches wall-clock and queue-wait fields.
+fn partial_stats(metrics: &FetchMetrics, span: usize) -> crate::query::QueryStats {
+    crate::query::QueryStats {
+        chunks_fetched: span,
+        chunks_useful: 0,
+        bytes_fetched: metrics.bytes_fetched,
+        cache_hits: metrics.cache_hits,
+        cache_misses: metrics.cache_misses,
+        nodes_contacted: metrics.nodes_contacted,
+        max_node_batch: metrics.max_node_batch,
+        failovers: metrics.failovers,
+        rerouted_keys: metrics.rerouted_keys,
+        retries: metrics.retries,
+        hedges: metrics.hedges,
+        hedge_wins: metrics.hedge_wins,
+        records: 0,
+        elapsed: Duration::ZERO,
+        queue_wait: metrics.queue_wait,
+        modeled_network: metrics.modeled_network,
+    }
+}
+
 /// A chunk mid-flight: its two halves arrive independently (possibly
 /// from different nodes); whichever executor thread delivers the
 /// second half decodes the pair.
@@ -414,6 +497,13 @@ struct PendingChunk {
     slot: usize,
     id: u32,
     parts: Mutex<(Option<rstore_kvstore::Value>, Option<rstore_kvstore::Value>)>,
+    /// Per-half first-delivery gates (indexed by [`Part::index`]).
+    /// With hedging a half can arrive twice — once from the original
+    /// batch and once from the backup; only the first delivery may
+    /// write `parts`, so the loser's duplicate is dropped without
+    /// touching the decode state. Without hedging each half has a
+    /// single server per round and the gates never contend.
+    delivered: [AtomicBool; 2],
     decoded: OnceLock<Arc<DecodedChunk>>,
 }
 
@@ -445,6 +535,103 @@ fn record_err(first_err: &Mutex<Option<CoreError>>, e: CoreError) {
     let mut slot = first_err.lock().unwrap();
     if slot.is_none() {
         *slot = Some(e);
+    }
+}
+
+/// Round bookkeeping for the *hedged* pooled executor (the unhedged
+/// paths keep their plain [`WaitGroup`] barrier): counts the round's
+/// outstanding jobs — originals plus any backups — and its
+/// undelivered key-halves. The executor waits for either to reach
+/// zero: all jobs done is the ordinary barrier, while all parts
+/// delivered means the round is semantically complete even though a
+/// hedged-away straggler still blocks on its slow node. The first
+/// wait is timed, and its expiry is the hedge trigger.
+struct RoundProgress {
+    /// `(jobs_left, parts_left)`.
+    state: Mutex<(usize, usize)>,
+    changed: Condvar,
+}
+
+/// Why a [`RoundProgress::wait`] returned.
+enum RoundWait {
+    /// Every job (original and backup) finished; the retry queue is
+    /// settled and the next failover round can be planned.
+    JobsDrained,
+    /// Every key-half was delivered and decoded. Straggler jobs may
+    /// still be in flight but nothing more is owed to this query.
+    PartsDelivered,
+    /// The hedge delay elapsed with the round still unfinished.
+    TimedOut,
+}
+
+impl RoundProgress {
+    fn new(jobs: usize, parts: usize) -> Self {
+        Self {
+            state: Mutex::new((jobs, parts)),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Registers `n` backup jobs before they are submitted, so the
+    /// round cannot drain between submission and first decrement.
+    fn add_jobs(&self, n: usize) {
+        self.state.lock().unwrap().0 += n;
+    }
+
+    fn job_done(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.0 -= 1;
+        if s.0 == 0 {
+            self.changed.notify_all();
+        }
+    }
+
+    /// Records one key-half delivered *and* (when it completed a
+    /// pair) decoded — called by [`run_batch`] only after the decode,
+    /// so `parts_left == 0` implies every chunk of the round is
+    /// ready.
+    fn part_done(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.1 -= 1;
+        if s.1 == 0 {
+            self.changed.notify_all();
+        }
+    }
+
+    /// Blocks until the round drains or completes; with a timeout the
+    /// first expiry reports [`RoundWait::TimedOut`] (the caller then
+    /// hedges and re-waits without one).
+    fn wait(&self, timeout: Option<Duration>) -> RoundWait {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.1 == 0 {
+                return RoundWait::PartsDelivered;
+            }
+            if s.0 == 0 {
+                return RoundWait::JobsDrained;
+            }
+            match timeout {
+                None => s = self.changed.wait(s).unwrap(),
+                Some(t) => {
+                    let (guard, res) = self.changed.wait_timeout(s, t).unwrap();
+                    s = guard;
+                    if res.timed_out() && s.0 > 0 && s.1 > 0 {
+                        return RoundWait::TimedOut;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Decrements its round's job count when dropped — even if the batch
+/// job panicked mid-decode — mirroring [`RoundTicket`] for the hedged
+/// round's progress tracker.
+struct ProgressTicket(Arc<RoundProgress>);
+
+impl Drop for ProgressTicket {
+    fn drop(&mut self) {
+        self.0.job_done();
     }
 }
 
@@ -609,14 +796,21 @@ struct FetchCtx {
     retries: Mutex<Vec<RetryKey>>,
     /// Per-round nodes whose whole batch failed (down or gone).
     failed_nodes: Mutex<FxHashSet<usize>>,
+    /// Hedge batches that finished while a straggler they covered for
+    /// was still unfinished (always 0 with hedging off).
+    hedge_wins: AtomicUsize,
 }
 
 /// Ships one node (sub-)batch, files stranded keys for the failover
 /// re-plan, and decodes every chunk whose second half this reply
 /// delivered. Runs on the caller's thread (serial), a scoped thread
 /// (spawn), or a pool worker (pooled) — the failover semantics live
-/// entirely in the data it records, not in who runs it.
-fn run_batch(ctx: &FetchCtx, batch: NodeBatch) {
+/// entirely in the data it records, not in who runs it. `progress`
+/// is the hedged round's delivery tracker (`None` on the unhedged
+/// paths): each first-delivered half is counted after any decode it
+/// completed, so the tracker hitting zero means the round's chunks
+/// are all in hand.
+fn run_batch(ctx: &FetchCtx, batch: NodeBatch, progress: Option<&RoundProgress>) {
     let NodeBatch { node, keys, parts } = batch;
     let reply = match ctx.cluster.fetch_from(node, keys) {
         Ok(reply) => reply,
@@ -672,15 +866,25 @@ fn run_batch(ctx: &FetchCtx, batch: NodeBatch) {
         let Some(value) = value else {
             // This replica never stored the key (e.g. it was down
             // during the write): try the next one before declaring
-            // the chunk missing.
-            ctx.retries.lock().unwrap().push(RetryKey {
-                m,
-                part,
-                from: node,
-                cause: CoreError::MissingChunk(p.id),
-            });
+            // the chunk missing. If the *other* lane of a hedged pair
+            // already delivered this half, nothing is owed (the
+            // re-plan re-checks the gate, so this early skip is only
+            // an optimization, not the correctness guard).
+            if !p.delivered[part.index()].load(Ordering::Acquire) {
+                ctx.retries.lock().unwrap().push(RetryKey {
+                    m,
+                    part,
+                    from: node,
+                    cause: CoreError::MissingChunk(p.id),
+                });
+            }
             continue;
         };
+        if p.delivered[part.index()].swap(true, Ordering::AcqRel) {
+            // Lost the first-answer-wins race (hedge vs original):
+            // the half is already in hand, drop the duplicate.
+            continue;
+        }
         let ready = {
             let mut halves = p.parts.lock().unwrap();
             match part {
@@ -707,20 +911,185 @@ fn run_batch(ctx: &FetchCtx, batch: NodeBatch) {
                 Err(e) => record_err(&ctx.first_err, e),
             }
         }
+        // Count the half only now — after the decode it may have
+        // completed — so a zero parts-left reading implies every
+        // chunk of the round is decoded, not merely delivered.
+        if let Some(progress) = progress {
+            progress.part_done();
+        }
     }
 }
 
-/// Runs a plan's fetch stage under the chosen [`ExecMode`]. All three
-/// executors share [`run_batch`] and the round loop below, so the
-/// failover/retry semantics are mode-independent by construction:
-/// a round's batches run to completion (serially, on scoped threads,
-/// or behind the pool's round barrier), then failed nodes are
-/// excluded and stranded keys re-planned onto untried live replicas.
+/// One original batch of a hedged round, tracked so a hedge timeout
+/// can target its undelivered halves and a finished backup can tell
+/// whether it beat the straggler.
+struct InflightBatch {
+    node: usize,
+    parts: Vec<(usize, Part)>,
+    done: Arc<AtomicBool>,
+}
+
+/// Runs one pooled fetch round with hedging enabled: submits the
+/// round's batches, waits up to the scoreboard-derived hedge delay,
+/// issues at most one wave of backup batches for the stragglers'
+/// unserved halves (grouped by untried replica exactly like the
+/// failover re-plan), and waits the round out. Returns `true` when
+/// every key-half was delivered before the last job finished — the
+/// round is semantically complete and the caller may stop fetching
+/// while hedged-away stragglers are still blocked on their slow
+/// nodes.
+#[allow(clippy::too_many_arguments)]
+fn run_round_hedged(
+    pool: &FetchPool,
+    ctx: &Arc<FetchCtx>,
+    batches: Vec<NodeBatch>,
+    cfg: HedgeConfig,
+    excluded: &FxHashSet<usize>,
+    tried: &FxHashMap<(usize, Part), Vec<usize>>,
+    contacted: &mut FxHashSet<usize>,
+    metrics: &mut FetchMetrics,
+) -> bool {
+    let total_parts: usize = batches.iter().map(NodeBatch::len).sum();
+    let progress = Arc::new(RoundProgress::new(batches.len(), total_parts));
+    // Hedge delay: `factor ×` the expected time of the round's
+    // slowest batch under the scoreboard's per-key service EWMAs,
+    // floored at `min` (a cold scoreboard has EWMA zero and hedges at
+    // the floor).
+    let mut expected = Duration::ZERO;
+    for b in &batches {
+        let per_key = ctx.cluster.node_service_ewma(b.node);
+        expected = expected.max(per_key.saturating_mul(b.len() as u32));
+    }
+    let delay = expected.mul_f64(cfg.factor.max(0.0)).max(cfg.min);
+
+    let mut inflight = Vec::with_capacity(batches.len());
+    for batch in batches {
+        let done = Arc::new(AtomicBool::new(false));
+        inflight.push(InflightBatch {
+            node: batch.node,
+            parts: batch.parts.clone(),
+            done: Arc::clone(&done),
+        });
+        let ctx = Arc::clone(ctx);
+        let progress = Arc::clone(&progress);
+        pool.submit(move || {
+            let _ticket = ProgressTicket(Arc::clone(&progress));
+            run_batch(&ctx, batch, Some(&progress));
+            done.store(true, Ordering::Release);
+        });
+    }
+
+    let mut timeout = Some(delay);
+    loop {
+        match progress.wait(timeout) {
+            RoundWait::JobsDrained => return false,
+            RoundWait::PartsDelivered => return true,
+            RoundWait::TimedOut => {
+                // One hedge wave per round: subsequent waits are
+                // untimed and simply see the round out.
+                timeout = None;
+                // Re-issue each unfinished batch's undelivered halves
+                // to the first untried live replica, grouped by
+                // backup node. The replica filter mirrors the
+                // failover re-plan (excluded nodes and each half's
+                // tried-history are off the table), so a hedge never
+                // lands where a retry would refuse to go; the
+                // original's own node is skipped by construction.
+                let mut by_node: FxHashMap<usize, (NodeBatch, Vec<Arc<AtomicBool>>)> =
+                    FxHashMap::default();
+                for orig in &inflight {
+                    if orig.done.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    for &(m, part) in &orig.parts {
+                        let p = &ctx.pending[m];
+                        if p.delivered[part.index()].load(Ordering::Acquire) {
+                            continue;
+                        }
+                        let key = backend_key(p.id, part);
+                        let hist = tried.get(&(m, part));
+                        let backup = ctx.cluster.replicas_of(&key).ok().and_then(|cands| {
+                            cands.into_iter().find(|n| {
+                                *n != orig.node
+                                    && !excluded.contains(n)
+                                    && hist.is_none_or(|h| !h.contains(n))
+                            })
+                        });
+                        // No untried replica: nothing to hedge to,
+                        // wait the straggler out.
+                        let Some(node) = backup else {
+                            continue;
+                        };
+                        let (b, origs) = by_node.entry(node).or_insert_with(|| {
+                            (
+                                NodeBatch {
+                                    node,
+                                    keys: Vec::new(),
+                                    parts: Vec::new(),
+                                },
+                                Vec::new(),
+                            )
+                        });
+                        b.keys.push(key);
+                        b.parts.push((m, part));
+                        origs.push(Arc::clone(&orig.done));
+                    }
+                }
+                if by_node.is_empty() {
+                    continue;
+                }
+                let mut hedges: Vec<(NodeBatch, Vec<Arc<AtomicBool>>)> =
+                    by_node.into_values().collect();
+                hedges.sort_unstable_by_key(|(b, _)| b.node);
+                progress.add_jobs(hedges.len());
+                metrics.hedges += hedges.len();
+                for (hedge, origs) in hedges {
+                    contacted.insert(hedge.node);
+                    let ctx = Arc::clone(ctx);
+                    let progress = Arc::clone(&progress);
+                    pool.submit(move || {
+                        let _ticket = ProgressTicket(Arc::clone(&progress));
+                        run_batch(&ctx, hedge, Some(&progress));
+                        // A win: some straggler this backup covered
+                        // for is still unfinished — the duplicate
+                        // work actually cut the critical path.
+                        if origs.iter().any(|d| !d.load(Ordering::Acquire)) {
+                            ctx.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs a plan's fetch stage under the chosen [`ExecMode`] with the
+/// default (everything off) [`ExecPolicy`]. All three executors share
+/// [`run_batch`] and the round loop below, so the failover/retry
+/// semantics are mode-independent by construction: a round's batches
+/// run to completion (serially, on scoped threads, or behind the
+/// pool's round barrier), then failed nodes are excluded and stranded
+/// keys re-planned onto untried live replicas.
 pub(crate) fn execute_plan(
     cluster: &Arc<Cluster>,
     cache: &Arc<ChunkCache>,
     plan: QueryPlan,
     mode: ExecMode<'_>,
+) -> Result<ExecutedQuery, CoreError> {
+    execute_plan_with(cluster, cache, plan, mode, ExecPolicy::default())
+}
+
+/// [`execute_plan`] with an explicit tail-defense [`ExecPolicy`]:
+/// hedging (pooled mode only) and a fetch-stage deadline. The
+/// deadline accrues each round's **max-over-nodes** modeled time in
+/// every mode — including serial, whose *reported* modeled time stays
+/// the honest sum — so the trip point is mode-independent.
+pub(crate) fn execute_plan_with(
+    cluster: &Arc<Cluster>,
+    cache: &Arc<ChunkCache>,
+    plan: QueryPlan,
+    mode: ExecMode<'_>,
+    policy: ExecPolicy,
 ) -> Result<ExecutedQuery, CoreError> {
     let QueryPlan {
         spec,
@@ -749,6 +1118,7 @@ pub(crate) fn execute_plan(
                 slot,
                 id,
                 parts: Mutex::new((None, None)),
+                delivered: [AtomicBool::new(false), AtomicBool::new(false)],
                 decoded: OnceLock::new(),
             })
             .collect();
@@ -762,6 +1132,7 @@ pub(crate) fn execute_plan(
             node_modeled: Mutex::new(FxHashMap::default()),
             retries: Mutex::new(Vec::new()),
             failed_nodes: Mutex::new(FxHashSet::default()),
+            hedge_wins: AtomicUsize::new(0),
         });
         // Failover bookkeeping across retry rounds: nodes whose whole
         // batch failed are excluded from re-routing, and each key
@@ -775,6 +1146,10 @@ pub(crate) fn execute_plan(
         // honest.
         let mut contacted: FxHashSet<usize> = batches.iter().map(NodeBatch::node).collect();
         let mut modeled_nanos: u64 = 0;
+        // The deadline's own accumulator: max-over-nodes per round in
+        // *every* mode (serial included), so the budget trips at the
+        // same point regardless of executor.
+        let mut deadline_nanos: u64 = 0;
         let mut round_batches = batches;
 
         while !round_batches.is_empty() {
@@ -801,7 +1176,24 @@ pub(crate) fn execute_plan(
             // over them; nodes overlap, so the parallel query's
             // network bill is the slowest node, while the serial walk
             // pays all nodes in turn.
+            let mut round_served_early = false;
             match mode {
+                // Hedging claims the pooled path outright — even a
+                // single-batch round goes through the pool, because
+                // the query thread must stay free to time the
+                // straggler and submit its backup.
+                ExecMode::Pool(pool) if policy.hedge.is_some() => {
+                    round_served_early = run_round_hedged(
+                        pool,
+                        &ctx,
+                        exec_batches,
+                        policy.hedge.unwrap_or_default(),
+                        &excluded,
+                        &tried,
+                        &mut contacted,
+                        &mut metrics,
+                    );
+                }
                 ExecMode::Pool(pool) if exec_batches.len() > 1 => {
                     let barrier = Arc::new(WaitGroup::new(exec_batches.len()));
                     for batch in exec_batches {
@@ -809,7 +1201,7 @@ pub(crate) fn execute_plan(
                         let ticket = RoundTicket(Arc::clone(&barrier));
                         pool.submit(move || {
                             let _ticket = ticket;
-                            run_batch(&ctx, batch);
+                            run_batch(&ctx, batch, None);
                         });
                     }
                     barrier.wait();
@@ -818,7 +1210,7 @@ pub(crate) fn execute_plan(
                     std::thread::scope(|scope| {
                         for batch in exec_batches {
                             let ctx = &ctx;
-                            scope.spawn(move || run_batch(ctx, batch));
+                            scope.spawn(move || run_batch(ctx, batch, None));
                         }
                     });
                 }
@@ -826,7 +1218,7 @@ pub(crate) fn execute_plan(
                 // thread in every mode: no spawn, no pool round trip.
                 _ => {
                     for batch in exec_batches {
-                        run_batch(&ctx, batch);
+                        run_batch(&ctx, batch, None);
                     }
                 }
             }
@@ -834,18 +1226,46 @@ pub(crate) fn execute_plan(
             // A retry round starts only after some batch of this round
             // came back failed, so rounds serialize: the round's
             // max-over-nodes (or serial sum) adds onto the total.
+            // On an early (hedged) exit a straggler may still append
+            // its contribution after this drain; that is correct to
+            // drop — a hedged-away batch is off the critical path.
             let per_node = std::mem::take(&mut *ctx.node_modeled.lock().unwrap());
+            let round_max = per_node.values().copied().max().unwrap_or(0);
             modeled_nanos += if mode.parallel() {
-                per_node.values().copied().max().unwrap_or(0)
+                round_max
             } else {
                 per_node.values().copied().sum()
             };
+            deadline_nanos += round_max;
 
             let newly_failed = std::mem::take(&mut *ctx.failed_nodes.lock().unwrap());
             metrics.failovers += newly_failed.len();
             excluded.extend(newly_failed);
 
             if ctx.first_err.lock().unwrap().is_some() {
+                break;
+            }
+
+            if let Some(budget) = policy.deadline {
+                let spent = Duration::from_nanos(deadline_nanos);
+                if spent > budget {
+                    metrics.bytes_fetched = ctx.bytes.load(Ordering::Relaxed);
+                    metrics.retries = ctx.retried.load(Ordering::Relaxed);
+                    metrics.modeled_network = Duration::from_nanos(modeled_nanos);
+                    metrics.nodes_contacted = contacted.len();
+                    metrics.hedge_wins = ctx.hedge_wins.load(Ordering::Relaxed);
+                    return Err(CoreError::DeadlineExceeded {
+                        budget,
+                        spent,
+                        partial: Box::new(partial_stats(&metrics, chunk_ids.len())),
+                    });
+                }
+            }
+
+            // Every half of a hedged round delivered: stragglers
+            // still in flight owe nothing and any retries they filed
+            // are for halves already in hand — stop fetching.
+            if round_served_early {
                 break;
             }
 
@@ -858,9 +1278,20 @@ pub(crate) fn execute_plan(
             let round_retries = std::mem::take(&mut *ctx.retries.lock().unwrap());
             let mut by_node: FxHashMap<usize, NodeBatch> = FxHashMap::default();
             let mut retry_load: FxHashMap<usize, usize> = FxHashMap::default();
+            let mut replanned: FxHashSet<(usize, Part)> = FxHashSet::default();
             for rk in round_retries {
                 let hist = tried.entry((rk.m, rk.part)).or_default();
                 hist.push(rk.from);
+                // A hedged round can strand the same half from both
+                // lanes, or strand one lane while the other
+                // delivered: re-plan each half at most once, and only
+                // while it is still undelivered. Both guards are
+                // no-ops without hedging (one lane per half).
+                if ctx.pending[rk.m].delivered[rk.part.index()].load(Ordering::Acquire)
+                    || !replanned.insert((rk.m, rk.part))
+                {
+                    continue;
+                }
                 let key = backend_key(ctx.pending[rk.m].id, rk.part);
                 let next = ctx.cluster.replicas_of(&key).ok().and_then(|cands| {
                     let mut usable = cands
@@ -901,6 +1332,7 @@ pub(crate) fn execute_plan(
         metrics.retries = ctx.retried.load(Ordering::Relaxed);
         metrics.modeled_network = Duration::from_nanos(modeled_nanos);
         metrics.nodes_contacted = contacted.len();
+        metrics.hedge_wins = ctx.hedge_wins.load(Ordering::Relaxed);
         for p in &ctx.pending {
             // Cloning out of the `OnceLock` (instead of consuming the
             // context) keeps this correct even if a finished pool job

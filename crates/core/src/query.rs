@@ -38,6 +38,15 @@ pub struct QueryStats {
     /// cluster layer (0 unless fault injection is active). Distinct
     /// from `failovers`: a retry stays on the same node.
     pub retries: usize,
+    /// Backup node batches issued by the hedging layer after a
+    /// round's straggler exceeded the health-scoreboard threshold
+    /// (0 unless [`StoreConfig::hedge`](crate::store::StoreConfig::hedge)
+    /// is set). Each hedge is duplicate work, charged here so the
+    /// tail-for-bytes trade stays visible.
+    pub hedges: usize,
+    /// Hedge batches that beat their original to the finish: the
+    /// straggler was still unfinished when the backup completed.
+    pub hedge_wins: usize,
     /// Records produced.
     pub records: usize,
     /// Wall-clock time.

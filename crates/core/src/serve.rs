@@ -277,6 +277,19 @@ impl Admission {
     /// [`CoreError::Overloaded`] when both are full. The returned
     /// guard holds the slot until dropped.
     pub fn admit(&self, span: usize) -> Result<AdmitGuard<'_>, CoreError> {
+        self.admit_within(span, None)
+    }
+
+    /// [`Admission::admit`] with an optional queueing budget: a query
+    /// still waiting when `deadline` elapses withdraws its ticket and
+    /// fails with [`CoreError::DeadlineExceeded`] (queue wait is the
+    /// only cost in its partial stats) instead of occupying queue
+    /// room it can no longer use. `None` waits indefinitely.
+    pub fn admit_within(
+        &self,
+        span: usize,
+        deadline: Option<Duration>,
+    ) -> Result<AdmitGuard<'_>, CoreError> {
         let arrived = Instant::now();
         let mut state = self.state.lock().unwrap();
         if state.in_flight < self.max_in_flight {
@@ -304,8 +317,33 @@ impl Admission {
         }
         let queued = state.small.len() + state.large.len();
         state.counters.peak_queued = state.counters.peak_queued.max(queued);
+        // Grants and timeouts are both decided under the state lock, so
+        // a ticket granted a slot is always observed by the loop
+        // condition before the deadline branch can withdraw it — a
+        // timed-out query never leaks an in-flight slot.
         while !state.granted.remove(&ticket) {
-            state = self.granted_cv.wait(state).unwrap();
+            let Some(budget) = deadline else {
+                state = self.granted_cv.wait(state).unwrap();
+                continue;
+            };
+            let elapsed = arrived.elapsed();
+            if elapsed >= budget {
+                state.small.retain(|&t| t != ticket);
+                state.large.retain(|&t| t != ticket);
+                return Err(CoreError::DeadlineExceeded {
+                    budget,
+                    spent: elapsed,
+                    partial: Box::new(crate::query::QueryStats {
+                        queue_wait: elapsed,
+                        ..Default::default()
+                    }),
+                });
+            }
+            state = self
+                .granted_cv
+                .wait_timeout(state, budget - elapsed)
+                .unwrap()
+                .0;
         }
         let waited = arrived.elapsed();
         state.counters.total_wait_nanos += waited.as_nanos() as u64;
@@ -441,9 +479,15 @@ impl ServeCore {
     }
 
     /// Admits a query of `span` chunks (blocking while the queue has
-    /// room, shedding once it does not).
-    pub(crate) fn admit(&self, span: usize) -> Result<AdmitGuard<'_>, CoreError> {
-        self.admission.admit(span)
+    /// room, shedding once it does not) under an optional queueing
+    /// budget (the store threads a query deadline here; `None` waits
+    /// indefinitely).
+    pub(crate) fn admit_within(
+        &self,
+        span: usize,
+        deadline: Option<Duration>,
+    ) -> Result<AdmitGuard<'_>, CoreError> {
+        self.admission.admit_within(span, deadline)
     }
 
     pub(crate) fn stats(&self) -> ServeStats {

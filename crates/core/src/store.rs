@@ -40,13 +40,16 @@ use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 use crate::partition::{PartitionInput, PartitionerKind};
-use crate::plan::{self, ExecMode, ExecutedQuery, QueryPlan, QuerySpec, ReadRouting, RecordStream};
+use crate::plan::{
+    self, ExecMode, ExecPolicy, ExecutedQuery, HedgeConfig, QueryPlan, QuerySpec, ReadRouting,
+    RecordStream,
+};
 use crate::query::QueryStats;
 use crate::serve::{ServeCore, ServeStats};
 use crate::subchunk::SubchunkPlan;
 use bytes::Bytes;
 use crossbeam::channel::bounded;
-use rstore_kvstore::{table_key, Cluster, Key, KvError, WriteSummary};
+use rstore_kvstore::{table_key, BreakerPolicy, Cluster, Key, KvError, WriteSummary};
 use rstore_compress::varint;
 use rstore_vgraph::{Dataset, VersionDelta, VersionGraph};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -126,6 +129,27 @@ pub struct StoreConfig {
     /// auto-trigger cadence. Auto-compaction is off by default;
     /// [`RStore::compact`] always works regardless.
     pub compaction: CompactionConfig,
+    /// Hedged-read policy for the pooled executor: when set, a fetch
+    /// round whose straggler batch exceeds
+    /// `factor ×` the node's health-scoreboard service EWMA (floored
+    /// at `min`) re-issues the unserved keys to untried live replicas
+    /// as backup batches — first answer wins, duplicates are charged
+    /// to [`QueryStats::hedges`](crate::query::QueryStats::hedges).
+    /// `None` (the default) keeps the reference single-lane path
+    /// bit-identical to PR 7.
+    pub hedge: Option<HedgeConfig>,
+    /// Per-node circuit-breaker policy, applied to the backend
+    /// cluster at [`RStoreBuilder::build`]/[`RStore::reopen`] when
+    /// enabled. An Open node is skipped by replica choice exactly
+    /// like a down node until its cooldown admits a half-open probe.
+    /// Disabled by default.
+    pub breaker: BreakerPolicy,
+    /// Default modeled-time budget applied to every
+    /// [`RStore::execute`]: queries still queued or fetching past it
+    /// fail with [`CoreError::DeadlineExceeded`], carrying partial
+    /// stats. `None` (the default) means no deadline;
+    /// [`RStore::execute_with_deadline`] overrides per query.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for StoreConfig {
@@ -144,6 +168,9 @@ impl Default for StoreConfig {
             max_concurrent_queries: 256,
             max_queued: 1024,
             compaction: CompactionConfig::default(),
+            hedge: None,
+            breaker: BreakerPolicy::disabled(),
+            default_deadline: None,
         }
     }
 }
@@ -239,8 +266,31 @@ impl RStoreBuilder {
         self
     }
 
+    /// Enables hedged reads on the pooled executor (off by default).
+    pub fn hedge(mut self, config: HedgeConfig) -> Self {
+        self.config.hedge = Some(config);
+        self
+    }
+
+    /// Sets the per-node circuit-breaker policy, applied to the
+    /// cluster when the store is built (disabled by default).
+    pub fn breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.config.breaker = policy;
+        self
+    }
+
+    /// Sets the default per-query modeled-time budget (no deadline by
+    /// default).
+    pub fn default_deadline(mut self, budget: Duration) -> Self {
+        self.config.default_deadline = Some(budget);
+        self
+    }
+
     /// Finishes the builder against a backend cluster.
     pub fn build(self, cluster: Cluster) -> RStore {
+        if self.config.breaker.enabled {
+            cluster.set_breaker(self.config.breaker);
+        }
         RStore {
             serve: ServeCore::new(
                 self.config.fetch_threads,
@@ -981,6 +1031,9 @@ impl RStore {
             }
         }
 
+        if config.breaker.enabled {
+            cluster.set_breaker(config.breaker);
+        }
         let mut store = RStore {
             serve: ServeCore::new(
                 config.fetch_threads,
@@ -1389,15 +1442,55 @@ impl RStore {
     /// queued is reported in
     /// [`QueryStats::queue_wait`](crate::query::QueryStats::queue_wait).
     pub fn execute(&self, plan: QueryPlan) -> Result<ExecutedQuery, CoreError> {
-        let guard = self.serve.admit(plan.span())?;
-        let mut executed = plan::execute_plan(
+        self.execute_with_deadline(plan, self.config.default_deadline)
+    }
+
+    /// [`RStore::execute`] with an explicit per-query time budget
+    /// (overriding [`StoreConfig::default_deadline`]; `None` removes
+    /// it). The budget covers admission queueing plus the accrued
+    /// modeled fetch time — max-over-nodes per round in *every*
+    /// executor mode, so the trip point is mode-independent — and a
+    /// query that runs out fails with
+    /// [`CoreError::DeadlineExceeded`] carrying the stats of the work
+    /// it did complete.
+    pub fn execute_with_deadline(
+        &self,
+        plan: QueryPlan,
+        deadline: Option<Duration>,
+    ) -> Result<ExecutedQuery, CoreError> {
+        let guard = self.serve.admit_within(plan.span(), deadline)?;
+        let waited = guard.waited();
+        let policy = ExecPolicy {
+            hedge: self.config.hedge,
+            // The fetch rounds get whatever the queue left over.
+            deadline: deadline.map(|d| d.saturating_sub(waited)),
+        };
+        match plan::execute_plan_with(
             &self.cluster,
             &self.cache,
             plan,
             ExecMode::Pool(self.serve.pool()),
-        )?;
-        executed.metrics.queue_wait = guard.waited();
-        Ok(executed)
+            policy,
+        ) {
+            Ok(mut executed) => {
+                executed.metrics.queue_wait = waited;
+                Ok(executed)
+            }
+            // Re-frame the executor's leftover-budget error in terms
+            // of the caller's full deadline, and fold the queue wait
+            // back into both the spent total and the partial stats.
+            Err(CoreError::DeadlineExceeded {
+                spent, mut partial, ..
+            }) => {
+                partial.queue_wait = waited;
+                Err(CoreError::DeadlineExceeded {
+                    budget: deadline.unwrap_or(spent),
+                    spent: spent + waited,
+                    partial,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The retired per-query scatter-gather executor: one scoped
@@ -1461,6 +1554,8 @@ impl RStore {
             failovers: fetch.failovers,
             rerouted_keys: fetch.rerouted_keys,
             retries: fetch.retries,
+            hedges: fetch.hedges,
+            hedge_wins: fetch.hedge_wins,
             records: records.len(),
             elapsed: t0.elapsed(),
             modeled_network: fetch.modeled_network,

@@ -1,0 +1,446 @@
+//! Tail-latency defense suite: hedged reads, circuit breakers and
+//! query deadlines (PR 8).
+//!
+//! The contract under test: every knob defaults *off* and the
+//! defenses never change answer bytes — a hedged query returns
+//! exactly what the serial single-lane oracle returns, a tripped
+//! breaker surfaces the same clean planning error a down node does,
+//! and a blown deadline fails with partial cost accounting instead
+//! of a wrong or truncated answer.
+
+use proptest::prelude::*;
+use rstore_core::model::{Record, VersionId};
+use rstore_core::plan::{HedgeConfig, QuerySpec, ReadRouting};
+use rstore_core::store::RStore;
+use rstore_core::CoreError;
+use rstore_kvstore::{
+    BreakerPolicy, BreakerState, Cluster, FaultPlan, FaultRule, KvError, NetworkModel, RetryPolicy,
+};
+use rstore_vgraph::{Dataset, DatasetSpec, SelectionKind};
+use std::time::Duration;
+
+/// Hedge policy that backs up a straggler immediately: zero delay, so
+/// every pooled round that is not already complete on first wait
+/// issues backups. The most race-prone configuration — exactly the
+/// one that must stay byte-identical to the serial oracle.
+fn eager_hedge() -> HedgeConfig {
+    HedgeConfig {
+        factor: 0.0,
+        min: Duration::ZERO,
+    }
+}
+
+fn small_dataset(seed: u64) -> Dataset {
+    let mut spec = DatasetSpec::tiny(seed);
+    spec.num_versions = 20;
+    spec.root_records = 50;
+    spec.generate()
+}
+
+fn assert_identical(a: &[Record], b: &[Record]) {
+    assert_eq!(a.len(), b.len(), "record count differs");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.pk, y.pk);
+        assert_eq!(x.origin, y.origin);
+        assert_eq!(&x.payload[..], &y.payload[..], "payload bytes differ");
+    }
+}
+
+/// Hedging fires against a scripted slow node and wins: node 0 sleeps
+/// a real 3 ms per request, the backup replica does not, so the eager
+/// hedge beats the straggler — with answers byte-identical to the
+/// fault-free twin and the duplicate work charged to the stats.
+#[test]
+fn hedges_fire_and_win_against_a_scripted_slow_node() {
+    let ds = small_dataset(8801);
+
+    let calm = {
+        let cluster = Cluster::builder().nodes(4).replication(2).build();
+        let mut s = RStore::builder()
+            .chunk_capacity(1024)
+            .cache_budget(0)
+            .build(cluster);
+        s.load_dataset(&ds).unwrap();
+        s
+    };
+
+    // Only the injected per-request penalty sleeps for real; the
+    // base network charge stays zero so the test's wall clock is
+    // bounded by node 0's batches alone.
+    let slow = NetworkModel {
+        real_sleep: true,
+        ..NetworkModel::zero()
+    };
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .replication(2)
+        .network(slow)
+        .faults(FaultPlan::new(7).rule(FaultRule::latency(Duration::from_millis(3)).on_node(0)))
+        .build();
+    let mut hedged = RStore::builder()
+        .chunk_capacity(1024)
+        .cache_budget(0)
+        .hedge(eager_hedge())
+        .build(cluster);
+    hedged.load_dataset(&ds).unwrap();
+
+    let mut hedges = 0usize;
+    let mut wins = 0usize;
+    for v in 0..ds.graph.len() {
+        let v = VersionId(v as u32);
+        let expected = calm.get_version(v).unwrap();
+        let (got, stats) = hedged.get_version_with_stats(v).unwrap();
+        assert_identical(&got, &expected);
+        hedges += stats.hedges;
+        wins += stats.hedge_wins;
+    }
+    assert!(hedges > 0, "a 3 ms straggler must trigger eager hedges");
+    assert!(wins > 0, "backups against a sleeping node must win");
+
+    // Satellite regression: the injected latency is visible in the
+    // per-node load report — node 0's cumulative modeled service time
+    // dominates the fast replicas it was hedged away from.
+    let per_node = hedged.cluster().per_node_stats();
+    let slow_modeled = per_node[0].modeled;
+    assert!(
+        slow_modeled > Duration::ZERO,
+        "injected latency must show in per-node modeled time"
+    );
+    for load in &per_node[1..] {
+        assert!(
+            load.modeled < slow_modeled,
+            "only node 0 had latency injected"
+        );
+    }
+
+    // And the health scoreboard saw it too: node 0's service EWMA
+    // stands out the same way.
+    let ewma0 = hedged.cluster().node_service_ewma(0);
+    assert!(ewma0 > Duration::ZERO, "scoreboard missed the slow node");
+}
+
+/// A query that blows its modeled-time budget fails with
+/// `DeadlineExceeded` carrying the partial cost of the rounds that
+/// did run — and the same query under a generous budget (or none)
+/// succeeds untouched.
+#[test]
+fn deadline_exceeded_carries_partial_stats() {
+    let ds = small_dataset(8802);
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        // Virtual LAN: every request accrues modeled time without
+        // sleeping, so a nanosecond budget always trips.
+        .network(NetworkModel::lan_virtual())
+        .build();
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        .cache_budget(0)
+        .build(cluster);
+    store.load_dataset(&ds).unwrap();
+
+    let plan = store.plan_query(QuerySpec::Version(VersionId(0))).unwrap();
+    let span = plan.span();
+    let budget = Duration::from_nanos(1);
+    match store.execute_with_deadline(plan, Some(budget)) {
+        Err(CoreError::DeadlineExceeded {
+            budget: b,
+            spent,
+            partial,
+        }) => {
+            assert_eq!(b, budget);
+            assert!(spent > budget, "spent {spent:?} must exceed the budget");
+            assert!(
+                partial.bytes_fetched > 0,
+                "the first round ran before the budget tripped"
+            );
+            assert_eq!(partial.chunks_fetched, span);
+            assert_eq!(partial.records, 0, "no records were extracted");
+            assert!(partial.modeled_network > Duration::ZERO);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // A generous explicit budget and no budget both succeed with the
+    // exact same answer.
+    let plan = store.plan_query(QuerySpec::Version(VersionId(0))).unwrap();
+    let relaxed = store
+        .execute_with_deadline(plan, Some(Duration::from_secs(3600)))
+        .unwrap()
+        .into_stream()
+        .drain()
+        .unwrap();
+    let unbounded = store.get_version(VersionId(0)).unwrap();
+    let mut relaxed = relaxed;
+    relaxed.sort_unstable_by_key(|r| (r.pk, r.origin));
+    assert_identical(&relaxed, &unbounded);
+}
+
+/// `StoreConfig::default_deadline` applies to every plain `execute`,
+/// and an explicit `None` on `execute_with_deadline` overrides it
+/// back off.
+#[test]
+fn default_deadline_applies_and_explicit_none_overrides() {
+    let ds = small_dataset(8803);
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .network(NetworkModel::lan_virtual())
+        .build();
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        .cache_budget(0)
+        .default_deadline(Duration::from_nanos(1))
+        .build(cluster);
+    store.load_dataset(&ds).unwrap();
+
+    let plan = store.plan_query(QuerySpec::Version(VersionId(0))).unwrap();
+    assert!(
+        matches!(
+            store.execute(plan),
+            Err(CoreError::DeadlineExceeded { .. })
+        ),
+        "the store-wide default budget must apply to execute()"
+    );
+
+    let plan = store.plan_query(QuerySpec::Version(VersionId(0))).unwrap();
+    store
+        .execute_with_deadline(plan, None)
+        .expect("an explicit None must remove the default deadline");
+}
+
+/// Breaker lifecycle through real queries: post-retry failures on a
+/// flaky node trip its breaker Open (reads route around it like a
+/// down node, queries keep succeeding via the replica), the cooldown
+/// admits a half-open probe once the fault window has passed, and the
+/// probe's success closes the breaker again.
+#[test]
+fn breaker_opens_routes_around_and_recloses_after_cooldown() {
+    let ds = small_dataset(8804);
+    // The load takes ~30 ops per node; node 0 then refuses every op
+    // in the [60, 80) window — about one query round — and is healthy
+    // again after. Retries are disabled so each refusal is a
+    // post-retry failure the scoreboard must count.
+    let faults = FaultPlan::new(11).rule(FaultRule::transient().on_node(0).after(60).until(80));
+    let cluster = Cluster::builder()
+        .nodes(3)
+        .replication(2)
+        .faults(faults)
+        .retry(RetryPolicy::none())
+        .build();
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        .cache_budget(0)
+        .breaker(BreakerPolicy::new(2, 6))
+        .build(cluster);
+    store.load_dataset(&ds).unwrap();
+
+    // Drive queries until the breaker trips: every fetch sent to
+    // node 0 fails post-retry and the executor fails it over to the
+    // sibling replica, so answers stay correct throughout.
+    let mut opened = false;
+    for round in 0..40 {
+        for v in 0..ds.graph.len() {
+            let v = VersionId(v as u32);
+            store
+                .get_version(v)
+                .unwrap_or_else(|e| panic!("round {round}: query lost to {e}"));
+        }
+        if store.cluster().node_health()[0].breaker != BreakerState::Closed {
+            opened = true;
+            break;
+        }
+    }
+    assert!(opened, "consecutive post-retry failures must trip the breaker");
+
+    // Keep querying: the cooldown (6 scoreboard ticks = 6 fetch
+    // batches) passes, a half-open probe is re-admitted, and — the
+    // fault window long since over — the probe closes the breaker.
+    let mut closed = false;
+    for _ in 0..60 {
+        for v in 0..ds.graph.len() {
+            store.get_version(VersionId(v as u32)).unwrap();
+        }
+        if store.cluster().node_health()[0].breaker == BreakerState::Closed {
+            closed = true;
+            break;
+        }
+    }
+    assert!(closed, "a successful half-open probe must close the breaker");
+
+    // Scoreboard accounting is consistent with the story.
+    let health = &store.cluster().node_health()[0];
+    assert!(health.failures > 0);
+    assert_eq!(health.consecutive_failures, 0, "the closing probe reset the streak");
+}
+
+/// Every replica of a key Open is indistinguishable from every
+/// replica down: trip node 0's breaker *after* a healthy load, then
+/// compare the planning error against a twin whose node 0 is marked
+/// down — both must report the same clean `AllReplicasDown` for the
+/// same keys, never a panic, a hang, or a wrong answer.
+#[test]
+fn all_replicas_open_matches_node_down_planning_error() {
+    let ds = small_dataset(8806);
+    // Healthy load first (~45 ops per node with 2 nodes); node 0
+    // starts refusing every op from op 100 on, forever.
+    let faults = FaultPlan::new(17).rule(FaultRule::transient().on_node(0).after(100));
+    let cluster = Cluster::builder()
+        .nodes(2)
+        .replication(1)
+        .faults(faults)
+        .retry(RetryPolicy::none())
+        .build();
+    let mut store = RStore::builder()
+        .chunk_capacity(1024)
+        .cache_budget(0)
+        .breaker(BreakerPolicy::new(1, u64::MAX))
+        .build(cluster);
+    store.load_dataset(&ds).unwrap();
+
+    let twin = {
+        let cluster = Cluster::builder().nodes(2).replication(1).build();
+        let mut s = RStore::builder()
+            .chunk_capacity(1024)
+            .cache_budget(0)
+            .build(cluster);
+        s.load_dataset(&ds).unwrap();
+        s
+    };
+
+    // Burn through the fault-free op budget until node 0 fails and
+    // its breaker (threshold 1, infinite cooldown) latches Open.
+    let mut tripped = false;
+    for _ in 0..2000 {
+        let mut saw_error = false;
+        for v in 0..ds.graph.len() {
+            if store.get_version(VersionId(v as u32)).is_err() {
+                saw_error = true;
+            }
+        }
+        if saw_error && store.cluster().node_health()[0].breaker == BreakerState::Open {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(tripped, "node 0 must eventually fail and latch Open");
+
+    twin.cluster().set_node_down(0, true);
+    for v in 0..ds.graph.len() {
+        let v = VersionId(v as u32);
+        let via_breaker = store.get_version(v);
+        let via_down = twin.get_version(v);
+        match (via_breaker, via_down) {
+            (Ok(a), Ok(b)) => assert_identical(&a, &b),
+            (
+                Err(CoreError::Kv(KvError::AllReplicasDown { tried: a })),
+                Err(CoreError::Kv(KvError::AllReplicasDown { tried: b })),
+            ) => assert_eq!(a, b, "breaker-open and node-down must strand the same keys"),
+            (a, b) => panic!("breaker-open {a:?} diverged from node-down {b:?}"),
+        }
+    }
+}
+
+fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
+    (
+        1u64..1000,   // seed
+        8usize..16,   // versions
+        10usize..36,  // root records
+        0.0f64..0.35, // branch probability
+        0.05f64..0.4, // update fraction
+        32usize..96,  // record size
+    )
+        .prop_map(|(seed, nv, rr, bp, uf, rs)| DatasetSpec {
+            name: format!("hedge-{seed}"),
+            num_versions: nv,
+            root_records: rr,
+            branch_prob: bp,
+            update_frac: uf,
+            insert_frac: 0.05,
+            delete_frac: 0.05,
+            selection: SelectionKind::Uniform,
+            record_size: rs,
+            pd: 0.1,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core byte-agreement oracle: eager hedging over random
+    /// stores with a seeded slow node (latency-only faults, virtual
+    /// time — nothing can fail, everything can race) answers every
+    /// query byte-for-byte like the fault-free serial single-lane
+    /// oracle, under both routing policies and replication 2–3.
+    #[test]
+    fn hedged_executor_agrees_with_serial_oracle(
+        spec in spec_strategy(),
+        fault_seed in 1u64..500,
+        replication in 2usize..4,
+        slow_node in 0usize..5,
+        balanced in any::<bool>(),
+    ) {
+        const NODES: usize = 5;
+        let ds = spec.generate();
+        let routing = if balanced { ReadRouting::Balanced } else { ReadRouting::FirstLive };
+
+        let oracle = {
+            let cluster = Cluster::builder().nodes(NODES).replication(replication).build();
+            let mut s = RStore::builder()
+                .chunk_capacity(1024)
+                .cache_budget(0)
+                .read_routing(routing)
+                .build(cluster);
+            s.load_dataset(&ds).unwrap();
+            s
+        };
+
+        // Slow-node-only chaos: modeled latency spikes, no refusals,
+        // so hedges race real stragglers but no query may fail.
+        let faults = FaultPlan::new(fault_seed)
+            .rule(FaultRule::latency(Duration::from_micros(800)).on_node(slow_node))
+            .rule(FaultRule::latency(Duration::from_micros(50)).with_probability(0.2));
+        let cluster = Cluster::builder()
+            .nodes(NODES)
+            .replication(replication)
+            .network(NetworkModel::lan_virtual())
+            .faults(faults)
+            .build();
+        let mut hedged = RStore::builder()
+            .chunk_capacity(1024)
+            .cache_budget(0)
+            .read_routing(routing)
+            .hedge(eager_hedge())
+            .build(cluster);
+        hedged.load_dataset(&ds).unwrap();
+
+        let mid = VersionId((ds.graph.len() / 2) as u32);
+        let max_pk = spec.root_records as u64 + 8;
+        let mut specs: Vec<QuerySpec> = (0..ds.graph.len())
+            .map(|v| QuerySpec::Version(VersionId(v as u32)))
+            .collect();
+        specs.push(QuerySpec::Range { lo: 2, hi: max_pk / 2, v: mid });
+        specs.push(QuerySpec::Record { pk: 3, v: mid });
+        specs.push(QuerySpec::Evolution { pk: 1 });
+
+        for &qspec in &specs {
+            let plan = hedged.plan_query(qspec).unwrap();
+            let mut got = hedged
+                .execute(plan)
+                .expect("latency-only chaos must never fail a query")
+                .into_stream()
+                .drain()
+                .unwrap();
+            got.sort_unstable_by_key(|r| (r.pk, r.origin));
+            let mut want = oracle
+                .execute_serial(oracle.plan_query(qspec).unwrap())
+                .unwrap()
+                .into_stream()
+                .drain()
+                .unwrap();
+            want.sort_unstable_by_key(|r| (r.pk, r.origin));
+            assert_identical(&got, &want);
+        }
+    }
+}

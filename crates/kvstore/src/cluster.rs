@@ -23,6 +23,7 @@
 use crate::engine::{LogEngine, MemEngine, StorageEngine, SyncPolicy};
 use crate::error::KvError;
 use crate::fault::{FaultPlan, Injected, NodeFaults, RetryPolicy};
+use crate::health::{BreakerPolicy, HealthBoard, NodeHealth};
 use crate::msg::{BatchDelete, BatchGet, BatchPut, NodeInfo, Request};
 use crate::netmodel::NetworkModel;
 use crate::ring::Ring;
@@ -66,6 +67,7 @@ pub struct ClusterBuilder {
     retry: RetryPolicy,
     handoff: bool,
     sync: SyncPolicy,
+    breaker: BreakerPolicy,
 }
 
 impl Default for ClusterBuilder {
@@ -80,6 +82,7 @@ impl Default for ClusterBuilder {
             retry: RetryPolicy::default(),
             handoff: true,
             sync: SyncPolicy::Always,
+            breaker: BreakerPolicy::disabled(),
         }
     }
 }
@@ -148,6 +151,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Per-node circuit-breaker policy for read placement (default
+    /// [`BreakerPolicy::disabled`]: the health scoreboard observes
+    /// but routing never skips a node). See [`crate::health`] for the
+    /// Closed → Open → Half-Open lifecycle.
+    pub fn breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = policy;
+        self
+    }
+
     /// Starts the node threads and returns the cluster handle.
     ///
     /// # Panics
@@ -191,43 +203,48 @@ impl ClusterBuilder {
             handoff: self.handoff,
             chaos: self.faults.as_ref().is_some_and(|p| !p.is_empty()),
             hints: Mutex::new((0..self.nodes).map(|_| FxHashMap::default()).collect()),
+            health: HealthBoard::new(self.nodes, self.breaker),
         }
     }
 }
 
-/// Evaluates the node's chaos plan for one data request: `Some(err)`
-/// refuses the request with that error, `None` lets it serve (after
-/// any injected latency has been charged). Crash actions restart the
-/// engine in place before refusing.
+/// Evaluates the node's chaos plan for one data request: `Err`
+/// refuses the request with that error, `Ok(extra)` lets it serve
+/// after `extra` injected latency — already charged to the node's
+/// modeled-time counters (and slept when the network sleeps for
+/// real), and returned so batch handlers can fold it into the
+/// reply's `modeled` field: the client-visible straggler signal the
+/// health scoreboard and the hedging threshold feed on. Crash
+/// actions restart the engine in place before refusing.
 fn injected_failure(
     faults: &mut Option<NodeFaults>,
     engine: &mut dyn StorageEngine,
     stats: &ClusterStats,
     network: &NetworkModel,
     node_id: usize,
-) -> Option<KvError> {
-    let f = faults.as_mut()?;
+) -> Result<Duration, KvError> {
+    let Some(f) = faults.as_mut() else {
+        return Ok(Duration::ZERO);
+    };
     match f.on_op() {
-        Injected::None => None,
+        Injected::None => Ok(Duration::ZERO),
         Injected::SlowBy(d) => {
-            stats.record_modeled(d);
+            stats.record_node_modeled(node_id, d);
             if network.real_sleep && !d.is_zero() {
                 std::thread::sleep(d);
             }
-            None
+            Ok(d)
         }
         Injected::Transient => {
             stats.record_fault_injected();
-            Some(KvError::Transient(node_id))
+            Err(KvError::Transient(node_id))
         }
         Injected::Crash { damage, .. } => {
             stats.record_fault_injected();
-            if let Err(e) = engine.crash_restart(damage) {
-                return Some(e);
-            }
-            Some(KvError::NodeDown(node_id))
+            engine.crash_restart(damage)?;
+            Err(KvError::NodeDown(node_id))
         }
-        Injected::Outage => Some(KvError::NodeDown(node_id)),
+        Injected::Outage => Err(KvError::NodeDown(node_id)),
     }
 }
 
@@ -243,7 +260,7 @@ fn node_loop(
     let mut down = false;
     let charge = |bytes: usize| -> Duration {
         let d = network.charge(bytes);
-        stats.record_modeled(d);
+        stats.record_node_modeled(node_id, d);
         if network.real_sleep && !d.is_zero() {
             std::thread::sleep(d);
         }
@@ -256,7 +273,7 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                if let Some(e) =
+                if let Err(e) =
                     injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
                 {
                     let _ = reply.send(Err(e));
@@ -275,15 +292,24 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                if let Some(e) =
-                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
-                {
-                    let _ = reply.send(Err(e));
-                    continue;
-                }
+                let extra = match injected_failure(
+                    &mut faults,
+                    engine.as_mut(),
+                    &stats,
+                    &network,
+                    node_id,
+                ) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        let _ = reply.send(Err(e));
+                        continue;
+                    }
+                };
                 stats.record_batch_get(node_id, keys.len());
                 let mut values = Vec::with_capacity(keys.len());
-                let mut modeled = Duration::ZERO;
+                // Injected latency rides the reply's modeled time so
+                // the client sees the straggler it actually suffered.
+                let mut modeled = extra;
                 let mut failed = None;
                 for key in &keys {
                     match engine.get(key) {
@@ -309,7 +335,7 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                if let Some(e) =
+                if let Err(e) =
                     injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
                 {
                     let _ = reply.send(Err(e));
@@ -328,14 +354,22 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                if let Some(e) =
-                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
-                {
-                    let _ = reply.send(Err(e));
-                    continue;
-                }
+                let extra = match injected_failure(
+                    &mut faults,
+                    engine.as_mut(),
+                    &stats,
+                    &network,
+                    node_id,
+                ) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        let _ = reply.send(Err(e));
+                        continue;
+                    }
+                };
                 stats.record_batch_put();
-                let mut batch = BatchPut::default();
+                // Injected latency rides the reply's modeled time.
+                let mut batch = BatchPut { modeled: extra, ..BatchPut::default() };
                 let mut result = Ok(());
                 for (key, value) in pairs {
                     let n = key.len() + value.len();
@@ -358,7 +392,7 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                if let Some(e) =
+                if let Err(e) =
                     injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
                 {
                     let _ = reply.send(Err(e));
@@ -376,14 +410,22 @@ fn node_loop(
                     let _ = reply.send(Err(KvError::NodeDown(node_id)));
                     continue;
                 }
-                if let Some(e) =
-                    injected_failure(&mut faults, engine.as_mut(), &stats, &network, node_id)
-                {
-                    let _ = reply.send(Err(e));
-                    continue;
-                }
+                let extra = match injected_failure(
+                    &mut faults,
+                    engine.as_mut(),
+                    &stats,
+                    &network,
+                    node_id,
+                ) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        let _ = reply.send(Err(e));
+                        continue;
+                    }
+                };
                 stats.record_batch_delete();
-                let mut batch = BatchDelete::default();
+                // Injected latency rides the reply's modeled time.
+                let mut batch = BatchDelete { modeled: extra, ..BatchDelete::default() };
                 let mut result = Ok(());
                 for key in &keys {
                     match engine.delete(key) {
@@ -446,6 +488,9 @@ pub struct Cluster {
     /// (`None` when handoff is disabled — count-only, resolved by
     /// read-repair at replay time). Latest write wins per key.
     hints: Mutex<Vec<FxHashMap<Key, Option<Value>>>>,
+    /// Per-node health scores and circuit breakers, fed by every
+    /// batched read; see [`crate::health`].
+    health: HealthBoard,
 }
 
 impl Cluster {
@@ -474,6 +519,26 @@ impl Cluster {
     /// read-routing skew visible without a benchmark run.
     pub fn per_node_stats(&self) -> Vec<NodeLoad> {
         self.stats.per_node()
+    }
+
+    /// Per-node health scores (service-time EWMA, error rate,
+    /// breaker state), in node-id order. Scored by every batched
+    /// read whether or not breakers are enabled.
+    pub fn node_health(&self) -> Vec<NodeHealth> {
+        self.health.snapshot()
+    }
+
+    /// EWMA of `node`'s modeled service time *per key* (zero until
+    /// its first scored batch) — the input the executor's hedge
+    /// threshold is derived from.
+    pub fn node_service_ewma(&self, node: usize) -> Duration {
+        self.health.ewma_service(node)
+    }
+
+    /// Swaps the circuit-breaker policy at runtime (the store layer
+    /// wires its `StoreConfig::breaker` knob through here).
+    pub fn set_breaker(&self, policy: BreakerPolicy) {
+        self.health.set_policy(policy);
     }
 
     /// Resets the counters.
@@ -918,12 +983,22 @@ impl Cluster {
         self.multi_delete_scatter(keys).map(|_| ())
     }
 
-    /// The node that serves reads for `key`: its first live replica
-    /// on the hash ring. This is the placement API query planners use
-    /// to group keys into per-node batches *before* fetching.
+    /// Whether `node` may serve reads right now: not administratively
+    /// down and not behind an Open circuit breaker. Both conditions
+    /// are deliberately indistinguishable to read placement — an Open
+    /// breaker *is* a down node as far as routing is concerned, so
+    /// the all-excluded degraded path is the same `AllReplicasDown`.
+    fn readable(&self, node: usize) -> bool {
+        !self.is_down(node) && self.health.allows_read(node)
+    }
+
+    /// The node that serves reads for `key`: its first readable
+    /// replica on the hash ring (live *and* breaker-admitted). This
+    /// is the placement API query planners use to group keys into
+    /// per-node batches *before* fetching.
     pub fn owner_of(&self, key: &[u8]) -> Result<usize, KvError> {
         self.ring
-            .first_replica_where(key, self.replication, |n| !self.is_down(n))
+            .first_replica_where(key, self.replication, |n| self.readable(n))
             .ok_or_else(|| KvError::AllReplicasDown {
                 tried: self.ring.replicas(key, self.replication),
             })
@@ -939,7 +1014,7 @@ impl Cluster {
     pub fn replicas_of(&self, key: &[u8]) -> Result<Vec<usize>, KvError> {
         let live = self
             .ring
-            .replicas_where(key, self.replication, |n| !self.is_down(n));
+            .replicas_where(key, self.replication, |n| self.readable(n));
         if live.is_empty() {
             Err(KvError::AllReplicasDown {
                 tried: self.ring.replicas(key, self.replication),
@@ -965,6 +1040,10 @@ impl Cluster {
         if self.is_down(node) {
             return Err(KvError::NodeDown(node));
         }
+        // One scoreboard tick per batch attempt: the deterministic
+        // clock breaker cooldowns count in.
+        self.health.tick();
+        let n_keys = keys.len();
         let mut attempt = 0u32;
         let mut spent = Duration::ZERO;
         let mut retries = 0usize;
@@ -979,15 +1058,21 @@ impl Cluster {
                 std::mem::take(&mut keys)
             };
             let (tx, rx) = bounded(1);
-            self.senders[node]
-                .send(Request::MultiGet { keys: batch, reply: tx })
-                .map_err(|_| KvError::NodeGone(node))?;
-            match rx.recv().map_err(|_| KvError::NodeGone(node))? {
+            if self.senders[node].send(Request::MultiGet { keys: batch, reply: tx }).is_err() {
+                self.health.record_failure(node);
+                return Err(KvError::NodeGone(node));
+            }
+            let Ok(reply) = rx.recv() else {
+                self.health.record_failure(node);
+                return Err(KvError::NodeGone(node));
+            };
+            match reply {
                 Ok(mut got) => {
                     // Backoff waits ride the op's modeled time, so
                     // retried batches honestly look slower.
                     got.modeled += spent;
                     got.retries = retries;
+                    self.health.record_success(node, got.modeled, n_keys);
                     return Ok(got);
                 }
                 Err(KvError::Transient(_))
@@ -995,7 +1080,11 @@ impl Cluster {
                 {
                     retries += 1;
                 }
-                Err(e) => return Err(e),
+                // Post-retry failure: the breaker's trip signal.
+                Err(e) => {
+                    self.health.record_failure(node);
+                    return Err(e);
+                }
             }
         }
     }

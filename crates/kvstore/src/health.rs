@@ -1,0 +1,365 @@
+//! Node health scoreboard and per-node circuit breakers — the
+//! cluster-side half of the tail-latency defense layer (PR 8).
+//!
+//! Every client-side batched read
+//! ([`Cluster::fetch_from`](crate::Cluster::fetch_from)) scores its
+//! serving node here: a
+//! successful reply folds the batch's *per-key* modeled service time
+//! into an EWMA and decays the error rate; a post-retry failure
+//! (`NodeDown`, `NodeGone`, or a transient refusal that exhausted the
+//! retry budget) bumps the error rate and the consecutive-failure
+//! count. The scoreboard is **always on** — it is pure observation,
+//! costs one short mutex hold per batch, and never changes routing by
+//! itself. Two consumers read it:
+//!
+//! * the query executor's **hedging** logic derives its straggler
+//!   threshold from the EWMA (`hedge_factor × expected batch time`,
+//!   floored at `hedge_min`), and
+//! * the per-node **circuit breaker**, which is the only part gated
+//!   behind an explicit opt-in ([`BreakerPolicy`], default
+//!   [`BreakerPolicy::disabled`]).
+//!
+//! # Breaker lifecycle
+//!
+//! Closed → Open → Half-Open → Closed, driven entirely by
+//! deterministic counters (no wall clock, so seeded chaos replays
+//! stay bit-identical):
+//!
+//! * **Closed** — the node serves reads normally. `failure_threshold`
+//!   *consecutive* post-retry failures trip the breaker Open; any
+//!   success resets the streak.
+//! * **Open** — the node is skipped by read placement
+//!   ([`Cluster::owner_of`](crate::Cluster::owner_of) /
+//!   [`Cluster::replicas_of`](crate::Cluster::replicas_of)) exactly
+//!   like an administratively down node, so neither routing policy
+//!   nor the executor's failover re-plan selects it, and a flapping
+//!   node stops eating retry rounds. The open interval is counted in
+//!   scoreboard *ticks* (one tick per scored batch attempt,
+//!   cluster-wide): after `cooldown_ticks` ticks the breaker moves to
+//!   Half-Open on its own.
+//! * **Half-Open** — the node is selectable again; the next batch
+//!   routed to it is the probe. A successful probe closes the
+//!   breaker; a failed probe re-opens it with a fresh cooldown.
+//!
+//! When *every* live replica of a key is breaker-open, read placement
+//! reports the same `AllReplicasDown` error an all-down replica set
+//! would — the caller-visible degraded path is shared, not a new
+//! failure mode — and the cooldown guarantees the set becomes
+//! selectable again.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// EWMA smoothing factor for both the service-time and error-rate
+/// scores: each new batch carries 20% of the estimate.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Per-node circuit-breaker policy. Default-off: an all-default
+/// cluster never opens a breaker, so replica routing, the chaos
+/// oracles and the cost-model experiments are untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Whether breakers may open at all.
+    pub enabled: bool,
+    /// Consecutive post-retry batch failures that trip a Closed
+    /// breaker Open.
+    pub failure_threshold: u32,
+    /// Scoreboard ticks (scored batch attempts, cluster-wide) an Open
+    /// breaker waits before moving to Half-Open and admitting a probe
+    /// batch.
+    pub cooldown_ticks: u64,
+}
+
+impl BreakerPolicy {
+    /// Breakers disabled: the scoreboard still scores, routing never
+    /// skips a node. This is the default.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            failure_threshold: u32::MAX,
+            cooldown_ticks: u64::MAX,
+        }
+    }
+
+    /// An enabled policy: `failure_threshold` consecutive post-retry
+    /// failures open the breaker, `cooldown_ticks` scored batches
+    /// later it half-opens for a probe.
+    pub fn new(failure_threshold: u32, cooldown_ticks: u64) -> Self {
+        Self {
+            enabled: true,
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ticks: cooldown_ticks.max(1),
+        }
+    }
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// A breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving normally.
+    Closed,
+    /// Skipped by read placement; cooling down.
+    Open,
+    /// Cooldown elapsed: selectable again, next batch is the probe.
+    HalfOpen,
+}
+
+/// A point-in-time view of one node's health score
+/// ([`Cluster::node_health`](crate::Cluster::node_health)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeHealth {
+    /// The node id.
+    pub node: usize,
+    /// EWMA of the node's modeled service time *per key* across its
+    /// batched reads (zero until the first scored batch).
+    pub ewma_service: Duration,
+    /// EWMA of the batch failure indicator: ~0.0 for a healthy node,
+    /// climbing toward 1.0 while every batch fails.
+    pub error_rate: f64,
+    /// Successful batch replies scored.
+    pub batches: u64,
+    /// Post-retry batch failures scored.
+    pub failures: u64,
+    /// Current consecutive-failure streak.
+    pub consecutive_failures: u32,
+    /// Breaker state under the board's current policy.
+    pub breaker: BreakerState,
+}
+
+/// One node's mutable score. Updated under a per-node mutex: batches
+/// are coarse (a full node round trip each), so contention is
+/// negligible next to the work they measure.
+#[derive(Debug, Default)]
+struct NodeScore {
+    ewma_service_nanos: f64,
+    error_rate: f64,
+    batches: u64,
+    failures: u64,
+    consecutive_failures: u32,
+    /// Scoreboard tick the breaker opened at (`None` = Closed).
+    opened_at: Option<u64>,
+}
+
+/// The cluster's shared health scoreboard: one score per node plus a
+/// monotonic tick counter advanced on every scored batch attempt —
+/// the deterministic "clock" breaker cooldowns count in.
+#[derive(Debug)]
+pub(crate) struct HealthBoard {
+    scores: Vec<Mutex<NodeScore>>,
+    policy: Mutex<BreakerPolicy>,
+    ticks: AtomicU64,
+}
+
+impl HealthBoard {
+    pub(crate) fn new(nodes: usize, policy: BreakerPolicy) -> Self {
+        Self {
+            scores: (0..nodes).map(|_| Mutex::new(NodeScore::default())).collect(),
+            policy: Mutex::new(policy),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Swaps the breaker policy (used by the store layer to wire its
+    /// `StoreConfig::breaker` knob into an already-built cluster).
+    pub(crate) fn set_policy(&self, policy: BreakerPolicy) {
+        *self.policy.lock().expect("health policy poisoned") = policy;
+    }
+
+    fn policy(&self) -> BreakerPolicy {
+        *self.policy.lock().expect("health policy poisoned")
+    }
+
+    /// Advances the scoreboard clock by one scored batch attempt.
+    pub(crate) fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Scores a successful batch reply: `modeled` over `keys` keys.
+    /// Any open or half-open breaker closes — a node that answered a
+    /// probe is back.
+    pub(crate) fn record_success(&self, node: usize, modeled: Duration, keys: usize) {
+        let Some(score) = self.scores.get(node) else {
+            return;
+        };
+        let per_key = modeled.as_nanos() as f64 / keys.max(1) as f64;
+        let mut s = score.lock().expect("health score poisoned");
+        s.ewma_service_nanos = if s.batches == 0 {
+            per_key
+        } else {
+            s.ewma_service_nanos * (1.0 - EWMA_ALPHA) + per_key * EWMA_ALPHA
+        };
+        s.error_rate *= 1.0 - EWMA_ALPHA;
+        s.batches += 1;
+        s.consecutive_failures = 0;
+        s.opened_at = None;
+    }
+
+    /// Scores a post-retry batch failure; trips the breaker once the
+    /// consecutive streak reaches the policy threshold (a failed
+    /// half-open probe re-opens with a fresh cooldown).
+    pub(crate) fn record_failure(&self, node: usize) {
+        let Some(score) = self.scores.get(node) else {
+            return;
+        };
+        let policy = self.policy();
+        let now = self.ticks.load(Ordering::Relaxed);
+        let mut s = score.lock().expect("health score poisoned");
+        s.error_rate = s.error_rate * (1.0 - EWMA_ALPHA) + EWMA_ALPHA;
+        s.failures += 1;
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        if policy.enabled
+            && (s.opened_at.is_some() || s.consecutive_failures >= policy.failure_threshold)
+        {
+            s.opened_at = Some(now);
+        }
+    }
+
+    /// Whether read placement may select `node` right now: true for
+    /// Closed and Half-Open (probe) breakers, false while Open.
+    pub(crate) fn allows_read(&self, node: usize) -> bool {
+        let Some(score) = self.scores.get(node) else {
+            return true;
+        };
+        let policy = self.policy();
+        if !policy.enabled {
+            return true;
+        }
+        let s = score.lock().expect("health score poisoned");
+        match s.opened_at {
+            None => true,
+            // Saturating: `u64::MAX` cooldown means "never half-open".
+            Some(at) => {
+                self.ticks.load(Ordering::Relaxed) >= at.saturating_add(policy.cooldown_ticks)
+            }
+        }
+    }
+
+    /// EWMA per-key modeled service time for `node` (zero until the
+    /// first scored batch) — the hedge threshold's input.
+    pub(crate) fn ewma_service(&self, node: usize) -> Duration {
+        self.scores.get(node).map_or(Duration::ZERO, |score| {
+            let s = score.lock().expect("health score poisoned");
+            Duration::from_nanos(s.ewma_service_nanos as u64)
+        })
+    }
+
+    /// A snapshot of every node's health, in node-id order.
+    pub(crate) fn snapshot(&self) -> Vec<NodeHealth> {
+        let policy = self.policy();
+        let now = self.ticks.load(Ordering::Relaxed);
+        self.scores
+            .iter()
+            .enumerate()
+            .map(|(node, score)| {
+                let s = score.lock().expect("health score poisoned");
+                let breaker = match s.opened_at {
+                    None => BreakerState::Closed,
+                    Some(at) if policy.enabled && now >= at.saturating_add(policy.cooldown_ticks) => {
+                        BreakerState::HalfOpen
+                    }
+                    Some(_) if policy.enabled => BreakerState::Open,
+                    // Policy swapped to disabled while open: reads are
+                    // admitted again, report Closed.
+                    Some(_) => BreakerState::Closed,
+                };
+                NodeHealth {
+                    node,
+                    ewma_service: Duration::from_nanos(s.ewma_service_nanos as u64),
+                    error_rate: s.error_rate,
+                    batches: s.batches,
+                    failures: s.failures,
+                    consecutive_failures: s.consecutive_failures,
+                    breaker,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_tracks_service_time() {
+        let b = HealthBoard::new(2, BreakerPolicy::disabled());
+        b.record_success(0, Duration::from_micros(100), 10); // 10 µs/key
+        assert_eq!(b.ewma_service(0), Duration::from_micros(10));
+        // A slower batch pulls the estimate up by the EWMA step.
+        b.record_success(0, Duration::from_micros(1000), 10); // 100 µs/key
+        let e = b.ewma_service(0);
+        assert!(e > Duration::from_micros(10) && e < Duration::from_micros(100));
+        assert_eq!(b.ewma_service(1), Duration::ZERO, "unscored node stays zero");
+    }
+
+    #[test]
+    fn disabled_policy_never_opens() {
+        let b = HealthBoard::new(1, BreakerPolicy::disabled());
+        for _ in 0..100 {
+            b.tick();
+            b.record_failure(0);
+        }
+        assert!(b.allows_read(0));
+        assert_eq!(b.snapshot()[0].breaker, BreakerState::Closed);
+        assert_eq!(b.snapshot()[0].failures, 100);
+        assert!(b.snapshot()[0].error_rate > 0.9);
+    }
+
+    #[test]
+    fn breaker_opens_half_opens_and_closes() {
+        let b = HealthBoard::new(1, BreakerPolicy::new(3, 5));
+        b.tick();
+        b.record_failure(0);
+        b.record_failure(0);
+        assert!(b.allows_read(0), "below threshold stays closed");
+        b.record_failure(0);
+        assert!(!b.allows_read(0), "third consecutive failure opens");
+        assert_eq!(b.snapshot()[0].breaker, BreakerState::Open);
+        // Cooldown is counted in scoreboard ticks.
+        for _ in 0..5 {
+            b.tick();
+        }
+        assert!(b.allows_read(0), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.snapshot()[0].breaker, BreakerState::HalfOpen);
+        // Successful probe closes the breaker and resets the streak.
+        b.record_success(0, Duration::from_micros(5), 1);
+        assert_eq!(b.snapshot()[0].breaker, BreakerState::Closed);
+        assert_eq!(b.snapshot()[0].consecutive_failures, 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let b = HealthBoard::new(1, BreakerPolicy::new(1, 4));
+        b.tick();
+        b.record_failure(0);
+        assert!(!b.allows_read(0));
+        for _ in 0..4 {
+            b.tick();
+        }
+        assert!(b.allows_read(0), "half-open");
+        b.record_failure(0);
+        assert!(!b.allows_read(0), "failed probe re-opens immediately");
+        for _ in 0..4 {
+            b.tick();
+        }
+        assert!(b.allows_read(0), "fresh cooldown elapses again");
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let b = HealthBoard::new(1, BreakerPolicy::new(3, 10));
+        b.record_failure(0);
+        b.record_failure(0);
+        b.record_success(0, Duration::from_micros(1), 1);
+        b.record_failure(0);
+        b.record_failure(0);
+        assert!(b.allows_read(0), "streak broken by the success");
+    }
+}

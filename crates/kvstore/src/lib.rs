@@ -28,6 +28,7 @@ pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod msg;
 pub mod netmodel;
 pub mod ring;
@@ -38,6 +39,7 @@ pub use cluster::{Cluster, ClusterBuilder, ClusterWriter, EngineKind, WriteSumma
 pub use engine::SyncPolicy;
 pub use error::KvError;
 pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, TailDamage};
+pub use health::{BreakerPolicy, BreakerState, NodeHealth};
 pub use msg::{BatchDelete, BatchGet, BatchPut};
 pub use netmodel::NetworkModel;
 pub use stats::{NodeLoad, StatsSnapshot};

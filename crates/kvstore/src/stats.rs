@@ -18,6 +18,7 @@ use std::time::Duration;
 struct NodeCounters {
     batch_gets: AtomicU64,
     keys_served: AtomicU64,
+    modeled_nanos: AtomicU64,
 }
 
 /// A point-in-time view of one node's read-batch counters.
@@ -29,6 +30,11 @@ pub struct NodeLoad {
     pub batch_gets: u64,
     /// Keys requested across those batches.
     pub keys_served: u64,
+    /// Cumulative modeled service time this node spent, including
+    /// chaos-injected latency — the straggler signal. (Before PR 8
+    /// injected latency only reached the global `modeled_time`
+    /// counter, so a scripted slow node was invisible per-node.)
+    pub modeled: Duration,
 }
 
 /// Shared, lock-free counters for one cluster.
@@ -98,8 +104,19 @@ impl ClusterStats {
                 node,
                 batch_gets: c.batch_gets.load(Ordering::Relaxed),
                 keys_served: c.keys_served.load(Ordering::Relaxed),
+                modeled: Duration::from_nanos(c.modeled_nanos.load(Ordering::Relaxed)),
             })
             .collect()
+    }
+
+    /// Records modeled service time spent *on* `node` — both in the
+    /// global `modeled_time` total and in the node's own slot, so
+    /// chaos-injected latency shows up in `per_node()`.
+    pub(crate) fn record_node_modeled(&self, node: usize, d: Duration) {
+        self.record_modeled(d);
+        if let Some(c) = self.per_node.get(node) {
+            c.modeled_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn record_batch_put(&self) {
@@ -199,6 +216,7 @@ impl ClusterStats {
         for c in &self.per_node {
             c.batch_gets.store(0, Ordering::Relaxed);
             c.keys_served.store(0, Ordering::Relaxed);
+            c.modeled_nanos.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -314,6 +332,23 @@ mod tests {
         assert_eq!(s.snapshot().batch_gets, 4);
         s.reset();
         assert!(s.per_node().iter().all(|n| n.batch_gets == 0 && n.keys_served == 0));
+    }
+
+    #[test]
+    fn node_modeled_time_feeds_both_totals() {
+        let s = ClusterStats::new_shared(2);
+        s.record_node_modeled(1, Duration::from_micros(40));
+        s.record_node_modeled(1, Duration::from_micros(2));
+        s.record_node_modeled(0, Duration::from_micros(8));
+        let per_node = s.per_node();
+        assert_eq!(per_node[0].modeled, Duration::from_micros(8));
+        assert_eq!(per_node[1].modeled, Duration::from_micros(42));
+        assert_eq!(s.snapshot().modeled_time, Duration::from_micros(50));
+        // Out-of-range node still reaches the global total.
+        s.record_node_modeled(7, Duration::from_micros(1));
+        assert_eq!(s.snapshot().modeled_time, Duration::from_micros(51));
+        s.reset();
+        assert!(s.per_node().iter().all(|n| n.modeled == Duration::ZERO));
     }
 
     #[test]

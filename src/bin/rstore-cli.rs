@@ -13,12 +13,13 @@
 //! rstore-cli --data-dir /tmp/db stats
 //! ```
 
-use rstore::core::plan::ReadRouting;
+use rstore::core::plan::{HedgeConfig, ReadRouting};
 use rstore::core::store::{CommitRequest, RStore, StoreConfig};
 use rstore::core::{CoreError, VersionId};
-use rstore::kvstore::{Cluster, EngineKind, FaultPlan};
+use rstore::kvstore::{BreakerPolicy, BreakerState, Cluster, EngineKind, FaultPlan};
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 struct Args {
     data_dir: PathBuf,
@@ -28,17 +29,30 @@ struct Args {
     fetch_threads: usize,
     /// Seed for the canned flaky fault plan; `None` runs fault-free.
     faults: Option<u64>,
+    /// Hedge straggler node batches (default-off, like the library).
+    hedge: bool,
+    /// Per-query deadline applied to every read command.
+    deadline: Option<Duration>,
+    /// Circuit-breaker policy; `None` leaves the breaker disabled.
+    breaker: Option<BreakerPolicy>,
     command: String,
     rest: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] [--fetch-threads N] [--faults SEED] COMMAND ...\n\
+        "usage: rstore-cli --data-dir DIR [--nodes N] [--routing first-live|balanced] [--fetch-threads N] [--faults SEED] [--hedge] [--deadline MS] [--breaker T,C] COMMAND ...\n\
          --fetch-threads N sizes the shared fetch pool (0 = auto by cores).\n\
          --faults SEED enables the canned flaky chaos plan (10% transient\n\
          refusals + 10% 1 ms latency per node); retries absorb the faults\n\
          and `stats` reports the self-healing counters.\n\
+         Tail-latency defenses (default-off, like the library):\n\
+         --hedge re-issues straggler node batches to an untried replica\n\
+         (first answer wins); --deadline MS bounds every read command's\n\
+         modeled time budget, queueing included; --breaker T,C trips a\n\
+         node open after T consecutive batch failures and half-opens it\n\
+         after C request ticks. `stats` prints the per-node health\n\
+         scoreboard (service EWMA, error rate, breaker state).\n\
          commands:\n\
            init     --set PK=VALUE ...            create the root version\n\
            commit   --parent V [--set PK=VALUE]... [--del PK]...\n\
@@ -59,6 +73,9 @@ fn parse_args() -> Args {
     let mut routing = ReadRouting::default();
     let mut fetch_threads = 0usize;
     let mut faults = None;
+    let mut hedge = false;
+    let mut deadline = None;
+    let mut breaker = None;
     let mut command = None;
     let mut rest = Vec::new();
     while let Some(arg) = argv.next() {
@@ -96,6 +113,25 @@ fn parse_args() -> Args {
                 };
                 faults = Some(seed);
             }
+            "--hedge" => hedge = true,
+            "--deadline" => {
+                let Some(ms) = argv.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--deadline expects a budget in milliseconds");
+                    exit(2)
+                };
+                deadline = Some(Duration::from_millis(ms));
+            }
+            "--breaker" => {
+                let parsed = argv.next().and_then(|s| {
+                    let (t, c) = s.split_once(',')?;
+                    Some((t.parse::<u32>().ok()?, c.parse::<u64>().ok()?))
+                });
+                let Some((threshold, cooldown)) = parsed else {
+                    eprintln!("--breaker expects THRESHOLD,COOLDOWN (e.g. --breaker 3,64)");
+                    exit(2)
+                };
+                breaker = Some(BreakerPolicy::new(threshold, cooldown));
+            }
             "--help" | "-h" => usage(),
             _ if command.is_none() => command = Some(arg),
             _ => rest.push(arg),
@@ -110,6 +146,9 @@ fn parse_args() -> Args {
         routing,
         fetch_threads,
         faults,
+        hedge,
+        deadline,
+        breaker,
         command,
         rest,
     }
@@ -170,6 +209,9 @@ fn open_store(args: &Args) -> Result<RStore, CoreError> {
             batch_size: 1,
             read_routing: args.routing,
             fetch_threads: args.fetch_threads,
+            hedge: args.hedge.then(HedgeConfig::default),
+            default_deadline: args.deadline,
+            breaker: args.breaker.unwrap_or_else(BreakerPolicy::disabled),
             ..StoreConfig::default()
         },
         open_cluster(args),
@@ -318,6 +360,26 @@ fn run() -> Result<(), CoreError> {
             // recovery scan ran through the configured routing
             // policy), so routing skew shows without a bench run.
             println!("read routing:        {:?}", store.config().read_routing);
+            let cfg = store.config();
+            println!(
+                "tail defenses:       hedge {}, deadline {}, breaker {}",
+                match cfg.hedge {
+                    Some(h) => format!("on ({}x, floor {:?})", h.factor, h.min),
+                    None => "off".into(),
+                },
+                match cfg.default_deadline {
+                    Some(d) => format!("{d:?}"),
+                    None => "off".into(),
+                },
+                if cfg.breaker.enabled {
+                    format!(
+                        "on (trip {}, cooldown {} tick(s))",
+                        cfg.breaker.failure_threshold, cfg.breaker.cooldown_ticks
+                    )
+                } else {
+                    "off".into()
+                },
+            );
             // Self-healing counters for this session (non-zero when
             // --faults is set or nodes dropped out mid-write).
             let snap = store.cluster().stats();
@@ -328,10 +390,30 @@ fn run() -> Result<(), CoreError> {
                 snap.hints_recorded, snap.hints_replayed
             );
             println!("under-replicated:    {} key(s)", snap.under_replicated);
-            for load in store.cluster().per_node_stats() {
+            // Per-node load plus the PR 8 health scoreboard: modeled
+            // service time includes chaos-injected latency, so a
+            // straggling replica is visible right here; the breaker
+            // column shows who is routed around and who is probing.
+            let health = store.cluster().node_health();
+            for (load, h) in store.cluster().per_node_stats().iter().zip(&health) {
+                let state = match h.breaker {
+                    BreakerState::Closed => "closed",
+                    BreakerState::Open => "OPEN",
+                    BreakerState::HalfOpen => "half-open",
+                };
                 println!(
-                    "node {}:              {} batch read(s), {} key(s) served",
-                    load.node, load.batch_gets, load.keys_served
+                    "node {}:              {} batch read(s), {} key(s) served, \
+                     {:.3} ms modeled | ewma {:.0} µs/key, err {:.3}, breaker {} \
+                     ({} fail(s), {} consecutive)",
+                    load.node,
+                    load.batch_gets,
+                    load.keys_served,
+                    load.modeled.as_secs_f64() * 1e3,
+                    h.ewma_service.as_secs_f64() * 1e6,
+                    h.error_rate,
+                    state,
+                    h.failures,
+                    h.consecutive_failures,
                 );
             }
             // Serving-core counters for this session (pool size shows
