@@ -14,7 +14,7 @@
 //! emits `BENCH_compact.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rstore_bench::{fmt_duration, fmt_fragmentation};
+use rstore_bench::{fmt_duration, fmt_fragmentation, LatencyHist};
 use rstore_core::compact::CompactionConfig;
 use rstore_core::model::VersionId;
 use rstore_core::online::replay_commits;
@@ -92,6 +92,8 @@ struct QuerySample {
     chunks: usize,
     nodes: usize,
     max_batches: usize,
+    /// Per-query wall-latency distribution (buckets ride in the JSON).
+    latencies: LatencyHist,
 }
 
 fn sample_queries(store: &RStore) -> QuerySample {
@@ -100,12 +102,15 @@ fn sample_queries(store: &RStore) -> QuerySample {
     let mut nodes = 0;
     let mut max_batches = 0;
     let mut count = 0u32;
+    let latencies = LatencyHist::new();
     for v in (0..store.version_count()).step_by(5) {
         let t = Instant::now();
         let (_, stats) = store
             .get_version_with_stats(VersionId(v as u32))
             .expect("query");
-        total += t.elapsed();
+        let elapsed = t.elapsed();
+        latencies.record(elapsed);
+        total += elapsed;
         chunks += stats.chunks_fetched;
         nodes += stats.nodes_contacted;
         max_batches += stats.max_node_batch;
@@ -116,6 +121,7 @@ fn sample_queries(store: &RStore) -> QuerySample {
         chunks,
         nodes,
         max_batches,
+        latencies,
     }
 }
 
@@ -198,7 +204,8 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"max_node_batch_before\": {},\n  \"max_node_batch_after\": {},\n  \
          \"mean_latency_before_ms\": {:.3},\n  \"mean_latency_after_ms\": {:.3},\n  \
          \"latency_ratio\": {latency_ratio:.3},\n  \
-         \"bytes_rewritten\": {},\n  \"bytes_reclaimed\": {},\n  \"keys_deleted\": {}\n}}\n",
+         \"bytes_rewritten\": {},\n  \"bytes_reclaimed\": {},\n  \"keys_deleted\": {},\n  \
+         \"before_buckets_us\": {},\n  \"after_buckets_us\": {}\n}}\n",
         report.victims,
         report.new_chunks,
         report.records_moved,
@@ -213,6 +220,8 @@ fn acceptance_summary(_c: &mut Criterion) {
         report.bytes_rewritten,
         report.bytes_reclaimed,
         report.keys_deleted,
+        before.latencies.buckets_json(),
+        after.latencies.buckets_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compact.json");
     std::fs::write(path, json).expect("write BENCH_compact.json");

@@ -15,7 +15,7 @@
 //! second replica.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rstore_bench::fmt_duration;
+use rstore_bench::{fmt_duration, LatencyHist};
 use rstore_core::model::VersionId;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::RStore;
@@ -104,6 +104,8 @@ struct FaultSample {
     modeled_time: Duration,
     faults_injected: u64,
     cluster_retries: u64,
+    /// Per-query wall-latency distribution (buckets ride in the JSON).
+    latencies: LatencyHist,
 }
 
 /// Loads the dataset and sweeps every version once, tallying failures
@@ -120,9 +122,11 @@ fn sample(setup: Setup, ds: &Dataset) -> FaultSample {
     let mut records = 0usize;
     let mut query_retries = 0usize;
     let mut query_failovers = 0usize;
+    let latencies = LatencyHist::new();
     let t1 = Instant::now();
     for _ in 0..SWEEPS {
         for v in 0..n as u32 {
+            let q0 = Instant::now();
             match store.get_version_with_stats(VersionId(v)) {
                 Ok((recs, stats)) => {
                     records += recs.len();
@@ -131,6 +135,7 @@ fn sample(setup: Setup, ds: &Dataset) -> FaultSample {
                 }
                 Err(_) => queries_failed += 1,
             }
+            latencies.record(q0.elapsed());
         }
     }
     let query_wall = t1.elapsed();
@@ -147,6 +152,7 @@ fn sample(setup: Setup, ds: &Dataset) -> FaultSample {
         modeled_time: snap.modeled_time,
         faults_injected: snap.faults_injected,
         cluster_retries: snap.retries,
+        latencies,
     }
 }
 
@@ -238,7 +244,8 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"flaky_no_retry_failed_ops\": {raw_failed},\n  \
          \"flaky_no_retry_failovers\": {},\n  \
          \"ingest_calm_ms\": {:.3},\n  \"ingest_flaky_retry_ms\": {:.3},\n  \
-         \"query_sweep_calm_ms\": {:.3},\n  \"query_sweep_flaky_retry_ms\": {:.3}\n}}\n",
+         \"query_sweep_calm_ms\": {:.3},\n  \"query_sweep_flaky_retry_ms\": {:.3},\n  \
+         \"calm_buckets_us\": {},\n  \"flaky_retry_buckets_us\": {}\n}}\n",
         calm.modeled_time.as_secs_f64() * 1e3,
         retry.modeled_time.as_secs_f64() * 1e3,
         retry.queries_failed + usize::from(retry.ingest_failed),
@@ -249,6 +256,8 @@ fn acceptance_summary(_c: &mut Criterion) {
         retry.ingest_wall.as_secs_f64() * 1e3,
         calm.query_wall.as_secs_f64() * 1e3,
         retry.query_wall.as_secs_f64() * 1e3,
+        calm.latencies.buckets_json(),
+        retry.latencies.buckets_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
     std::fs::write(path, json).expect("write BENCH_faults.json");

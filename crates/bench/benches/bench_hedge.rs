@@ -29,7 +29,7 @@
 //! proving the win came from the new layer.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rstore_bench::fmt_duration;
+use rstore_bench::{fmt_duration, percentile, LatencyHist};
 use rstore_core::model::VersionId;
 use rstore_core::plan::HedgeConfig;
 use rstore_core::store::RStore;
@@ -193,11 +193,6 @@ fn run_mode(store: &Arc<RStore>) -> ModeSample {
     merged
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 fn acceptance_summary(_c: &mut Criterion) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let plain = Arc::new(build_store(false));
@@ -280,7 +275,8 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"p99_speedup\": {p99_speedup:.3},\n  \"p99_target\": {P99_TARGET},\n  \
          \"asserted\": {asserted},\n  \"hedges\": {},\n  \"hedge_wins\": {},\n  \
          \"records_per_mode\": {},\n  \"failed_queries\": {},\n  \
-         \"slow_node_ewma_us\": {:.1},\n  \"slow_node_batches\": {}\n}}\n",
+         \"slow_node_ewma_us\": {:.1},\n  \"slow_node_batches\": {},\n  \
+         \"unhedged_buckets_us\": {},\n  \"hedged_buckets_us\": {}\n}}\n",
         SPIKE.as_secs_f64() * 1e3,
         base_p50.as_secs_f64() * 1e6,
         base_p99.as_secs_f64() * 1e6,
@@ -292,6 +288,16 @@ fn acceptance_summary(_c: &mut Criterion) {
         base.failed + hedge.failed,
         slow_health.ewma_service.as_secs_f64() * 1e6,
         slow_health.batches,
+        {
+            let h = LatencyHist::new();
+            h.record_all(&base.latencies);
+            h.buckets_json()
+        },
+        {
+            let h = LatencyHist::new();
+            h.record_all(&hedge.latencies);
+            h.buckets_json()
+        },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hedge.json");
     std::fs::write(path, json).expect("write BENCH_hedge.json");

@@ -17,7 +17,7 @@
 //! is machine-readable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rstore_bench::{fmt_duration, fmt_ingest_stages};
+use rstore_bench::{fmt_duration, fmt_ingest_stages, LatencyHist};
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::{LoadReport, RStore};
 use rstore_kvstore::{Cluster, NetworkModel};
@@ -110,19 +110,22 @@ fn acceptance_summary(_c: &mut Criterion) {
         .unwrap_or(1);
     let workers = parallel_workers();
 
-    let mean_of = |threads: usize| -> (Duration, LoadReport) {
+    let mean_of = |threads: usize, hist: &LatencyHist| -> (Duration, LoadReport) {
         let mut total = Duration::ZERO;
         let mut last = LoadReport::default();
         for _ in 0..RUNS {
             let (t, report) = load_once(&ds, threads);
+            hist.record(t);
             total += t;
             last = report;
         }
         (total / RUNS as u32, last)
     };
 
-    let (mean_serial, serial_report) = mean_of(1);
-    let (mean_parallel, parallel_report) = mean_of(workers);
+    let serial_hist = LatencyHist::new();
+    let parallel_hist = LatencyHist::new();
+    let (mean_serial, serial_report) = mean_of(1, &serial_hist);
+    let (mean_parallel, parallel_report) = mean_of(workers, &parallel_hist);
     let speedup = mean_serial.as_secs_f64() / mean_parallel.as_secs_f64().max(f64::MIN_POSITIVE);
     // The >= 2x target needs real cores to fan the compression out
     // over. `available_parallelism` counts hyperthreads (a "4-vCPU"
@@ -164,7 +167,8 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {speedup:.3},\n  \
          \"stages_parallel_ms\": {{\n    \"subchunk\": {:.3},\n    \"partition\": {:.3},\n    \
          \"assemble\": {:.3},\n    \"index\": {:.3},\n    \"write_blocked\": {:.3},\n    \
-         \"modeled_write\": {:.3}\n  }},\n  \"target_speedup\": {},\n  \"asserted\": {}\n}}\n",
+         \"modeled_write\": {:.3}\n  }},\n  \"target_speedup\": {},\n  \"asserted\": {},\n  \
+         \"serial_load_buckets_us\": {},\n  \"parallel_load_buckets_us\": {}\n}}\n",
         serial_report.num_chunks,
         serial_report.num_records,
         mean_serial.as_secs_f64() * 1e3,
@@ -177,6 +181,8 @@ fn acceptance_summary(_c: &mut Criterion) {
         parallel_report.stages.modeled_write.as_secs_f64() * 1e3,
         target.map_or("null".into(), |t| format!("{t:.1}")),
         target.is_some(),
+        serial_hist.buckets_json(),
+        parallel_hist.buckets_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
     std::fs::write(path, json).expect("write BENCH_ingest.json");

@@ -15,7 +15,7 @@
 //! `BENCH_replica.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rstore_bench::{fmt_duration, Xorshift};
+use rstore_bench::{fmt_duration, LatencyHist, Xorshift};
 use rstore_core::model::VersionId;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::plan::{QuerySpec, ReadRouting};
@@ -113,6 +113,8 @@ struct RoutingSample {
     modeled_network: Duration,
     sum_max_node_batch: usize,
     sum_nodes_contacted: usize,
+    /// Per-query wall-latency distribution (buckets ride in the JSON).
+    latencies: LatencyHist,
 }
 
 fn sample(store: &RStore, hot: VersionId) -> RoutingSample {
@@ -121,21 +123,25 @@ fn sample(store: &RStore, hot: VersionId) -> RoutingSample {
     let mut modeled = Duration::ZERO;
     let mut max_batch = 0usize;
     let mut nodes = 0usize;
+    let latencies = LatencyHist::new();
     let t0 = Instant::now();
     for _ in 0..QUERIES {
         let v = workload_version(&mut rng, hot, n);
+        let q0 = Instant::now();
         let plan = store.plan_query(QuerySpec::Version(v)).unwrap();
         max_batch += plan.max_node_batch();
         let executed = store.execute(plan).unwrap();
         modeled += executed.metrics.modeled_network;
         nodes += executed.metrics.nodes_contacted;
         black_box(executed.into_stream().drain().unwrap().len());
+        latencies.record(q0.elapsed());
     }
     RoutingSample {
         mean_latency: t0.elapsed() / QUERIES as u32,
         modeled_network: modeled,
         sum_max_node_batch: max_batch,
         sum_nodes_contacted: nodes,
+        latencies,
     }
 }
 
@@ -182,7 +188,8 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"modeled_ratio\": {modeled_ratio:.3},\n  \
          \"sum_max_node_batch_first_live\": {},\n  \"sum_max_node_batch_balanced\": {},\n  \
          \"mean_latency_first_live_ms\": {:.3},\n  \"mean_latency_balanced_ms\": {:.3},\n  \
-         \"latency_ratio\": {latency_ratio:.3}\n}}\n",
+         \"latency_ratio\": {latency_ratio:.3},\n  \
+         \"first_live_buckets_us\": {},\n  \"balanced_buckets_us\": {}\n}}\n",
         first_live.version_span(hot),
         fl.modeled_network.as_secs_f64() * 1e3,
         bal.modeled_network.as_secs_f64() * 1e3,
@@ -190,6 +197,8 @@ fn acceptance_summary(_c: &mut Criterion) {
         bal.sum_max_node_batch,
         fl.mean_latency.as_secs_f64() * 1e3,
         bal.mean_latency.as_secs_f64() * 1e3,
+        fl.latencies.buckets_json(),
+        bal.latencies.buckets_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replica.json");
     std::fs::write(path, json).expect("write BENCH_replica.json");

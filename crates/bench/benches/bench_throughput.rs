@@ -52,7 +52,7 @@
 //! same JSON report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rstore_bench::fmt_duration;
+use rstore_bench::{fmt_duration, percentile, LatencyHist};
 use rstore_core::model::VersionId;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::RStore;
@@ -191,10 +191,6 @@ impl ModeSample {
     }
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
 
 /// Runs the closed-loop workload through one executor.
 fn run_mode(store: &Arc<RStore>, pooled: bool) -> ModeSample {
@@ -495,7 +491,8 @@ fn acceptance_summary(_c: &mut Criterion) {
          \"sustain_shed\": {},\n  \"sustain_queue_wait_ms\": {:.3},\n  \
          \"overload_offered_qps\": {:.1},\n  \"overload_goodput_qps\": {:.1},\n  \
          \"overload_p50_us\": {:.1},\n  \"overload_p99_us\": {:.1},\n  \
-         \"overload_shed\": {},\n  \"overload_queue_wait_ms\": {:.3}\n}}\n",
+         \"overload_shed\": {},\n  \"overload_queue_wait_ms\": {:.3},\n  \
+         \"spawn_point_buckets_us\": {},\n  \"pool_point_buckets_us\": {}\n}}\n",
         pool.point.len(),
         pool.scan.len(),
         qps(&spawn),
@@ -524,6 +521,16 @@ fn acceptance_summary(_c: &mut Criterion) {
         percentile(&overload.lat, 0.99).as_secs_f64() * 1e6,
         overload.shed,
         overload.queue_wait.as_secs_f64() * 1e3,
+        {
+            let h = LatencyHist::new();
+            h.record_all(&spawn.point);
+            h.buckets_json()
+        },
+        {
+            let h = LatencyHist::new();
+            h.record_all(&pool.point);
+            h.buckets_json()
+        },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, json).expect("write BENCH_throughput.json");

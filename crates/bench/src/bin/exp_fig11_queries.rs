@@ -11,17 +11,18 @@
 //! key history) and SUBCHUNK wins Q3 outright.
 
 use rstore_bench::{
-    fmt_duration, fmt_ingest_stages, make_cached_store, make_store, print_table, scaled, Xorshift,
-    CHUNK_CAPACITY,
+    fmt_duration, fmt_ingest_stages, make_cached_store, make_store, print_table, scaled,
+    LatencyHist, Xorshift, CHUNK_CAPACITY,
 };
 use rstore_core::model::VersionId;
+use rstore_core::HistSummary;
 use rstore_core::partition::baselines::DeltaEngine;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::RStore;
 use rstore_kvstore::{Cluster, NetworkModel};
 use rstore_vgraph::gen::presets;
 use rstore_vgraph::Dataset;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 const NODES: usize = 4;
 const Q1_SAMPLES: usize = 12;
@@ -29,9 +30,20 @@ const Q2_SAMPLES: usize = 30;
 const Q3_SAMPLES: usize = 30;
 
 struct QueryTimes {
-    q1: Duration,
-    q2: Duration,
-    q3: Duration,
+    q1: HistSummary,
+    q2: HistSummary,
+    q3: HistSummary,
+}
+
+/// Renders one query class as `mean (p50 / p99)` — the per-sample
+/// distribution comes from the shared PR 9 latency histogram.
+fn fmt_class(s: &HistSummary) -> String {
+    format!(
+        "{} (p50 {} / p99 {})",
+        fmt_duration(s.mean),
+        fmt_duration(s.p50),
+        fmt_duration(s.p99)
+    )
 }
 
 /// Runs the three query workloads against a loaded store with the
@@ -49,33 +61,33 @@ fn run_workload_with(
 ) -> QueryTimes {
     let mut rng = Xorshift::new(seed);
 
-    let mut q1 = Duration::ZERO;
+    let q1 = LatencyHist::new();
     for _ in 0..Q1_SAMPLES {
         let v = pick_version(&mut rng);
         let (_, stats) = store.get_version_with_stats(v).unwrap();
-        q1 += stats.elapsed + stats.modeled_network;
+        q1.record(stats.elapsed + stats.modeled_network);
     }
 
-    let mut q2 = Duration::ZERO;
+    let q2 = LatencyHist::new();
     for _ in 0..Q2_SAMPLES {
         let v = pick_version(&mut rng);
         let lo = rng.below(max_pk as usize) as u64;
         let hi = lo + max_pk / 10;
         let (_, stats) = store.get_range_with_stats(lo, hi, v).unwrap();
-        q2 += stats.elapsed + stats.modeled_network;
+        q2.record(stats.elapsed + stats.modeled_network);
     }
 
-    let mut q3 = Duration::ZERO;
+    let q3 = LatencyHist::new();
     for _ in 0..Q3_SAMPLES {
         let pk = pick_q3_pk(&mut rng);
         let (_, stats) = store.get_evolution_with_stats(pk).unwrap();
-        q3 += stats.elapsed + stats.modeled_network;
+        q3.record(stats.elapsed + stats.modeled_network);
     }
 
     QueryTimes {
-        q1: q1 / Q1_SAMPLES as u32,
-        q2: q2 / Q2_SAMPLES as u32,
-        q3: q3 / Q3_SAMPLES as u32,
+        q1: q1.summary(),
+        q2: q2.summary(),
+        q3: q3.summary(),
     }
 }
 
@@ -151,9 +163,9 @@ fn main() {
                 rows.push(vec![
                     kind.name().to_string(),
                     k.to_string(),
-                    fmt_duration(times.q1),
-                    fmt_duration(times.q2),
-                    fmt_duration(times.q3),
+                    fmt_class(&times.q1),
+                    fmt_class(&times.q2),
+                    fmt_class(&times.q3),
                     format!("{:.2}x", report.compression_ratio()),
                 ]);
                 // Bulk-load observability at the largest k: where the
@@ -181,29 +193,29 @@ fn main() {
             // DELTA reports the same max-over-parallel-node-batches
             // modeled time as the RStore rows (`DeltaQueryResult`),
             // keeping the table apples-to-apples.
-            let mut q1 = Duration::ZERO;
-            let t0 = Instant::now();
+            let q1 = LatencyHist::new();
             for _ in 0..Q1_SAMPLES {
                 let v = VersionId(rng.below(n) as u32);
-                q1 += engine.get_version(&cluster, v).unwrap().modeled_network;
+                let t0 = Instant::now();
+                let modeled = engine.get_version(&cluster, v).unwrap().modeled_network;
+                q1.record(t0.elapsed() + modeled);
             }
-            q1 += t0.elapsed();
-            let mut q2 = Duration::ZERO;
-            let t0 = Instant::now();
+            let q2 = LatencyHist::new();
             for _ in 0..Q2_SAMPLES {
                 let v = VersionId(rng.below(n) as u32);
                 let lo = rng.below(max_pk as usize) as u64;
-                q2 += engine
+                let t0 = Instant::now();
+                let modeled = engine
                     .get_range(&cluster, lo, lo + max_pk / 10, v)
                     .unwrap()
                     .modeled_network;
+                q2.record(t0.elapsed() + modeled);
             }
-            q2 += t0.elapsed();
             rows.push(vec![
                 "DELTA".into(),
                 "1".into(),
-                fmt_duration(q1 / Q1_SAMPLES as u32),
-                fmt_duration(q2 / Q2_SAMPLES as u32),
+                fmt_class(&q1.summary()),
+                fmt_class(&q2.summary()),
                 "impractical".into(),
                 "-".into(),
             ]);
@@ -223,15 +235,18 @@ fn main() {
             rows.push(vec![
                 "SUBCHUNK".into(),
                 "all".into(),
-                fmt_duration(times.q1),
-                fmt_duration(times.q2),
-                fmt_duration(times.q3),
+                fmt_class(&times.q1),
+                fmt_class(&times.q2),
+                fmt_class(&times.q3),
                 "-".into(),
             ]);
         }
 
         print_table(
-            &format!("Fig. 11 ({}): avg query time (wall + modeled network)", spec.name),
+            &format!(
+                "Fig. 11 ({}): query time mean (p50 / p99), wall + modeled network",
+                spec.name
+            ),
             &["algorithm", "k", "Q1 full version", "Q2 range", "Q3 evolution", "compression"],
             &rows,
         );
@@ -259,9 +274,9 @@ fn main() {
             let cache = store.cache_stats();
             cache_rows.push(vec![
                 label.to_string(),
-                fmt_duration(times.q1),
-                fmt_duration(times.q2),
-                fmt_duration(times.q3),
+                fmt_class(&times.q1),
+                fmt_class(&times.q2),
+                fmt_class(&times.q3),
                 format!("{:.0}%", cache.hit_rate() * 100.0),
                 format!("{}/{}", cache.hits, cache.misses),
             ]);

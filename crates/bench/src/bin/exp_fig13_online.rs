@@ -9,6 +9,7 @@
 
 use rstore_bench::{fmt_duration, fmt_fragmentation, print_table, scaled, CHUNK_CAPACITY};
 use rstore_core::compact::CompactionConfig;
+use rstore_core::HistSummary;
 use rstore_core::online;
 use rstore_core::partition::PartitionerKind;
 use rstore_core::store::RStore;
@@ -73,6 +74,16 @@ fn main() {
         let batch = (n / 8).max(1);
         let mut online_store = make_store(batch);
         online::replay_commits(&mut online_store, &dataset).unwrap();
+        // Per-flush latency distribution from the always-on metrics
+        // registry (PR 9): mean alone hides the straggler flushes.
+        let flush = HistSummary::of(&online_store.obs().registry().ingest_flush.snapshot());
+        println!(
+            "\nonline replay at batch {batch}: {} flushes, latency mean {} (p50 {} / p99 {})",
+            flush.count,
+            fmt_duration(flush.mean),
+            fmt_duration(flush.p50),
+            fmt_duration(flush.p99),
+        );
         let mut offline_store = make_store(usize::MAX);
         offline_store.load_dataset(&dataset).unwrap();
         let offline_span = offline_store.total_version_span().max(1);

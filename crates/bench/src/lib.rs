@@ -252,6 +252,69 @@ pub fn fmt_fragmentation(f: &FragmentationStats) -> String {
     )
 }
 
+// ── Shared latency accounting (PR 9) ────────────────────────────────
+//
+// Before the observability layer, every latency-reporting bench kept
+// its own sorted `Vec<Duration>` plus a copy-pasted `percentile`
+// helper. They now share the exact-percentile function below and a
+// [`LatencyHist`] wrapper over the core log-bucketed histogram, whose
+// `buckets_json` fragment rides along in each `BENCH_*.json` so the
+// perf-trajectory files carry full distributions, not just two
+// quantiles.
+
+/// Exact percentile of an **ascending-sorted** sample vector (the
+/// nearest-rank rule every bench used locally before PR 9).
+pub fn percentile(sorted: &[std::time::Duration], p: f64) -> std::time::Duration {
+    if sorted.is_empty() {
+        return std::time::Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A latency distribution: the core observability histogram
+/// (log-bucketed, ≤3.2% relative error) behind a bench-friendly API.
+#[derive(Debug, Default)]
+pub struct LatencyHist {
+    hist: rstore_kvstore::Histogram,
+}
+
+impl LatencyHist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, d: std::time::Duration) {
+        self.hist.record_duration(d);
+    }
+
+    /// Records a batch of samples.
+    pub fn record_all(&self, samples: &[std::time::Duration]) {
+        for &d in samples {
+            self.record(d);
+        }
+    }
+
+    /// Count / mean / p50 / p99 summary.
+    pub fn summary(&self) -> rstore_core::HistSummary {
+        rstore_core::HistSummary::of(&self.hist.snapshot())
+    }
+
+    /// The occupied buckets as a JSON array fragment
+    /// `[[upper_bound_us, count], ...]` for `BENCH_*.json` files
+    /// (microsecond bounds: every bench reports latencies in µs).
+    pub fn buckets_json(&self) -> String {
+        let parts: Vec<String> = self
+            .hist
+            .snapshot()
+            .nonzero_buckets()
+            .map(|(bound_ns, count)| format!("[{:.1}, {count}]", bound_ns as f64 / 1e3))
+            .collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_duration(d: std::time::Duration) -> String {
     let s = d.as_secs_f64();

@@ -162,6 +162,10 @@ pub struct ChunkCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    /// Metrics registry hook (PR 9). Cache traffic is recorded here,
+    /// push-based, as the single source of the `rstore_cache_*_total`
+    /// counters; unset when observability is disabled.
+    obs: std::sync::OnceLock<Arc<crate::obs::MetricsRegistry>>,
 }
 
 /// Minimum per-shard budget: with fewer bytes than this per shard,
@@ -190,7 +194,13 @@ impl ChunkCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            obs: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Wires the metrics registry in (at most once, at store build).
+    pub fn set_obs(&self, registry: Arc<crate::obs::MetricsRegistry>) {
+        let _ = self.obs.set(registry);
     }
 
     /// True when a non-zero budget was configured.
@@ -213,10 +223,16 @@ impl ChunkCache {
             shard.touch(id);
             drop(shard);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_hits.inc();
+            }
             Some(value)
         } else {
             drop(shard);
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_misses.inc();
+            }
             None
         }
     }
@@ -248,6 +264,9 @@ impl ChunkCache {
         drop(shard);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_evictions.add(evicted);
+            }
         }
     }
 
@@ -259,6 +278,9 @@ impl ChunkCache {
         let removed = self.shard_of(id).lock().unwrap().remove(id);
         if removed {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_invalidations.inc();
+            }
         }
     }
 
@@ -277,6 +299,9 @@ impl ChunkCache {
         }
         if removed > 0 {
             self.invalidations.fetch_add(removed, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_invalidations.add(removed);
+            }
         }
     }
 

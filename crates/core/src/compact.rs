@@ -593,6 +593,20 @@ impl RStore {
             total_time: t0.elapsed(),
         };
         self.last_compaction = Some(report);
+        if self.obs.enabled() {
+            let r = self.obs.registry();
+            r.compactions.inc();
+            r.compact_total.record_duration(report.total_time);
+            r.compact_stages.record("measure", stages.measure);
+            r.compact_stages.record("extract", stages.extract);
+            r.compact_stages.record("partition", stages.partition);
+            r.compact_stages.record("rebuild", stages.rebuild);
+            r.compact_stages.record("index", stages.index);
+            r.compact_stages.record("write", stages.write);
+            r.compact_stages.record("modeled_write", stages.modeled_write);
+            r.compact_stages.record("delete", stages.delete);
+            r.compact_stages.record("modeled_delete", stages.modeled_delete);
+        }
         Ok(Some(report))
     }
 

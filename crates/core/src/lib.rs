@@ -41,6 +41,7 @@ pub mod cost;
 pub mod error;
 pub mod index;
 pub mod model;
+pub mod obs;
 pub mod online;
 pub mod partition;
 pub mod plan;
@@ -54,6 +55,10 @@ pub use cache::{CacheStats, ChunkCache, DecodedChunk};
 pub use compact::{CompactionConfig, CompactionReport, CompactionStages, FragmentationStats};
 pub use error::CoreError;
 pub use model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
+pub use obs::{
+    HistSummary, MetricsRegistry, ObsConfig, QueryTrace, SlowQuery, SlowReason, StoreStats,
+    TraceConfig, TraceSpan,
+};
 pub use partition::{Partitioner, PartitionerKind};
 pub use plan::{
     ExecutedQuery, FetchMetrics, HedgeConfig, QueryPlan, QuerySpec, ReadRouting, RecordStream,

@@ -45,6 +45,7 @@ use crate::chunk::Chunk;
 use crate::chunkmap::ChunkMap;
 use crate::error::CoreError;
 use crate::model::{ChunkId, PrimaryKey, Record, VersionId};
+use crate::obs::{MetricsRegistry, TraceSink, TID_NODE_BASE, TID_QUERY};
 use crate::query;
 use crate::serve::{FetchPool, RoundTicket, WaitGroup};
 use crate::store::{CHUNK_TABLE, CMAP_TABLE};
@@ -52,7 +53,7 @@ use rstore_kvstore::{table_key, Cluster, Key, KvError};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the planner spreads a query's backend keys across each key's
 /// replica set. With `replication = 1` the policies coincide; beyond
@@ -193,7 +194,7 @@ impl Default for HedgeConfig {
 /// executor; hedging additionally requires the pooled mode (the
 /// serial oracle and the spawn baseline have no backup lane to run a
 /// hedge on, and their answers must stay byte-identical regardless).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ExecPolicy {
     /// Hedge straggler node batches (pooled executor only).
     pub(crate) hedge: Option<HedgeConfig>,
@@ -201,6 +202,15 @@ pub(crate) struct ExecPolicy {
     /// parallel node batches, identically in every mode) plus any
     /// queue wait already charged by the caller.
     pub(crate) deadline: Option<Duration>,
+    /// Shared metrics registry (PR 9): round/hedge histograms are
+    /// recorded here. `None` when observability is disabled —
+    /// recording is relaxed atomics only either way, so the default
+    /// costs nothing measurable.
+    pub(crate) obs: Option<Arc<MetricsRegistry>>,
+    /// This query's trace sink, present only when the deterministic
+    /// sampler selected it. Span names allocate, so an unsampled
+    /// query must never see `Some` here.
+    pub(crate) trace: Option<Arc<TraceSink>>,
 }
 
 /// One node's share of a scatter-gather fetch: the backend keys it
@@ -799,6 +809,11 @@ struct FetchCtx {
     /// Hedge batches that finished while a straggler they covered for
     /// was still unfinished (always 0 with hedging off).
     hedge_wins: AtomicUsize,
+    /// Metrics registry, shared from [`ExecPolicy::obs`].
+    obs: Option<Arc<MetricsRegistry>>,
+    /// Trace sink for sampled queries; batch jobs add their spans on
+    /// per-node lanes from whichever worker thread runs them.
+    trace: Option<Arc<TraceSink>>,
 }
 
 /// Ships one node (sub-)batch, files stranded keys for the failover
@@ -812,6 +827,13 @@ struct FetchCtx {
 /// are all in hand.
 fn run_batch(ctx: &FetchCtx, batch: NodeBatch, progress: Option<&RoundProgress>) {
     let NodeBatch { node, keys, parts } = batch;
+    // Span bookkeeping only for sampled queries: the guard (and its
+    // name allocation) exists only when a sink does, so the unsampled
+    // path is untouched.
+    let n_keys = keys.len();
+    let _batch_span = crate::obs::span_opt(&ctx.trace, TID_NODE_BASE + node as u32, || {
+        format!("batch node {node} ({n_keys} keys)")
+    });
     let reply = match ctx.cluster.fetch_from(node, keys) {
         Ok(reply) => reply,
         Err(e @ (KvError::NodeDown(_) | KvError::NodeGone(_))) => {
@@ -900,6 +922,9 @@ fn run_batch(ctx: &FetchCtx, batch: NodeBatch, progress: Option<&RoundProgress>)
         // Both halves in hand: decode here, inside this batch's
         // executor slot, overlapping the other batches' I/O.
         if let Some((blob, map)) = ready {
+            let _decode_span = crate::obs::span_opt(&ctx.trace, TID_NODE_BASE + node as u32, || {
+                format!("decode C{}", p.id)
+            });
             let decoded = Chunk::deserialize(&blob)
                 .and_then(|chunk| Ok(DecodedChunk::new(chunk, ChunkMap::deserialize(&map)?)));
             match decoded {
@@ -961,6 +986,7 @@ fn run_round_hedged(
         expected = expected.max(per_key.saturating_mul(b.len() as u32));
     }
     let delay = expected.mul_f64(cfg.factor.max(0.0)).max(cfg.min);
+    let round_entry = Instant::now();
 
     let mut inflight = Vec::with_capacity(batches.len());
     for batch in batches {
@@ -988,6 +1014,14 @@ fn run_round_hedged(
                 // One hedge wave per round: subsequent waits are
                 // untimed and simply see the round out.
                 timeout = None;
+                // The straggler outlived the hedge delay: the wait is
+                // the tail time this round would have eaten unhedged.
+                if let Some(r) = &ctx.obs {
+                    r.hedge_wait.record_duration(delay);
+                }
+                if let Some(t) = &ctx.trace {
+                    t.add("hedge wait".into(), TID_QUERY, round_entry);
+                }
                 // Re-issue each unfinished batch's undelivered halves
                 // to the first untried live replica, grouped by
                 // backup node. The replica filter mirrors the
@@ -1043,6 +1077,9 @@ fn run_round_hedged(
                 hedges.sort_unstable_by_key(|(b, _)| b.node);
                 progress.add_jobs(hedges.len());
                 metrics.hedges += hedges.len();
+                if let Some(t) = &ctx.trace {
+                    t.add(format!("hedge wave ({} batches)", hedges.len()), TID_QUERY, round_entry);
+                }
                 for (hedge, origs) in hedges {
                     contacted.insert(hedge.node);
                     let ctx = Arc::clone(ctx);
@@ -1133,6 +1170,8 @@ pub(crate) fn execute_plan_with(
             retries: Mutex::new(Vec::new()),
             failed_nodes: Mutex::new(FxHashSet::default()),
             hedge_wins: AtomicUsize::new(0),
+            obs: policy.obs.clone(),
+            trace: policy.trace.clone(),
         });
         // Failover bookkeeping across retry rounds: nodes whose whole
         // batch failed are excluded from re-routing, and each key
@@ -1151,8 +1190,10 @@ pub(crate) fn execute_plan_with(
         // same point regardless of executor.
         let mut deadline_nanos: u64 = 0;
         let mut round_batches = batches;
+        let mut round_idx = 0usize;
 
         while !round_batches.is_empty() {
+            let round_t = Instant::now();
             // Round batches are grouped one-per-node, so a retry
             // round that merges several failed batches onto one
             // surviving replica raises the critical-path batch — keep
@@ -1237,6 +1278,19 @@ pub(crate) fn execute_plan_with(
                 per_node.values().copied().sum()
             };
             deadline_nanos += round_max;
+
+            // Per-round observability: wall time of the round barrier,
+            // the round's modeled straggler, and (when sampled) a
+            // query-lane span bracketing the whole round.
+            if let Some(r) = &ctx.obs {
+                r.rounds.inc();
+                r.round_wall.record_duration(round_t.elapsed());
+                r.round_modeled.record(round_max);
+            }
+            if let Some(t) = &ctx.trace {
+                t.add(format!("round {round_idx}"), TID_QUERY, round_t);
+            }
+            round_idx += 1;
 
             let newly_failed = std::mem::take(&mut *ctx.failed_nodes.lock().unwrap());
             metrics.failovers += newly_failed.len();

@@ -252,6 +252,11 @@ pub struct Admission {
     max_queued: usize,
     state: Mutex<AdmissionState>,
     granted_cv: Condvar,
+    /// Metrics registry hook (PR 9): the queue-wait histogram is
+    /// recorded here, at the layer that owns the wait. Unset when
+    /// observability is disabled — and for the bare `Admission` unit
+    /// tests, which construct the gate directly.
+    obs: OnceLock<Arc<crate::obs::MetricsRegistry>>,
 }
 
 impl Admission {
@@ -269,7 +274,13 @@ impl Admission {
                 counters: AdmissionCounters::default(),
             }),
             granted_cv: Condvar::new(),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Wires the metrics registry in (at most once, at store build).
+    pub fn set_obs(&self, registry: Arc<crate::obs::MetricsRegistry>) {
+        let _ = self.obs.set(registry);
     }
 
     /// Admits a query of `span` chunks: immediately when a slot is
@@ -299,6 +310,10 @@ impl Admission {
             state.in_flight += 1;
             state.counters.peak_in_flight = state.counters.peak_in_flight.max(state.in_flight);
             state.counters.admitted += 1;
+            drop(state);
+            if let Some(r) = self.obs.get() {
+                r.queue_wait.record(0);
+            }
             return Ok(AdmitGuard {
                 admission: self,
                 waited: Duration::ZERO,
@@ -348,6 +363,10 @@ impl Admission {
         let waited = arrived.elapsed();
         state.counters.total_wait_nanos += waited.as_nanos() as u64;
         state.counters.admitted += 1;
+        drop(state);
+        if let Some(r) = self.obs.get() {
+            r.queue_wait.record_duration(waited);
+        }
         Ok(AdmitGuard {
             admission: self,
             waited,
@@ -476,6 +495,11 @@ impl ServeCore {
     /// The fetch pool, started on first use.
     pub(crate) fn pool(&self) -> &FetchPool {
         self.pool.get_or_init(|| FetchPool::new(self.pool_size))
+    }
+
+    /// Wires the metrics registry into the admission gate.
+    pub(crate) fn set_obs(&self, registry: Arc<crate::obs::MetricsRegistry>) {
+        self.admission.set_obs(registry);
     }
 
     /// Admits a query of `span` chunks (blocking while the queue has

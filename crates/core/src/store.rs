@@ -39,6 +39,9 @@ use crate::compact::{CompactionConfig, CompactionReport};
 use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
+use crate::obs::{
+    self, Obs, ObsConfig, QueryOutcome, QueryTrace, SlowQuery, TraceSink, TID_QUERY,
+};
 use crate::partition::{PartitionInput, PartitionerKind};
 use crate::plan::{
     self, ExecMode, ExecPolicy, ExecutedQuery, HedgeConfig, QueryPlan, QuerySpec, ReadRouting,
@@ -150,6 +153,11 @@ pub struct StoreConfig {
     /// stats. `None` (the default) means no deadline;
     /// [`RStore::execute_with_deadline`] overrides per query.
     pub default_deadline: Option<Duration>,
+    /// Observability configuration (PR 9): the always-on metrics
+    /// registry, the deterministic trace sampler and the slow-query
+    /// log. Defaults keep recording on (atomics only), tracing off
+    /// and the slow threshold unset.
+    pub obs: ObsConfig,
 }
 
 impl Default for StoreConfig {
@@ -171,6 +179,7 @@ impl Default for StoreConfig {
             hedge: None,
             breaker: BreakerPolicy::disabled(),
             default_deadline: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -286,23 +295,61 @@ impl RStoreBuilder {
         self
     }
 
+    /// Master observability switch (on by default). Off disables all
+    /// recording, tracing and the slow-query log — the configuration
+    /// the overhead bench compares the always-on default against.
+    pub fn obs_enabled(mut self, enabled: bool) -> Self {
+        self.config.obs.enabled = enabled;
+        self
+    }
+
+    /// Sets the trace-sampling fraction in `[0.0, 1.0]` (0 = off, the
+    /// default; 1.0 = trace every query). Sampling is deterministic
+    /// by arrival sequence number.
+    pub fn trace_sample(mut self, sample: f64) -> Self {
+        self.config.obs.trace.sample = sample.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Queries slower than this (wall time) are captured in the
+    /// slow-query log (unset by default; shed and deadline-tripped
+    /// queries are captured regardless).
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.config.obs.slow_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the slow-query log capacity (newest entries retained).
+    pub fn slow_log_capacity(mut self, capacity: usize) -> Self {
+        self.config.obs.slow_log_capacity = capacity.max(1);
+        self
+    }
+
     /// Finishes the builder against a backend cluster.
     pub fn build(self, cluster: Cluster) -> RStore {
         if self.config.breaker.enabled {
             cluster.set_breaker(self.config.breaker);
         }
+        let obs = Obs::new(self.config.obs);
+        let serve = ServeCore::new(
+            self.config.fetch_threads,
+            cluster.node_count(),
+            self.config.max_concurrent_queries,
+            self.config.max_queued,
+        );
+        let cache = Arc::new(ChunkCache::new(
+            self.config.cache_budget,
+            self.config.cache_shards,
+        ));
+        if obs.enabled() {
+            serve.set_obs(Arc::clone(obs.registry()));
+            cache.set_obs(Arc::clone(obs.registry()));
+        }
         RStore {
-            serve: ServeCore::new(
-                self.config.fetch_threads,
-                cluster.node_count(),
-                self.config.max_concurrent_queries,
-                self.config.max_queued,
-            ),
+            serve,
             cluster: Arc::new(cluster),
-            cache: Arc::new(ChunkCache::new(
-                self.config.cache_budget,
-                self.config.cache_shards,
-            )),
+            cache,
+            obs,
             config: self.config,
             graph: VersionGraph::new(),
             contents: Vec::new(),
@@ -608,6 +655,10 @@ pub struct RStore {
     /// The serving core: shared fetch pool (lazily started) plus
     /// admission control.
     pub(crate) serve: ServeCore,
+    /// The observability hub (PR 9): metrics registry, trace sampler
+    /// and slow-query log. Behind `Arc` so the execution layer shares
+    /// it without borrowing.
+    pub(crate) obs: Arc<Obs>,
     pub(crate) config: StoreConfig,
     pub(crate) graph: VersionGraph,
     /// Per version: sorted `(pk, origin)` pairs.
@@ -752,6 +803,21 @@ impl RStore {
         plan::worker_count(self.config.ingest_threads)
     }
 
+    /// Records one ingest pass's stage breakdown into the metrics
+    /// registry (shared by bulk load and online flush).
+    fn record_ingest_stages(&self, stages: &IngestStages) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let r = self.obs.registry();
+        r.ingest_stages.record("subchunk", stages.subchunk);
+        r.ingest_stages.record("partition", stages.partition);
+        r.ingest_stages.record("assemble", stages.assemble);
+        r.ingest_stages.record("index", stages.index);
+        r.ingest_stages.record("write", stages.write);
+        r.ingest_stages.record("modeled_write", stages.modeled_write);
+    }
+
     // ------------------------------------------------------------------
     // Offline bulk load
     // ------------------------------------------------------------------
@@ -861,6 +927,7 @@ impl RStore {
         let (meta_modeled, meta_wait) = self.persist_meta()?;
         stages.modeled_write += meta_modeled;
         stages.write += meta_wait;
+        self.record_ingest_stages(&stages);
 
         Ok(LoadReport {
             num_chunks: self.chunk_maps.len(),
@@ -1034,15 +1101,23 @@ impl RStore {
         if config.breaker.enabled {
             cluster.set_breaker(config.breaker);
         }
+        let obs = Obs::new(config.obs);
+        let serve = ServeCore::new(
+            config.fetch_threads,
+            cluster.node_count(),
+            config.max_concurrent_queries,
+            config.max_queued,
+        );
+        let cache = Arc::new(ChunkCache::new(config.cache_budget, config.cache_shards));
+        if obs.enabled() {
+            serve.set_obs(Arc::clone(obs.registry()));
+            cache.set_obs(Arc::clone(obs.registry()));
+        }
         let mut store = RStore {
-            serve: ServeCore::new(
-                config.fetch_threads,
-                cluster.node_count(),
-                config.max_concurrent_queries,
-                config.max_queued,
-            ),
+            serve,
             cluster: Arc::new(cluster),
-            cache: Arc::new(ChunkCache::new(config.cache_budget, config.cache_shards)),
+            cache,
+            obs,
             config,
             graph,
             contents: Vec::new(),
@@ -1243,6 +1318,7 @@ impl RStore {
         if self.pending.is_empty() {
             return Ok(FlushReport::default());
         }
+        let flush_t0 = Instant::now();
         let workers = self.ingest_workers();
         let mut stages = IngestStages {
             workers,
@@ -1343,6 +1419,14 @@ impl RStore {
         let (meta_modeled, meta_wait) = self.persist_meta()?;
         stages.modeled_write += meta_modeled;
         stages.write += meta_wait;
+        self.record_ingest_stages(&stages);
+        if self.obs.enabled() {
+            let r = self.obs.registry();
+            r.flushes.inc();
+            // Flush end-to-end, excluding any auto-compaction below
+            // (that run records itself under `rstore_compact_*`).
+            r.ingest_flush.record_duration(flush_t0.elapsed());
+        }
 
         // Auto-compaction: after the configured number of flushes the
         // layout is measured, and if it decayed past the policy
@@ -1458,12 +1542,35 @@ impl RStore {
         plan: QueryPlan,
         deadline: Option<Duration>,
     ) -> Result<ExecutedQuery, CoreError> {
+        self.execute_traced(plan, deadline, None)
+    }
+
+    /// The pooled execution path with an optional trace sink:
+    /// admission, then the scatter-gather rounds under the store's
+    /// tail-defense policy, with the registry and sink threaded into
+    /// the executor. [`RStore::query_with_stats`] passes the sink of
+    /// sampled queries; every other caller passes `None`.
+    fn execute_traced(
+        &self,
+        plan: QueryPlan,
+        deadline: Option<Duration>,
+        trace: Option<&Arc<TraceSink>>,
+    ) -> Result<ExecutedQuery, CoreError> {
+        let admit_t = Instant::now();
         let guard = self.serve.admit_within(plan.span(), deadline)?;
         let waited = guard.waited();
+        if let Some(t) = trace {
+            t.add("admission".into(), TID_QUERY, admit_t);
+        }
         let policy = ExecPolicy {
             hedge: self.config.hedge,
             // The fetch rounds get whatever the queue left over.
             deadline: deadline.map(|d| d.saturating_sub(waited)),
+            obs: self
+                .obs
+                .enabled()
+                .then(|| Arc::clone(self.obs.registry())),
+            trace: trace.cloned(),
         };
         match plan::execute_plan_with(
             &self.cluster,
@@ -1519,6 +1626,143 @@ impl RStore {
         self.serve.stats()
     }
 
+    /// The observability hub: registry, trace sampler, slow log.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The most recent sampled query trace (None until a query is
+    /// sampled; sample every query with
+    /// [`RStoreBuilder::trace_sample`]`(1.0)`).
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.obs.last_trace()
+    }
+
+    /// Oldest-first snapshot of the slow-query log: queries over the
+    /// [`RStoreBuilder::slow_query_threshold`], shed by admission
+    /// control, or deadline-tripped.
+    pub fn slow_log(&self) -> Vec<SlowQuery> {
+        self.obs.slow_log()
+    }
+
+    /// Renders every metric — the push-based registry plus gauges
+    /// pulled from the cluster, serving-core, cache, fragmentation
+    /// and per-node health surfaces — in Prometheus text exposition
+    /// format.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        self.obs.registry().render(&mut out);
+
+        // Pull-based gauges: point-in-time views of the pre-PR 9
+        // snapshot surfaces, named into the same convention.
+        let snap = self.cluster.stats();
+        obs::render_counter(&mut out, "rstore_cluster_requests_total", "Backend requests", snap.requests);
+        obs::render_counter(&mut out, "rstore_cluster_bytes_read_total", "Backend bytes read", snap.bytes_read);
+        obs::render_counter(&mut out, "rstore_cluster_bytes_written_total", "Backend bytes written", snap.bytes_written);
+        obs::render_counter(&mut out, "rstore_cluster_retries_total", "Cluster-layer in-place retries", snap.retries);
+        obs::render_counter(&mut out, "rstore_cluster_faults_injected_total", "Injected faults", snap.faults_injected);
+        obs::render_counter(&mut out, "rstore_cluster_hints_recorded_total", "Handoff hints recorded", snap.hints_recorded);
+        obs::render_counter(&mut out, "rstore_cluster_hints_replayed_total", "Handoff hints replayed", snap.hints_replayed);
+        obs::render_gauge(&mut out, "rstore_cluster_under_replicated_keys", "Keys currently under-replicated", "", snap.under_replicated as f64);
+
+        let serve = self.serve.stats();
+        obs::render_gauge(&mut out, "rstore_serve_pool_workers", "Fetch-pool workers started", "", serve.pool_size as f64);
+        obs::render_counter(&mut out, "rstore_serve_jobs_total", "Fetch-pool jobs run", serve.jobs_run);
+        obs::render_counter(&mut out, "rstore_serve_admitted_total", "Queries admitted", serve.admitted);
+        obs::render_counter(&mut out, "rstore_serve_shed_total", "Queries shed at admission", serve.shed);
+        obs::render_gauge(&mut out, "rstore_serve_peak_in_flight", "Peak concurrent queries", "", serve.peak_in_flight as f64);
+        obs::render_gauge(&mut out, "rstore_serve_peak_queued", "Peak admission queue depth", "", serve.peak_queued as f64);
+
+        let cache = self.cache_stats();
+        obs::render_gauge(&mut out, "rstore_cache_resident_bytes", "Decoded-chunk cache resident bytes", "", cache.resident_bytes as f64);
+        obs::render_gauge(&mut out, "rstore_cache_resident_chunks", "Decoded-chunk cache resident chunks", "", cache.resident_chunks as f64);
+
+        let frag = self.fragmentation_stats();
+        obs::render_gauge(&mut out, "rstore_store_versions", "Versions in the graph", "", self.version_count() as f64);
+        obs::render_gauge(&mut out, "rstore_store_live_chunks", "Live chunks", "", frag.live_chunks as f64);
+        obs::render_gauge(&mut out, "rstore_store_retired_chunks", "Chunks retired by compaction", "", frag.retired_chunks as f64);
+        obs::render_gauge(&mut out, "rstore_store_mean_chunk_fill", "Mean live-chunk fill fraction", "", frag.mean_fill);
+        obs::render_gauge(&mut out, "rstore_store_mean_version_span", "Mean per-version chunk span", "", frag.mean_version_span);
+        obs::render_gauge(&mut out, "rstore_store_read_amplification", "Estimated read amplification", "", frag.est_read_amplification);
+        obs::render_gauge(&mut out, "rstore_store_storage_bytes", "Stored compressed chunk bytes", "", self.storage_bytes() as f64);
+
+        // Per-node gauges + modeled service-time histograms off the
+        // health scoreboard (the distribution behind the hedge EWMA).
+        let health = self.cluster.node_health();
+        let loads = self.cluster.per_node_stats();
+        out.push_str("# HELP rstore_node_service_ewma_seconds Per-key modeled service-time EWMA\n# TYPE rstore_node_service_ewma_seconds gauge\n");
+        for h in &health {
+            out.push_str(&format!(
+                "rstore_node_service_ewma_seconds{{node=\"{}\"}} {}\n",
+                h.node,
+                h.ewma_service.as_secs_f64()
+            ));
+        }
+        out.push_str("# HELP rstore_node_error_rate Batch-failure EWMA per node\n# TYPE rstore_node_error_rate gauge\n");
+        for h in &health {
+            out.push_str(&format!(
+                "rstore_node_error_rate{{node=\"{}\"}} {}\n",
+                h.node, h.error_rate
+            ));
+        }
+        out.push_str("# HELP rstore_node_batches_total Scored successful batches per node\n# TYPE rstore_node_batches_total counter\n");
+        for h in &health {
+            out.push_str(&format!(
+                "rstore_node_batches_total{{node=\"{}\"}} {}\n",
+                h.node, h.batches
+            ));
+        }
+        out.push_str("# HELP rstore_node_keys_served_total Keys served per node\n# TYPE rstore_node_keys_served_total counter\n");
+        for l in &loads {
+            out.push_str(&format!(
+                "rstore_node_keys_served_total{{node=\"{}\"}} {}\n",
+                l.node, l.keys_served
+            ));
+        }
+        let node_hists: Vec<(String, rstore_kvstore::HistSnapshot)> = self
+            .cluster
+            .node_service_histograms()
+            .into_iter()
+            .enumerate()
+            .map(|(node, snap)| (format!("{{node=\"{node}\"}}"), snap))
+            .collect();
+        obs::render_hist_family(
+            &mut out,
+            "rstore_node_service_seconds",
+            "Modeled batch service time per node",
+            &node_hists,
+        );
+        out
+    }
+
+    /// One unified point-in-time snapshot across every subsystem —
+    /// the struct behind `rstore-cli stats --json`.
+    pub fn stats_snapshot(&self) -> obs::StoreStats {
+        let r = self.obs.registry();
+        obs::StoreStats {
+            versions: self.version_count(),
+            storage_bytes: self.storage_bytes(),
+            fragmentation: self.fragmentation_stats(),
+            cache: self.cache_stats(),
+            serve: self.serve.stats(),
+            backend: self.cluster.stats(),
+            query_wall: obs::HistSummary::of(&r.query_wall.snapshot()),
+            query_modeled: obs::HistSummary::of(&r.query_modeled.snapshot()),
+            queue_wait: obs::HistSummary::of(&r.queue_wait.snapshot()),
+            round_wall: obs::HistSummary::of(&r.round_wall.snapshot()),
+            queries: r.queries.get(),
+            shed: r.shed.get(),
+            deadline_exceeded: r.deadline_exceeded.get(),
+            slow_queries: r.slow_queries.get(),
+            hedges: r.hedges.get(),
+            hedge_wins: r.hedge_wins.get(),
+            retries: r.retries.get(),
+            failovers: r.failovers.get(),
+            flushes: r.flushes.get(),
+            compactions: r.compactions.get(),
+        }
+    }
+
     /// Stage 3 — **extract**, streaming: the full pipeline, returning
     /// a [`RecordStream`] that decompresses each chunk only when the
     /// consumer reaches it.
@@ -1534,14 +1778,41 @@ impl RStore {
         spec: QuerySpec,
     ) -> Result<(Vec<Record>, QueryStats), CoreError> {
         let t0 = Instant::now();
+        // Observability entry: sequence number + (for sampled
+        // queries only) a trace sink. The unsampled path pays one
+        // relaxed counter increment here.
+        let (seq, trace) = self.obs.begin_query();
+        let plan_span = obs::span_opt(&trace, TID_QUERY, || "plan".into());
         let plan = self.plan_query(spec)?;
+        drop(plan_span);
         let chunks_fetched = plan.span();
-        let mut stream = self.execute(plan)?.into_stream();
+        let mut stream = match self.execute_traced(plan, self.config.default_deadline, trace.as_ref())
+        {
+            Ok(executed) => executed.into_stream(),
+            Err(e) => {
+                // Shed and deadline-tripped queries still report in:
+                // outcome counters plus a slow-log entry each.
+                let (outcome, mut stats) = match &e {
+                    CoreError::Overloaded => (QueryOutcome::Shed, QueryStats::default()),
+                    CoreError::DeadlineExceeded { partial, .. } => {
+                        (QueryOutcome::DeadlineExceeded, **partial)
+                    }
+                    _ => return Err(e),
+                };
+                stats.chunks_fetched = chunks_fetched;
+                stats.elapsed = t0.elapsed();
+                self.obs
+                    .finish_query(seq, &spec, &stats, trace.as_ref(), outcome);
+                return Err(e);
+            }
+        };
+        let extract_span = obs::span_opt(&trace, TID_QUERY, || "extract".into());
         let mut records = stream.drain()?;
         match spec {
             QuerySpec::Evolution { .. } => records.sort_unstable_by_key(|r| r.origin),
             _ => records.sort_unstable_by_key(|r| r.pk),
         }
+        drop(extract_span);
         let fetch = stream.metrics();
         let stats = QueryStats {
             chunks_fetched,
@@ -1561,6 +1832,8 @@ impl RStore {
             modeled_network: fetch.modeled_network,
             queue_wait: fetch.queue_wait,
         };
+        self.obs
+            .finish_query(seq, &spec, &stats, trace.as_ref(), QueryOutcome::Ok);
         Ok((records, stats))
     }
 

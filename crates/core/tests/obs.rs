@@ -1,0 +1,325 @@
+//! Integration and property tests for the PR 9 observability layer:
+//!
+//! * the log-bucketed histogram keeps its documented guarantees on
+//!   random inputs — quantile relative error ≤ `REL_ERROR`, merges
+//!   are order-independent, quantiles are monotone in `q`;
+//! * the slow-query ring buffer stays bounded and retains the newest
+//!   entries, and the store-level threshold is respected end to end;
+//! * tracing at sample 1.0 yields a span tree covering admission,
+//!   planning, every fetch round and extraction, and exports valid
+//!   Chrome trace-event JSON;
+//! * the default configuration (metrics on, tracing off) changes
+//!   neither the answers nor the main-thread allocation count versus
+//!   a store built with `obs_enabled(false)`.
+
+use proptest::prelude::*;
+use rstore_core::model::VersionId;
+use rstore_core::obs::{SlowLog, SlowQuery, SlowReason};
+use rstore_core::partition::PartitionerKind;
+use rstore_core::query::QueryStats;
+use rstore_core::store::RStore;
+use rstore_kvstore::hist::REL_ERROR;
+use rstore_kvstore::{Cluster, HistSnapshot, Histogram};
+use rstore_vgraph::{Dataset, DatasetSpec};
+use std::time::Duration;
+
+// ── A counting allocator for the zero-overhead regression ──────────
+//
+// Wraps the system allocator and counts allocations made by the
+// *current thread* (fetch-pool workers allocate on their own threads
+// and are identical across both configurations anyway). The cell is
+// const-initialized so the counter itself never allocates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations made by this thread while running `f`.
+fn thread_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+// ── Histogram properties ────────────────────────────────────────────
+
+/// Values that stay below the top octave (2^46 ns ≈ 19.5 h), where
+/// the relative-error guarantee holds; larger values clamp.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    1u64..(1 << 46)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_relative_error_bounded(values in prop::collection::vec(value_strategy(), 1..64)) {
+        for &v in &values {
+            let h = Histogram::new();
+            h.record(v);
+            let q = h.snapshot().quantile(1.0).as_nanos() as u64;
+            prop_assert!(q >= v, "bucket bound {q} below recorded {v}");
+            prop_assert!(
+                (q - v) as f64 <= REL_ERROR * q as f64 + 1.0,
+                "relative error blown: recorded {v}, bound {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent(
+        xs in prop::collection::vec(value_strategy(), 0..128),
+        ys in prop::collection::vec(value_strategy(), 0..128),
+    ) {
+        let hx = Histogram::new();
+        for &v in &xs { hx.record(v); }
+        let hy = Histogram::new();
+        for &v in &ys { hy.record(v); }
+        let all = Histogram::new();
+        for &v in xs.iter().chain(&ys) { all.record(v); }
+
+        let mut xy = hx.snapshot();
+        xy.merge(&hy.snapshot());
+        let mut yx = hy.snapshot();
+        yx.merge(&hx.snapshot());
+        prop_assert_eq!(&xy, &yx, "merge must commute");
+        prop_assert_eq!(&xy, &all.snapshot(), "merge must equal combined recording");
+
+        let mut with_empty = hx.snapshot();
+        with_empty.merge(&HistSnapshot::empty());
+        prop_assert_eq!(&with_empty, &hx.snapshot(), "empty snapshot must be identity");
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone(
+        values in prop::collection::vec(value_strategy(), 1..256),
+        qs in prop::collection::vec(0.0f64..1.0, 2..16),
+    ) {
+        let h = Histogram::new();
+        for &v in &values { h.record(v); }
+        let s = h.snapshot();
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = Duration::ZERO;
+        for &q in &qs {
+            let val = s.quantile(q);
+            prop_assert!(val >= last, "quantile({q}) regressed: {val:?} < {last:?}");
+            last = val;
+        }
+        // Extremes bracket the recorded range.
+        let max = *values.iter().max().unwrap();
+        prop_assert!(s.quantile(1.0).as_nanos() as u64 >= max);
+        prop_assert!(s.quantile(0.0) > Duration::ZERO);
+    }
+}
+
+// ── Slow-log ring properties ────────────────────────────────────────
+
+fn entry(seq: u64) -> SlowQuery {
+    SlowQuery {
+        seq,
+        spec: format!("Version({seq})"),
+        reason: SlowReason::Threshold,
+        stats: QueryStats::default(),
+        trace: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slow_log_is_bounded_and_keeps_newest(
+        capacity in 1usize..32,
+        pushes in 0usize..100,
+    ) {
+        let log = SlowLog::new(capacity);
+        for seq in 0..pushes as u64 {
+            log.push(entry(seq));
+            prop_assert!(log.len() <= capacity, "ring overflowed its capacity");
+        }
+        let snap = log.snapshot();
+        prop_assert_eq!(snap.len(), pushes.min(capacity));
+        // Oldest-first snapshot of exactly the newest `capacity` seqs.
+        let expect_first = pushes.saturating_sub(capacity) as u64;
+        for (i, e) in snap.iter().enumerate() {
+            prop_assert_eq!(e.seq, expect_first + i as u64, "wrong entry retained");
+        }
+    }
+}
+
+// ── Store-level behaviour ───────────────────────────────────────────
+
+fn dataset() -> Dataset {
+    let mut spec = DatasetSpec::tiny(0x0B57);
+    spec.num_versions = 16;
+    spec.root_records = 60;
+    spec.update_frac = 0.25;
+    spec.record_size = 96;
+    spec.generate()
+}
+
+/// A loaded two-node store; `cache_budget(0)` keeps every query on
+/// the real fetch path, so traces contain actual fetch rounds.
+fn build_store(ds: &Dataset, configure: impl FnOnce(rstore_core::store::RStoreBuilder) -> rstore_core::store::RStoreBuilder) -> RStore {
+    let cluster = Cluster::builder().nodes(2).build();
+    let builder = RStore::builder()
+        .chunk_capacity(2048)
+        .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
+        .cache_budget(0);
+    let mut store = configure(builder).build(cluster);
+    store.load_dataset(ds).unwrap();
+    store
+}
+
+/// Minimal structural JSON validation: object/array nesting balances
+/// outside strings, strings close, and no trailing garbage. Enough to
+/// catch broken escaping or truncation in the hand-rolled exporter.
+fn assert_valid_json(s: &str) {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' | '{' => depth += 1,
+            ']' | '}' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced JSON nesting in {s:?}");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_str, "unterminated string in trace JSON");
+    assert_eq!(depth, 0, "unbalanced JSON nesting in trace JSON");
+}
+
+#[test]
+fn trace_at_full_sample_covers_the_query_lifecycle() {
+    let ds = dataset();
+    let store = build_store(&ds, |b| b.trace_sample(1.0));
+    let v = VersionId((store.version_count() / 2) as u32);
+    let records = store.get_version(v).unwrap();
+    assert!(!records.is_empty());
+
+    let trace = store.last_trace().expect("sample 1.0 must trace every query");
+    for phase in ["admission", "plan", "round", "extract"] {
+        assert!(
+            trace.has_span(phase),
+            "trace missing {phase:?} span; got {:?}",
+            trace.spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    let json = trace.to_chrome_json();
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert!(json.contains("\"ph\":\"X\""), "spans must be complete events");
+    assert_valid_json(&json);
+}
+
+#[test]
+fn slow_query_threshold_is_respected_end_to_end() {
+    let ds = dataset();
+
+    // An unreachable threshold captures nothing.
+    let calm = build_store(&ds, |b| b.slow_query_threshold(Duration::from_secs(3600)));
+    for v in 0..calm.version_count() as u32 {
+        calm.get_version(VersionId(v)).unwrap();
+    }
+    assert!(calm.slow_log().is_empty(), "nothing should cross a 1h threshold");
+
+    // A zero threshold captures everything, bounded by the ring.
+    let strict = build_store(&ds, |b| b.slow_query_threshold(Duration::ZERO));
+    let n = strict.version_count();
+    for v in 0..n as u32 {
+        strict.get_version(VersionId(v)).unwrap();
+    }
+    let log = strict.slow_log();
+    let capacity = strict.obs().slow().capacity();
+    assert_eq!(log.len(), n.min(capacity));
+    assert!(log.iter().all(|e| e.reason == SlowReason::Threshold));
+}
+
+#[test]
+fn default_obs_changes_neither_answers_nor_main_thread_allocations() {
+    let ds = dataset();
+    // Default: metrics on, tracing off. Versus: observability off.
+    let on = build_store(&ds, |b| b);
+    let off = build_store(&ds, |b| b.obs_enabled(false));
+    let n = on.version_count();
+
+    // Oracle identity across every version.
+    for v in 0..n as u32 {
+        let a = on.get_version(VersionId(v)).unwrap();
+        let b = off.get_version(VersionId(v)).unwrap();
+        assert_eq!(a.len(), b.len(), "version {v} cardinality diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pk, y.pk, "version {v} key order diverged");
+            assert_eq!(x.payload, y.payload, "version {v} payload diverged");
+        }
+    }
+
+    // With the cache disabled, repeating a query repeats its exact
+    // allocation sequence; the warm-up above has already paid every
+    // lazy one-time cost. The always-on metrics path is atomics only,
+    // so both configurations must allocate identically.
+    let v = VersionId((n / 2) as u32);
+    let allocs_off = thread_allocs(|| {
+        off.get_version(v).unwrap();
+    });
+    let allocs_on = thread_allocs(|| {
+        on.get_version(v).unwrap();
+    });
+    assert_eq!(
+        allocs_on, allocs_off,
+        "metrics-on (tracing off) must not allocate beyond the obs-off baseline"
+    );
+
+    // The registry really did count the workload on the obs-on store.
+    let stats = on.stats_snapshot();
+    assert!(stats.queries as usize > n, "registry missed queries: {}", stats.queries);
+    assert_eq!(stats.query_wall.count, stats.queries, "histogram/counter drift");
+}
+
+#[test]
+fn metrics_text_is_stable_and_monotone_across_scrapes() {
+    let ds = dataset();
+    let store = build_store(&ds, |b| b);
+    for v in 0..store.version_count() as u32 {
+        store.get_version(VersionId(v)).unwrap();
+    }
+    let first = store.metrics_text();
+    store.get_version(VersionId(0)).unwrap();
+    let second = store.metrics_text();
+    rstore_core::obs::validate_scrapes(&first, &second)
+        .expect("scrapes must parse, stay unique and move monotonically");
+}

@@ -535,6 +535,13 @@ impl Cluster {
         self.health.ewma_service(node)
     }
 
+    /// Per-node modeled *batch* service-time histograms, in node-id
+    /// order — the full distribution behind [`Self::node_service_ewma`],
+    /// recorded lock-free on every scored batch.
+    pub fn node_service_histograms(&self) -> Vec<crate::hist::HistSnapshot> {
+        self.health.service_histograms()
+    }
+
     /// Swaps the circuit-breaker policy at runtime (the store layer
     /// wires its `StoreConfig::breaker` knob through here).
     pub fn set_breaker(&self, policy: BreakerPolicy) {

@@ -47,6 +47,7 @@
 //! failure mode — and the cooldown guarantees the set becomes
 //! selectable again.
 
+use crate::hist::{HistSnapshot, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -150,11 +151,25 @@ struct NodeScore {
 /// The cluster's shared health scoreboard: one score per node plus a
 /// monotonic tick counter advanced on every scored batch attempt —
 /// the deterministic "clock" breaker cooldowns count in.
-#[derive(Debug)]
 pub(crate) struct HealthBoard {
     scores: Vec<Mutex<NodeScore>>,
     policy: Mutex<BreakerPolicy>,
     ticks: AtomicU64,
+    /// Per-node *batch* modeled service-time distribution — the
+    /// full-history counterpart of the per-key EWMA above. Lock-free
+    /// to record, so it rides along every scored success for free;
+    /// the observability layer exposes it as
+    /// `rstore_node_service_seconds{node=...}`.
+    service_hist: Vec<Histogram>,
+}
+
+impl std::fmt::Debug for HealthBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthBoard")
+            .field("nodes", &self.scores.len())
+            .field("ticks", &self.ticks.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl HealthBoard {
@@ -163,6 +178,7 @@ impl HealthBoard {
             scores: (0..nodes).map(|_| Mutex::new(NodeScore::default())).collect(),
             policy: Mutex::new(policy),
             ticks: AtomicU64::new(0),
+            service_hist: (0..nodes).map(|_| Histogram::new()).collect(),
         }
     }
 
@@ -188,6 +204,9 @@ impl HealthBoard {
         let Some(score) = self.scores.get(node) else {
             return;
         };
+        if let Some(h) = self.service_hist.get(node) {
+            h.record_duration(modeled);
+        }
         let per_key = modeled.as_nanos() as f64 / keys.max(1) as f64;
         let mut s = score.lock().expect("health score poisoned");
         s.ewma_service_nanos = if s.batches == 0 {
@@ -248,6 +267,12 @@ impl HealthBoard {
             let s = score.lock().expect("health score poisoned");
             Duration::from_nanos(s.ewma_service_nanos as u64)
         })
+    }
+
+    /// Snapshots every node's batch service-time histogram, in
+    /// node-id order.
+    pub(crate) fn service_histograms(&self) -> Vec<HistSnapshot> {
+        self.service_hist.iter().map(Histogram::snapshot).collect()
     }
 
     /// A snapshot of every node's health, in node-id order.

@@ -29,6 +29,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod health;
+pub mod hist;
 pub mod msg;
 pub mod netmodel;
 pub mod ring;
@@ -40,6 +41,7 @@ pub use engine::SyncPolicy;
 pub use error::KvError;
 pub use fault::{FaultAction, FaultPlan, FaultRule, RetryPolicy, TailDamage};
 pub use health::{BreakerPolicy, BreakerState, NodeHealth};
+pub use hist::{HistSnapshot, Histogram};
 pub use msg::{BatchDelete, BatchGet, BatchPut};
 pub use netmodel::NetworkModel;
 pub use stats::{NodeLoad, StatsSnapshot};

@@ -13,9 +13,10 @@
 //! rstore-cli --data-dir /tmp/db stats
 //! ```
 
+use rstore::core::obs::validate_scrapes;
 use rstore::core::plan::{HedgeConfig, ReadRouting};
 use rstore::core::store::{CommitRequest, RStore, StoreConfig};
-use rstore::core::{CoreError, VersionId};
+use rstore::core::{CoreError, TraceConfig, VersionId};
 use rstore::kvstore::{BreakerPolicy, BreakerState, Cluster, EngineKind, FaultPlan};
 use std::path::PathBuf;
 use std::process::exit;
@@ -60,7 +61,12 @@ fn usage() -> ! {
            get PK --version V                     one record from a version\n\
            history PK                             evolution of a key\n\
            log                                    the version graph\n\
-           stats                                  store + fragmentation + per-node load + serving-core statistics\n\
+           stats [--prom|--json]                  store + fragmentation + per-node load + serving-core statistics\n\
+                                                  (--prom: Prometheus text exposition; --json: unified JSON snapshot)\n\
+           trace [--version V]                    run a traced checkout, print the Chrome trace-event JSON\n\
+           slowlog [--threshold MS]               run a checkout per version with the slow-query log armed, print it\n\
+           smoke [--dir OUT]                      in-process observability smoke: workload, two scrapes,\n\
+                                                  monotonicity validation; writes scrape/trace artifacts to OUT\n\
            compact                                repartition fragmented chunks in place"
     );
     exit(2)
@@ -203,19 +209,33 @@ fn open_cluster(args: &Args) -> Cluster {
     b.build()
 }
 
+fn store_config(args: &Args) -> StoreConfig {
+    StoreConfig {
+        batch_size: 1,
+        read_routing: args.routing,
+        fetch_threads: args.fetch_threads,
+        hedge: args.hedge.then(HedgeConfig::default),
+        default_deadline: args.deadline,
+        breaker: args.breaker.unwrap_or_else(BreakerPolicy::disabled),
+        ..StoreConfig::default()
+    }
+}
+
 fn open_store(args: &Args) -> Result<RStore, CoreError> {
-    RStore::reopen(
-        StoreConfig {
-            batch_size: 1,
-            read_routing: args.routing,
-            fetch_threads: args.fetch_threads,
-            hedge: args.hedge.then(HedgeConfig::default),
-            default_deadline: args.deadline,
-            breaker: args.breaker.unwrap_or_else(BreakerPolicy::disabled),
-            ..StoreConfig::default()
-        },
-        open_cluster(args),
-    )
+    RStore::reopen(store_config(args), open_cluster(args))
+}
+
+/// Reopens the store with the trace sampler and/or slow-query log
+/// armed (the `trace`, `slowlog` and `smoke` commands).
+fn open_store_observed(
+    args: &Args,
+    sample: f64,
+    slow_threshold: Option<Duration>,
+) -> Result<RStore, CoreError> {
+    let mut cfg = store_config(args);
+    cfg.obs.trace = TraceConfig { sample };
+    cfg.obs.slow_threshold = slow_threshold;
+    RStore::reopen(cfg, open_cluster(args))
 }
 
 fn print_records(records: &[rstore::core::Record]) {
@@ -335,6 +355,14 @@ fn run() -> Result<(), CoreError> {
         }
         "stats" => {
             let store = open_store(&args)?;
+            if args.rest.iter().any(|a| a == "--prom") {
+                print!("{}", store.metrics_text());
+                return Ok(());
+            }
+            if args.rest.iter().any(|a| a == "--json") {
+                println!("{}", store.stats_snapshot().to_json());
+                return Ok(());
+            }
             let (vbytes, kbytes) = store.index_bytes();
             let frag = store.fragmentation_stats();
             println!("versions:            {}", store.version_count());
@@ -427,6 +455,142 @@ fn run() -> Result<(), CoreError> {
             println!(
                 "queue wait:          {:.3} ms total",
                 serve.total_queue_wait.as_secs_f64() * 1e3
+            );
+        }
+        "trace" => {
+            // Sample every query, checkout one version, print the
+            // span tree as Chrome trace-event JSON (load it at
+            // chrome://tracing or in Perfetto).
+            let mut version = None;
+            let mut it = args.rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--version" {
+                    version = it.next().and_then(|s| s.parse::<u32>().ok());
+                }
+            }
+            let store = open_store_observed(&args, 1.0, None)?;
+            let v = VersionId(version.unwrap_or((store.version_count() - 1) as u32));
+            let (records, stats) = store.get_version_with_stats(v)?;
+            let Some(trace) = store.last_trace() else {
+                eprintln!("no trace captured (query failed before sampling?)");
+                exit(1);
+            };
+            eprintln!(
+                "traced checkout of {v}: {} record(s), {} span(s), {:?} wall",
+                records.len(),
+                trace.spans.len(),
+                stats.elapsed
+            );
+            println!("{}", trace.to_chrome_json());
+        }
+        "slowlog" => {
+            // Arm the slow-query log (default threshold 0 captures
+            // every query), run one checkout per version, dump it.
+            let mut threshold = Duration::ZERO;
+            let mut it = args.rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--threshold" {
+                    let Some(ms) = it.next().and_then(|s| s.parse::<u64>().ok()) else {
+                        eprintln!("--threshold expects milliseconds");
+                        exit(2)
+                    };
+                    threshold = Duration::from_millis(ms);
+                }
+            }
+            let store = open_store_observed(&args, 1.0, Some(threshold))?;
+            for v in 0..store.version_count() as u32 {
+                let _ = store.get_version(VersionId(v))?;
+            }
+            let log = store.slow_log();
+            if log.is_empty() {
+                println!("slow-query log empty (threshold {threshold:?})");
+            }
+            for e in &log {
+                println!(
+                    "#{}\t[{}]\t{:.3} ms wall, {} chunk(s) fetched, {} record(s)\t{}\t{}",
+                    e.seq,
+                    e.reason.as_str(),
+                    e.stats.elapsed.as_secs_f64() * 1e3,
+                    e.stats.chunks_fetched,
+                    e.stats.records,
+                    e.spec,
+                    match &e.trace {
+                        Some(t) => format!("({} span(s) traced)", t.spans.len()),
+                        None => "(untraced)".into(),
+                    },
+                );
+            }
+        }
+        "smoke" => {
+            // Single-process observability smoke for CI: build a small
+            // store, run a query workload, scrape the Prometheus text
+            // twice and validate (parseable, unique series, monotone
+            // counters), then write the scrapes + a trace artifact.
+            let mut out_dir = args.data_dir.clone();
+            let mut it = args.rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--dir" {
+                    let Some(d) = it.next() else {
+                        eprintln!("--dir expects a directory");
+                        exit(2)
+                    };
+                    out_dir = PathBuf::from(d);
+                }
+            }
+            let mut store = RStore::builder()
+                .batch_size(1)
+                .trace_sample(1.0)
+                .slow_query_threshold(Duration::ZERO)
+                .build(open_cluster(&args));
+            let mut req = CommitRequest::root(
+                (0..16u64).map(|pk| (pk, format!("{{\"k\":{pk}}}").into_bytes())),
+            );
+            let mut v = store.commit(req)?;
+            for round in 1..6u64 {
+                req = CommitRequest::child_of(v);
+                for pk in 0..16u64 {
+                    if (pk + round) % 3 == 0 {
+                        req = req.put(pk, format!("{{\"k\":{pk},\"r\":{round}}}").into_bytes());
+                    }
+                }
+                v = store.commit(req)?;
+            }
+            store.seal()?;
+            for vid in 0..store.version_count() as u32 {
+                let _ = store.get_version(VersionId(vid))?;
+            }
+            let scrape1 = store.metrics_text();
+            for pk in 0..16u64 {
+                let _ = store.get_evolution(pk)?;
+                let _ = store.get_record(pk, v)?;
+            }
+            let scrape2 = store.metrics_text();
+            if let Err(e) = std::fs::create_dir_all(&out_dir) {
+                eprintln!("cannot create {}: {e}", out_dir.display());
+                exit(1);
+            }
+            let write_artifact = |name: &str, data: &str| {
+                let path = out_dir.join(name);
+                if let Err(e) = std::fs::write(&path, data) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    exit(1);
+                }
+            };
+            write_artifact("scrape1.prom", &scrape1);
+            write_artifact("scrape2.prom", &scrape2);
+            write_artifact("stats.json", &store.stats_snapshot().to_json());
+            if let Some(trace) = store.last_trace() {
+                write_artifact("trace.json", &trace.to_chrome_json());
+            }
+            if let Err(e) = validate_scrapes(&scrape1, &scrape2) {
+                eprintln!("scrape validation FAILED: {e}");
+                exit(1);
+            }
+            println!(
+                "smoke ok: {} queries, {} slow-log entries, scrapes valid, artifacts in {}",
+                store.stats_snapshot().queries,
+                store.slow_log().len(),
+                out_dir.display()
             );
         }
         "compact" => {
