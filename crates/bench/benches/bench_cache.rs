@@ -33,7 +33,7 @@ fn skewed_dataset() -> Dataset {
 
 fn build_store(dataset: &Dataset, cache_budget: usize) -> RStore {
     let kind = PartitionerKind::BottomUp { beta: usize::MAX };
-    let mut store = if cache_budget > 0 {
+    let store = if cache_budget > 0 {
         make_cached_store(
             4,
             kind,

@@ -68,7 +68,7 @@ fn fragmented_store(ds: &Dataset) -> RStore {
         .nodes(NODES)
         .network(network())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(CHUNK_CAPACITY)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .batch_size(BATCH_SIZE)
@@ -81,7 +81,7 @@ fn fragmented_store(ds: &Dataset) -> RStore {
             ..CompactionConfig::default()
         })
         .build(cluster);
-    replay_commits(&mut store, ds).expect("replay");
+    replay_commits(&store, ds).expect("replay");
     store
 }
 
@@ -128,7 +128,7 @@ fn sample_queries(store: &RStore) -> QuerySample {
 fn bench_query_modes(c: &mut Criterion) {
     let ds = dataset();
     let fragmented = fragmented_store(&ds);
-    let mut compacted = fragmented_store(&ds);
+    let compacted = fragmented_store(&ds);
     compacted.compact().expect("compact").expect("victims");
     let mid = VersionId((fragmented.version_count() / 2) as u32);
     let mut g = c.benchmark_group(format!("version_query_{NODES}node_sleeping_net"));
@@ -144,7 +144,7 @@ fn bench_query_modes(c: &mut Criterion) {
 /// Direct acceptance measurement + machine-readable emission.
 fn acceptance_summary(_c: &mut Criterion) {
     let ds = dataset();
-    let mut store = fragmented_store(&ds);
+    let store = fragmented_store(&ds);
     let flushes = ds.graph.len() / BATCH_SIZE;
     assert!(flushes >= 20, "trace too short to fragment: {flushes} flushes");
 

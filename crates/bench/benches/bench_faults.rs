@@ -112,7 +112,7 @@ struct FaultSample {
 /// instead of unwrapping: the no-retry configuration is *expected* to
 /// surface errors.
 fn sample(setup: Setup, ds: &Dataset) -> FaultSample {
-    let mut store = build_store(setup);
+    let store = build_store(setup);
     let t0 = Instant::now();
     let ingest_failed = store.load_dataset(ds).is_err();
     let ingest_wall = t0.elapsed();
@@ -159,12 +159,12 @@ fn sample(setup: Setup, ds: &Dataset) -> FaultSample {
 fn bench_fault_modes(c: &mut Criterion) {
     let ds = dataset();
     let calm = {
-        let mut s = build_store(Setup::Calm);
+        let s = build_store(Setup::Calm);
         s.load_dataset(&ds).unwrap();
         s
     };
     let flaky = {
-        let mut s = build_store(Setup::FlakyRetry);
+        let s = build_store(Setup::FlakyRetry);
         s.load_dataset(&ds).unwrap();
         s
     };
@@ -173,13 +173,13 @@ fn bench_fault_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("faults_{NODES}node_r{REPLICATION}_virtual"));
     g.bench_function("flush_calm", |b| {
         b.iter(|| {
-            let mut s = build_store(Setup::Calm);
+            let s = build_store(Setup::Calm);
             black_box(s.load_dataset(&ds).unwrap());
         })
     });
     g.bench_function("flush_flaky_retry", |b| {
         b.iter(|| {
-            let mut s = build_store(Setup::FlakyRetry);
+            let s = build_store(Setup::FlakyRetry);
             black_box(s.load_dataset(&ds).unwrap());
         })
     });

@@ -99,7 +99,7 @@ fn build_store(hedged: bool) -> RStore {
             min: Duration::from_micros(1500),
         });
     }
-    let mut store = builder.build(cluster);
+    let store = builder.build(cluster);
     store.load_dataset(&dataset()).unwrap();
     store
 }

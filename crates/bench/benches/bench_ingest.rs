@@ -68,7 +68,7 @@ fn load_once(ds: &Dataset, threads: usize) -> (Duration, LoadReport) {
         .nodes(NODES)
         .network(network())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(CHUNK_CAPACITY)
         .max_subchunk(4)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })

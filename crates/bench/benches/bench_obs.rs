@@ -55,7 +55,7 @@ fn build_store(ds: &Dataset, obs: bool) -> RStore {
         .nodes(NODES)
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(CHUNK_CAPACITY)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .cache_budget(0)

@@ -39,7 +39,7 @@ fn dataset() -> Dataset {
 /// A loaded store over a sleeping-LAN cluster with the cache
 /// disabled, so every query pays the full fetch path.
 fn build_store(dataset: &Dataset) -> RStore {
-    let mut store = make_store(
+    let store = make_store(
         NODES,
         PartitionerKind::BottomUp { beta: usize::MAX },
         1,

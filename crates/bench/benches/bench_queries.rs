@@ -17,7 +17,7 @@ fn bench_queries(c: &mut Criterion) {
     spec.update_frac = 0.1;
     spec.record_size = 128;
     let dataset = spec.generate();
-    let mut store = make_store(
+    let store = make_store(
         4,
         PartitionerKind::BottomUp { beta: usize::MAX },
         1,
@@ -72,7 +72,7 @@ fn bench_commit(c: &mut Criterion) {
     use rstore_core::store::CommitRequest;
     let mut g = c.benchmark_group("ingest");
     g.bench_function("commit_10_changes_batch16", |b| {
-        let mut store = make_store(
+        let store = make_store(
             2,
             PartitionerKind::BottomUp { beta: usize::MAX },
             1,

@@ -53,7 +53,7 @@ fn build_store(dataset: &Dataset, routing: ReadRouting) -> RStore {
         .replication(REPLICATION)
         .network(NetworkModel::lan())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(CHUNK_CAPACITY)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .cache_budget(0)

@@ -127,7 +127,7 @@ fn build_store_with_queue(max_queued: Option<usize>) -> RStore {
     if let Some(q) = max_queued {
         builder = builder.max_queued(q);
     }
-    let mut store = builder.build(cluster);
+    let store = builder.build(cluster);
     store.load_dataset(&dataset()).unwrap();
     store
 }

@@ -156,7 +156,7 @@ fn main() {
         let mut ingest_rows = Vec::new();
         for kind in kinds {
             for &k in &ks {
-                let mut store =
+                let store =
                     make_store(NODES, kind, k, CHUNK_CAPACITY, NetworkModel::lan_virtual());
                 let report = store.load_dataset(&dataset).unwrap();
                 let times = run_workload(&store, &dataset, max_pk);
@@ -223,7 +223,7 @@ fn main() {
 
         // SUBCHUNK caption numbers.
         {
-            let mut store = make_store(
+            let store = make_store(
                 NODES,
                 PartitionerKind::SubchunkBaseline,
                 usize::MAX,
@@ -261,7 +261,7 @@ fn main() {
         // the decoded-chunk cache disabled vs. enabled.
         let mut cache_rows = Vec::new();
         for (label, budget) in [("cache off", 0usize), ("cache 64MB", 64 << 20)] {
-            let mut store = make_cached_store(
+            let store = make_cached_store(
                 NODES,
                 PartitionerKind::BottomUp { beta: usize::MAX },
                 1,

@@ -61,7 +61,7 @@ fn run(name: &str, base_versions: usize, make_spec: fn(usize) -> DatasetSpec) {
         // Weak scaling: data grows with the cluster.
         let spec = make_spec(base_versions * nodes);
         let dataset = spec.generate();
-        let mut store = make_store(
+        let store = make_store(
             nodes,
             PartitionerKind::BottomUp { beta: usize::MAX },
             1,

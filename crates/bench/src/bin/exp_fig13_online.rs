@@ -72,8 +72,8 @@ fn main() {
         // Compaction (PR 4): the online penalty is not permanent — one
         // background repartition wins the offline layout quality back.
         let batch = (n / 8).max(1);
-        let mut online_store = make_store(batch);
-        online::replay_commits(&mut online_store, &dataset).unwrap();
+        let online_store = make_store(batch);
+        online::replay_commits(&online_store, &dataset).unwrap();
         // Per-flush latency distribution from the always-on metrics
         // registry (PR 9): mean alone hides the straggler flushes.
         let flush = HistSummary::of(&online_store.obs().registry().ingest_flush.snapshot());
@@ -84,7 +84,7 @@ fn main() {
             fmt_duration(flush.p50),
             fmt_duration(flush.p99),
         );
-        let mut offline_store = make_store(usize::MAX);
+        let offline_store = make_store(usize::MAX);
         offline_store.load_dataset(&dataset).unwrap();
         let offline_span = offline_store.total_version_span().max(1);
         let before = online_store.fragmentation_stats();

@@ -89,6 +89,12 @@ impl DecodedChunk {
 struct Entry {
     value: Arc<DecodedChunk>,
     stamp: u64,
+    /// Snapshot generation of the reader that admitted the entry
+    /// (PR 10): probes pass a per-chunk floor — the generation whose
+    /// publish last rewrote the chunk's backend map — and entries
+    /// stamped below it are dropped lazily on probe instead of
+    /// eagerly inside the mutator's critical section.
+    gen: u64,
 }
 
 #[derive(Default)]
@@ -212,44 +218,67 @@ impl ChunkCache {
         &self.shards[id as usize % self.shards.len()]
     }
 
-    /// Looks up a chunk, refreshing its recency on hit.
-    pub fn get(&self, id: u32) -> Option<Arc<DecodedChunk>> {
+    /// Looks up a chunk, refreshing its recency on hit. `min_gen` is
+    /// the probing snapshot's floor for this chunk (the generation
+    /// whose publish last rewrote its backend map): an entry stamped
+    /// below it may hold the pre-rewrite decoded pair, so it is
+    /// dropped here — lazy, on the reader's probe — and the lookup
+    /// reports a miss. Entries stamped *at or above* the floor are
+    /// valid for every snapshot whose map is unchanged (backend maps
+    /// only grow; see [`StoreSnapshot`](crate::store::StoreSnapshot)).
+    pub fn get(&self, id: u32, min_gen: u64) -> Option<Arc<DecodedChunk>> {
         if !self.enabled() {
             return None;
         }
         let mut shard = self.shard_of(id).lock().unwrap();
+        let mut stale = false;
         if let Some(entry) = shard.map.get(&id) {
-            let value = Arc::clone(&entry.value);
-            shard.touch(id);
-            drop(shard);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if let Some(r) = self.obs.get() {
-                r.cache_hits.inc();
+            if entry.gen >= min_gen {
+                let value = Arc::clone(&entry.value);
+                shard.touch(id);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(r) = self.obs.get() {
+                    r.cache_hits.inc();
+                }
+                return Some(value);
             }
-            Some(value)
-        } else {
-            drop(shard);
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            if let Some(r) = self.obs.get() {
-                r.cache_misses.inc();
-            }
-            None
+            shard.remove(id);
+            stale = true;
         }
+        drop(shard);
+        if stale {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_invalidations.inc();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = self.obs.get() {
+            r.cache_misses.inc();
+        }
+        None
     }
 
-    /// Inserts (or replaces) a decoded chunk, evicting least-recently
-    /// used entries until the shard is back under budget. Entries
-    /// larger than a whole shard's budget are not cached.
-    pub fn insert(&self, id: u32, value: Arc<DecodedChunk>) {
+    /// Inserts (or replaces) a decoded chunk stamped with the
+    /// admitting snapshot's generation, evicting least-recently used
+    /// entries until the shard is back under budget. Entries larger
+    /// than a whole shard's budget are not cached. An existing entry
+    /// with a *newer* stamp wins: a reader pinned to an old snapshot
+    /// must not clobber the fresher pair a newer reader admitted.
+    pub fn insert(&self, id: u32, value: Arc<DecodedChunk>, gen: u64) {
         if !self.enabled() || value.cost > self.shard_budget {
             return;
         }
         let mut shard = self.shard_of(id).lock().unwrap();
+        if shard.map.get(&id).is_some_and(|e| e.gen > gen) {
+            return;
+        }
         shard.remove(id);
         let stamp = shard.next_stamp;
         shard.next_stamp += 1;
         shard.bytes += value.cost;
-        shard.map.insert(id, Entry { value, stamp });
+        shard.map.insert(id, Entry { value, stamp, gen });
         shard.lru.insert(stamp, id);
         let mut evicted = 0u64;
         while shard.bytes > self.shard_budget {
@@ -277,6 +306,27 @@ impl ChunkCache {
         }
         let removed = self.shard_of(id).lock().unwrap().remove(id);
         if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            if let Some(r) = self.obs.get() {
+                r.cache_invalidations.inc();
+            }
+        }
+    }
+
+    /// Drops the chunk's entry only if it is stamped below `gen` —
+    /// the generation-aware sweep mutators run *after* publishing:
+    /// an entry a newer reader already refreshed survives.
+    pub fn invalidate_below(&self, id: u32, gen: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.shard_of(id).lock().unwrap();
+        let stale = shard.map.get(&id).is_some_and(|e| e.gen < gen);
+        if stale {
+            shard.remove(id);
+        }
+        drop(shard);
+        if stale {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
             if let Some(r) = self.obs.get() {
                 r.cache_invalidations.inc();
@@ -358,8 +408,8 @@ mod tests {
     fn zero_budget_disables() {
         let cache = ChunkCache::new(0, 4);
         assert!(!cache.enabled());
-        cache.insert(1, decoded(1, 64));
-        assert!(cache.get(1).is_none());
+        cache.insert(1, decoded(1, 64), 1);
+        assert!(cache.get(1, 0).is_none());
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 0);
         assert_eq!(s.resident_chunks, 0);
@@ -371,22 +421,22 @@ mod tests {
         // the shard split; shard count collapses instead.
         let cache = ChunkCache::new(4, 8);
         assert!(cache.enabled());
-        assert!(cache.get(1).is_none());
+        assert!(cache.get(1, 0).is_none());
         assert_eq!(cache.stats().misses, 1, "enabled cache counts lookups");
         // A 1 MB budget across absurdly many shards still leaves
         // shards big enough to hold a typical chunk.
         let cache = ChunkCache::new(1 << 20, 1024);
         let entry = decoded(1, 8 * 1024);
-        cache.insert(1, Arc::clone(&entry));
-        assert!(cache.get(1).is_some(), "typical chunk must fit a shard");
+        cache.insert(1, Arc::clone(&entry), 1);
+        assert!(cache.get(1, 0).is_some(), "typical chunk must fit a shard");
     }
 
     #[test]
     fn hit_after_insert_and_counters() {
         let cache = ChunkCache::new(1 << 20, 4);
-        assert!(cache.get(7).is_none());
-        cache.insert(7, decoded(7, 64));
-        let got = cache.get(7).expect("cached");
+        assert!(cache.get(7, 0).is_none());
+        cache.insert(7, decoded(7, 64), 1);
+        let got = cache.get(7, 1).expect("cached");
         assert_eq!(got.local_keys()[0].pk, 7);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -402,14 +452,14 @@ mod tests {
         let one = decoded(1, 1024);
         let budget = one.byte_cost() * 2 + one.byte_cost() / 2;
         let cache = ChunkCache::new(budget, 1);
-        cache.insert(1, one);
-        cache.insert(2, decoded(2, 1024));
+        cache.insert(1, one, 1);
+        cache.insert(2, decoded(2, 1024), 1);
         // Touch 1 so 2 becomes the LRU victim.
-        assert!(cache.get(1).is_some());
-        cache.insert(3, decoded(3, 1024));
-        assert!(cache.get(1).is_some(), "recently used entry must survive");
-        assert!(cache.get(2).is_none(), "LRU entry must be evicted");
-        assert!(cache.get(3).is_some());
+        assert!(cache.get(1, 0).is_some());
+        cache.insert(3, decoded(3, 1024), 1);
+        assert!(cache.get(1, 0).is_some(), "recently used entry must survive");
+        assert!(cache.get(2, 0).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(3, 0).is_some());
         assert!(cache.stats().evictions >= 1);
         assert!(cache.stats().resident_bytes <= budget);
     }
@@ -418,39 +468,65 @@ mod tests {
     fn oversized_entry_is_not_cached() {
         let entry = decoded(1, 4096);
         let cache = ChunkCache::new(entry.byte_cost() / 2, 1);
-        cache.insert(1, entry);
+        cache.insert(1, entry, 1);
         assert_eq!(cache.stats().resident_chunks, 0);
     }
 
     #[test]
     fn invalidate_drops_entry() {
         let cache = ChunkCache::new(1 << 20, 2);
-        cache.insert(1, decoded(1, 64));
-        cache.insert(2, decoded(2, 64));
+        cache.insert(1, decoded(1, 64), 1);
+        cache.insert(2, decoded(2, 64), 1);
         cache.invalidate(1);
-        assert!(cache.get(1).is_none());
-        assert!(cache.get(2).is_some());
+        assert!(cache.get(1, 0).is_none());
+        assert!(cache.get(2, 0).is_some());
         assert_eq!(cache.stats().invalidations, 1);
         cache.invalidate_all();
         assert_eq!(cache.stats().resident_chunks, 0);
-        assert!(cache.get(2).is_none());
+        assert!(cache.get(2, 0).is_none());
     }
 
     #[test]
     fn replacing_same_id_keeps_accounting_consistent() {
         let cache = ChunkCache::new(1 << 20, 1);
-        cache.insert(5, decoded(5, 64));
+        cache.insert(5, decoded(5, 64), 1);
         let before = cache.stats().resident_bytes;
-        cache.insert(5, decoded(5, 64));
+        cache.insert(5, decoded(5, 64), 1);
         assert_eq!(cache.stats().resident_bytes, before);
         assert_eq!(cache.stats().resident_chunks, 1);
+    }
+
+    #[test]
+    fn generation_gating() {
+        let cache = ChunkCache::new(1 << 20, 1);
+        cache.insert(1, decoded(1, 64), 3);
+        // At or above the probe floor: still a hit.
+        assert!(cache.get(1, 3).is_some());
+        // An older reader must not clobber a newer entry.
+        cache.insert(1, decoded(9, 64), 2);
+        assert_eq!(cache.get(1, 0).unwrap().local_keys()[0].pk, 1);
+        // A newer reader may replace it.
+        cache.insert(1, decoded(9, 64), 4);
+        assert_eq!(cache.get(1, 0).unwrap().local_keys()[0].pk, 9);
+        // Below the floor: dropped lazily on probe, counted as an
+        // invalidation plus a miss.
+        let inv = cache.stats().invalidations;
+        assert!(cache.get(1, 5).is_none());
+        assert_eq!(cache.stats().invalidations, inv + 1);
+        assert_eq!(cache.stats().resident_chunks, 0);
+        // invalidate_below leaves entries at or above the floor.
+        cache.insert(2, decoded(2, 64), 7);
+        cache.invalidate_below(2, 7);
+        assert!(cache.get(2, 0).is_some());
+        cache.invalidate_below(2, 8);
+        assert!(cache.get(2, 8).is_none());
     }
 
     #[test]
     fn concurrent_readers_share_entries() {
         let cache = Arc::new(ChunkCache::new(1 << 20, 8));
         for id in 0..32u32 {
-            cache.insert(id, decoded(id as u8, 128));
+            cache.insert(id, decoded(id as u8, 128), 1);
         }
         let mut handles = Vec::new();
         for t in 0..4 {
@@ -458,7 +534,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for round in 0..200u32 {
                     let id = (round * 7 + t) % 32;
-                    let entry = cache.get(id).expect("resident");
+                    let entry = cache.get(id, 1).expect("resident");
                     assert_eq!(entry.local_keys()[0].pk, u64::from(id as u8));
                 }
             }));

@@ -59,10 +59,11 @@ use crate::model::{ChunkId, CompositeKey, Record, VersionId};
 use crate::partition::PartitionInput;
 use crate::plan;
 use crate::query;
-use crate::store::{self, RStore, CHUNK_TABLE, CMAP_TABLE};
+use crate::store::{self, DeferredReclaim, RStore, StoreMut, CHUNK_TABLE, CMAP_TABLE};
 use bytes::Bytes;
 use rstore_kvstore::{table_key, Key};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One rebuilt chunk's map-build job: the chunk id, its record
@@ -92,6 +93,15 @@ pub struct CompactionConfig {
     /// candidates [`RStore::compact`] is a no-op (merging one chunk
     /// into itself reclaims nothing).
     pub min_chunks: usize,
+    /// Budget for incremental compaction: when non-zero, one
+    /// [`RStore::compact`] call rebuilds the victim set in slices of
+    /// at most this many chunks, each slice cutting over (persist +
+    /// publish) independently, so no single publish covers an
+    /// unbounded rebuild and a failure loses only the unfinished
+    /// slice — the rest of the victims stay queued and the next call
+    /// resumes them. `0` (the default) keeps the single-slice path,
+    /// including its escalate-to-full-repartition fallback.
+    pub max_chunks_per_slice: usize,
 }
 
 impl Default for CompactionConfig {
@@ -101,6 +111,7 @@ impl Default for CompactionConfig {
             span_limit: 0,
             every_flushes: 0,
             min_chunks: 2,
+            max_chunks_per_slice: 0,
         }
     }
 }
@@ -118,10 +129,16 @@ impl CompactionConfig {
 /// how that compares with an ideally chunked layout.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FragmentationStats {
-    /// Live chunks (compaction-retired ids excluded).
+    /// Live chunks (compaction-retired and reclaimed ids excluded).
     pub live_chunks: usize,
-    /// Chunk ids retired by past compactions.
+    /// Chunk ids retired by past compactions and still tombstoned
+    /// (their reclamation may be deferred behind old snapshot pins).
     pub retired_chunks: usize,
+    /// Retired slots a reclamation pass has already moved to the
+    /// reusable free list. Kept separate from `retired_chunks` so the
+    /// fill statistics below — which average over *live* chunks only —
+    /// stay honest after reclamation shrinks the tombstone count.
+    pub reclaimed_chunks: usize,
     /// Mean compressed fill fraction of live chunks (compressed bytes
     /// over `chunk_capacity`; slack can push a chunk past 1.0).
     pub mean_fill: f64,
@@ -174,6 +191,21 @@ pub struct CompactionStages {
     pub workers: usize,
 }
 
+impl CompactionStages {
+    /// Folds one slice's stage times into the run-wide totals.
+    fn absorb(&mut self, o: &CompactionStages) {
+        self.measure += o.measure;
+        self.extract += o.extract;
+        self.partition += o.partition;
+        self.rebuild += o.rebuild;
+        self.index += o.index;
+        self.write += o.write;
+        self.modeled_write += o.modeled_write;
+        self.delete += o.delete;
+        self.modeled_delete += o.modeled_delete;
+    }
+}
+
 /// Report from one [`RStore::compact`] run: what moved, what it cost,
 /// and the before/after fragmentation measurements.
 #[derive(Debug, Clone, Copy, Default)]
@@ -202,7 +234,9 @@ pub struct CompactionReport {
     pub before: FragmentationStats,
     /// Fragmentation after the compaction.
     pub after: FragmentationStats,
-    /// Per-stage timing breakdown.
+    /// Incremental slices that cut over (1 on the single-slice path).
+    pub slices: usize,
+    /// Per-stage timing breakdown (summed across slices).
     pub stages: CompactionStages,
     /// End-to-end wall time.
     pub total_time: Duration,
@@ -215,24 +249,25 @@ impl RStore {
     /// (and the experiment binaries) use this to watch a long-running
     /// online store fragment without paying for a compaction.
     pub fn fragmentation_stats(&self) -> FragmentationStats {
+        let snap = self.snapshot();
         let cfg = &self.config.compaction;
         let capacity = self.config.chunk_capacity.max(1) as f64;
         let mut live = 0usize;
         let mut fill_sum = 0.0f64;
         let mut under = 0usize;
-        for c in self.live_chunk_ids() {
-            let fill = self.chunk_sizes[c as usize] as f64 / capacity;
+        for c in snap.live_chunk_ids() {
+            let fill = snap.chunk_sizes()[c as usize] as f64 / capacity;
             live += 1;
             fill_sum += fill;
             if fill < cfg.min_fill {
                 under += 1;
             }
         }
-        let versions = self.graph.len();
+        let versions = snap.graph().len();
         let mut total_span = 0usize;
         let mut max_span = 0usize;
         for v in 0..versions {
-            let span = self.projections.version_span(VersionId(v as u32));
+            let span = snap.projections().version_span(VersionId(v as u32));
             total_span += span;
             max_span = max_span.max(span);
         }
@@ -247,17 +282,17 @@ impl RStore {
         // parameters (mean version width, mean stored record size).
         // Only that row is consulted, so the delta/compression
         // parameters are irrelevant here.
-        let placed = self.locator.len();
+        let placed = snap.placed_records();
         let est = if placed == 0 || versions == 0 || live == 0 {
             1.0
         } else {
-            let m_v = self
-                .contents
+            let m_v = snap
+                .record_counts()
                 .iter()
-                .map(Vec::len)
                 .sum::<usize>() as f64
                 / versions as f64;
-            let s = self.storage_bytes() as f64 / placed as f64;
+            let storage: usize = snap.chunk_sizes().iter().sum();
+            let s = storage as f64 / placed as f64;
             let model = CostModel {
                 n: versions as f64,
                 m_v,
@@ -272,7 +307,8 @@ impl RStore {
 
         FragmentationStats {
             live_chunks: live,
-            retired_chunks: self.retired.len(),
+            retired_chunks: snap.retired_len(),
+            reclaimed_chunks: snap.free_len(),
             mean_fill: if live == 0 { 0.0 } else { fill_sum / live as f64 },
             under_filled: under,
             total_version_span: total_span,
@@ -285,17 +321,18 @@ impl RStore {
     /// The victim set under the configured policy, in ascending id
     /// order: under-filled live chunks, plus (when `span_limit` is
     /// set) the non-full chunks of any version spanning too widely.
-    fn select_victims(&self) -> Vec<u32> {
+    fn select_victims(&self, st: &StoreMut) -> Vec<u32> {
         let cfg = &self.config.compaction;
         let capacity = self.config.chunk_capacity.max(1) as f64;
-        let fill = |c: u32| self.chunk_sizes[c as usize] as f64 / capacity;
-        let mut set: FxHashSet<u32> = self
+        let fill = |c: u32| st.chunk_sizes[c as usize] as f64 / capacity;
+        let mut set: FxHashSet<u32> = st
             .live_chunk_ids()
+            .into_iter()
             .filter(|&c| fill(c) < cfg.min_fill)
             .collect();
         if cfg.span_limit > 0 {
-            for v in 0..self.graph.len() {
-                let chunks = self.projections.chunks_of_version(VersionId(v as u32));
+            for v in 0..st.graph.len() {
+                let chunks = st.projections.chunks_of_version(VersionId(v as u32));
                 if chunks.len() > cfg.span_limit {
                     set.extend(chunks.iter().copied().filter(|&c| fill(c) < 1.0));
                 }
@@ -328,66 +365,181 @@ impl RStore {
     ///
     /// Pending (unflushed) commits are untouched and flush normally
     /// afterwards.
-    pub fn compact(&mut self) -> Result<Option<CompactionReport>, CoreError> {
-        let result = self.compact_inner();
+    pub fn compact(&self) -> Result<Option<CompactionReport>, CoreError> {
+        let mut guard = self.state.lock().unwrap();
+        self.compact_locked(&mut guard)
+    }
+
+    /// [`RStore::compact`] with the writer state already locked — the
+    /// entry point the flush path's auto-trigger uses so compaction
+    /// rides the mutator lock it already holds.
+    pub(crate) fn compact_locked(
+        &self,
+        st: &mut StoreMut,
+    ) -> Result<Option<CompactionReport>, CoreError> {
+        let result = self.compact_inner(st);
         // Every attempt refreshes the parked maintenance error: a
         // success (or a healthy no-op) clears a stale auto-compaction
         // failure, a new failure replaces it — so
         // [`RStore::last_compaction_error`] always reflects the most
         // recent attempt.
-        self.last_compaction_error = result.as_ref().err().cloned();
+        st.last_compaction_error = result.as_ref().err().cloned();
         result
     }
 
-    fn compact_inner(&mut self) -> Result<Option<CompactionReport>, CoreError> {
+    fn compact_inner(&self, st: &mut StoreMut) -> Result<Option<CompactionReport>, CoreError> {
         let t0 = Instant::now();
         // An attempt restarts the auto-trigger cadence even when it
         // changes nothing — otherwise every subsequent flush would
         // re-measure a layout already known to be healthy.
-        self.flushes_since_compaction = 0;
+        st.flushes_since_compaction = 0;
+        let min_chunks = self.config.compaction.min_chunks.max(1);
+        let slice_cap = self.config.compaction.max_chunks_per_slice;
+
+        // -- measure: fragmentation + victim selection ----------------
+        // A non-empty victim queue is a previous call's unfinished
+        // remainder (a slice failed): resume it before selecting
+        // fresh victims.
+        let t = Instant::now();
+        let before = self.fragmentation_stats();
+        if st.victim_queue.is_empty() {
+            let victims = self.select_victims(st);
+            if victims.len() < min_chunks {
+                return Ok(None);
+            }
+            st.victim_queue = victims;
+        }
+        let mut stages = CompactionStages {
+            workers: self.ingest_workers(),
+            measure: t.elapsed(),
+            ..CompactionStages::default()
+        };
+
+        // -- rebuild the queue in slices, each cutting over on its
+        // own (single slice when no budget is configured) -------------
+        let mut report = CompactionReport {
+            before,
+            ..CompactionReport::default()
+        };
+        while !st.victim_queue.is_empty() {
+            let take = if slice_cap == 0 {
+                st.victim_queue.len()
+            } else {
+                slice_cap.min(st.victim_queue.len())
+            };
+            let victims: Vec<u32> = st.victim_queue.drain(..take).collect();
+            let Some(out) =
+                self.compact_slice(st, victims, min_chunks, slice_cap == 0)?
+            else {
+                // The cutover guard rejected the slice: rebuilding it
+                // would not improve the layout, so it is dropped, not
+                // re-queued.
+                continue;
+            };
+            report.victims += out.victims;
+            report.new_chunks += out.new_chunks;
+            report.records_moved += out.records_moved;
+            report.subchunks_built += out.subchunks_built;
+            report.bytes_rewritten += out.bytes_rewritten;
+            report.bytes_reclaimed += out.bytes_reclaimed;
+            report.keys_deleted += out.keys_deleted;
+            report.reclamation_failed |= out.reclamation_failed;
+            report.slices += 1;
+            stages.absorb(&out.stages);
+        }
+        if report.slices == 0 {
+            return Ok(None);
+        }
+
+        // Compaction is a natural self-healing point: the deletes just
+        // purged any hints for retired keys, so replaying what remains
+        // re-replicates only live data onto recovered nodes. Best
+        // effort — a node still down keeps its hints queued.
+        let _ = self.cluster.replay_hints();
+
+        report.after = self.fragmentation_stats();
+        report.stages = stages;
+        report.total_time = t0.elapsed();
+        st.last_compaction = Some(report);
+        if self.obs.enabled() {
+            let r = self.obs.registry();
+            r.compactions.inc();
+            r.compact_total.record_duration(report.total_time);
+            r.compact_stages.record("measure", stages.measure);
+            r.compact_stages.record("extract", stages.extract);
+            r.compact_stages.record("partition", stages.partition);
+            r.compact_stages.record("rebuild", stages.rebuild);
+            r.compact_stages.record("index", stages.index);
+            r.compact_stages.record("write", stages.write);
+            r.compact_stages.record("modeled_write", stages.modeled_write);
+            r.compact_stages.record("delete", stages.delete);
+            r.compact_stages.record("modeled_delete", stages.modeled_delete);
+        }
+        Ok(Some(report))
+    }
+
+    /// Rebuilds one victim slice end to end: stage, guard, write the
+    /// new generation, swap, persist + publish, reclaim. Returns
+    /// `Ok(None)` when the cutover guard rejects the slice. On an
+    /// error *before* the in-memory swap the slice's victims are
+    /// pushed back to the head of the resumable queue; an error after
+    /// the swap (metadata persist) is propagated without re-queueing —
+    /// those victims are already retired in the writer state.
+    fn compact_slice(
+        &self,
+        st: &mut StoreMut,
+        victims: Vec<u32>,
+        min_chunks: usize,
+        allow_escalate: bool,
+    ) -> Result<Option<SliceOutcome>, CoreError> {
         let workers = self.ingest_workers();
         let mut stages = CompactionStages {
             workers,
             ..CompactionStages::default()
         };
-
-        // -- measure: fragmentation + victim selection ----------------
-        let t = Instant::now();
-        let before = self.fragmentation_stats();
-        let victims = self.select_victims();
-        stages.measure = t.elapsed();
-        let min_chunks = self.config.compaction.min_chunks.max(1);
-        if victims.len() < min_chunks {
-            return Ok(None);
-        }
+        let requeue = victims.clone();
 
         // Version ids still waiting in the delta store: their records
         // are not placed yet, and the rebuilt chunk maps must not
         // claim them — the next flush pushes them in order.
-        let pending: FxHashSet<u32> = self.pending_version_ids();
+        let pending: FxHashSet<u32> = st.pending_version_ids();
 
         // -- extract + partition, staged: nothing is written yet ------
-        let mut staged = self.stage_rebuild(victims, &pending)?;
-        stages.extract += staged.extract;
-        stages.partition += staged.partition;
-        if !staged.improves() {
-            // The sparse rebuild would regress; escalate to a full
-            // repartition, which merges the kept chunks' records back
-            // in and reproduces offline layout quality. The victims
-            // are fetched a second time here — a deliberate
-            // simplicity trade: with a configured cache they are
-            // resident from the first pass, and escalation is the
-            // rare path.
-            let all: Vec<u32> = self.live_chunk_ids().collect();
-            if staged.victims.len() < all.len() && all.len() >= min_chunks {
-                staged = self.stage_rebuild(all, &pending)?;
-                stages.extract += staged.extract;
-                stages.partition += staged.partition;
-            }
+        let staged = (|| {
+            let mut staged = self.stage_rebuild(st, victims, &pending)?;
+            stages.extract += staged.extract;
+            stages.partition += staged.partition;
             if !staged.improves() {
-                return Ok(None);
+                if !allow_escalate {
+                    return Ok(None);
+                }
+                // The sparse rebuild would regress; escalate to a full
+                // repartition, which merges the kept chunks' records
+                // back in and reproduces offline layout quality. The
+                // victims are fetched a second time here — a
+                // deliberate simplicity trade: with a configured cache
+                // they are resident from the first pass, and
+                // escalation is the rare path.
+                let all: Vec<u32> = st.live_chunk_ids();
+                if staged.victims.len() < all.len() && all.len() >= min_chunks {
+                    staged = self.stage_rebuild(st, all, &pending)?;
+                    stages.extract += staged.extract;
+                    stages.partition += staged.partition;
+                }
+                if !staged.improves() {
+                    return Ok(None);
+                }
             }
-        }
+            Ok(Some(staged))
+        })();
+        let staged = match staged {
+            Ok(Some(staged)) => staged,
+            Ok(None) => return Ok(None),
+            Err(e) => {
+                st.victim_queue.splice(0..0, requeue);
+                return Err(e);
+            }
+        };
         let StagedRebuild {
             victims,
             victim_set,
@@ -403,20 +555,23 @@ impl RStore {
         let records_moved = records.len();
         let subchunks_built = subchunks.len();
 
-        // -- rebuild: assemble the new generation under fresh ids and
-        // stream the blobs while later chunks encode -----------------
+        // -- rebuild: assemble the new generation into peeked id
+        // slots (reclaimed free slots first, then fresh ids past the
+        // tail — claimed only at the swap, so a failed write leaves
+        // the writer state untouched) and stream the blobs while
+        // later chunks encode ----------------------------------------
         let t = Instant::now();
-        let base = self.chunk_maps.len() as u32;
+        let ids = store::peek_chunk_ids(st, chunk_items.len());
         let mut subchunk_slots: Vec<Option<SubChunk>> =
             subchunks.into_iter().map(Some).collect();
-        // Staged placement, applied to `self` only after the backend
-        // holds the new generation.
+        // Staged placement, applied to the writer state only after
+        // the backend holds the new generation.
         let mut group_slot: Vec<(u32, u32)> = vec![(0, 0); groups.len()];
         let mut new_sizes: Vec<usize> = Vec::with_capacity(chunk_items.len());
         let mut new_counts: Vec<usize> = Vec::with_capacity(chunk_items.len());
         let mut chunks: Vec<Chunk> = Vec::with_capacity(chunk_items.len());
         for (ci, items) in chunk_items.iter().enumerate() {
-            let chunk_id = base + ci as u32;
+            let chunk_id = ids[ci];
             let mut chunk = Chunk::new();
             let mut local = 0u32;
             for &g in items {
@@ -432,10 +587,16 @@ impl RStore {
         let new_chunks = chunks.len();
         let jobs: Vec<(u32, Chunk)> = chunks
             .into_iter()
-            .enumerate()
-            .map(|(i, c)| (base + i as u32, c))
+            .zip(ids.iter())
+            .map(|(c, &id)| (id, c))
             .collect();
-        let outcome = store::stream_chunk_blobs(&self.cluster, workers, jobs)?;
+        let outcome = match store::stream_chunk_blobs(&self.cluster, workers, jobs) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                st.victim_queue.splice(0..0, requeue);
+                return Err(e);
+            }
+        };
         stages.rebuild = t.elapsed();
         stages.write += outcome.write_wait;
         stages.modeled_write += outcome.summary.modeled;
@@ -453,10 +614,16 @@ impl RStore {
         // -- index: rebuild the chunk maps for the new generation and
         // stream them through the same writer stage ------------------
         let t = Instant::now();
+        let count_of: FxHashMap<u32, usize> = ids
+            .iter()
+            .zip(new_counts.iter())
+            .map(|(&c, &n)| (c, n))
+            .collect();
         // Every new chunk gets a map even if empty, so the recovery
         // scan never finds a blob without its other half.
-        let mut per_chunk: FxHashMap<u32, Vec<(VersionId, Vec<usize>)>> = (0..new_chunks)
-            .map(|ci| (base + ci as u32, Vec::new()))
+        let mut per_chunk: FxHashMap<u32, Vec<(VersionId, Vec<usize>)>> = ids
+            .iter()
+            .map(|&c| (c, Vec::new()))
             .collect();
         let mut touched: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
         for (v, members) in version_members.iter().enumerate() {
@@ -472,14 +639,15 @@ impl RStore {
                     .push((VersionId(v as u32), locals));
             }
         }
-        // Same two-pass shape as `RStore::index_versions` (group per
-        // chunk with ascending versions + sorted locals, then build
-        // each map on its own core and ride the streaming writer) —
-        // but over fresh maps that only join `self.chunk_maps` at the
-        // swap, instead of in-place `&mut` rewrites of resident maps.
+        // Same two-pass shape as the flush path's `index_versions`
+        // (group per chunk with ascending versions + sorted locals,
+        // then build each map on its own core and ride the streaming
+        // writer) — but over fresh maps that only join the writer
+        // state's `chunk_maps` at the swap, instead of in-place
+        // `&mut` rewrites of resident maps.
         let mut map_jobs: Vec<RebuildMapJob> = per_chunk
             .into_iter()
-            .map(|(c, work)| (c, new_counts[(c - base) as usize], work))
+            .map(|(c, work)| (c, count_of[&c], work))
             .collect();
         map_jobs.sort_unstable_by_key(|&(c, _, _)| c);
         let built: Vec<(u32, ChunkMap, Bytes)> =
@@ -500,56 +668,71 @@ impl RStore {
             writes.push((table_key(CMAP_TABLE, &ChunkId(c).to_key()), bytes));
             adopted.push((c, map));
         }
-        let outcome = store::stream_writes(&self.cluster, workers, writes)?;
+        let outcome = match store::stream_writes(&self.cluster, workers, writes) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                st.victim_queue.splice(0..0, requeue);
+                return Err(e);
+            }
+        };
         stages.index = t.elapsed();
         stages.write += outcome.write_wait;
         stages.modeled_write += outcome.summary.modeled;
         bytes_rewritten += outcome.summary.bytes;
 
-        // -- swap: the new generation is durable; point the in-memory
-        // serving state at it ----------------------------------------
-        self.chunk_sizes.extend(new_sizes);
+        // -- swap: the new generation is durable; build the next
+        // metadata generation in the writer state --------------------
+        let claimed = store::claim_chunk_ids(st, chunk_items.len());
+        debug_assert_eq!(claimed, ids);
+        for (ci, &id) in ids.iter().enumerate() {
+            let slot = id as usize;
+            Arc::make_mut(&mut st.chunk_sizes)[slot] = new_sizes[ci];
+            // Stamped one past the current generation: the publish
+            // below increments to exactly this value, making it the
+            // cache-probe floor for the rebuilt map.
+            Arc::make_mut(&mut st.map_gen)[slot] = st.generation + 1;
+        }
         for (c, map) in adopted {
-            debug_assert_eq!(c as usize, self.chunk_maps.len());
-            self.chunk_maps.push(map);
+            st.chunk_maps[c as usize] = map;
         }
         for (i, record) in records.iter().enumerate() {
-            self.locator.insert(record.composite_key(), rec_slot[i]);
+            st.locator.insert(record.composite_key(), rec_slot[i]);
         }
-        self.projections.retain_chunks(|c| !victim_set.contains(&c));
+        let projections = Arc::make_mut(&mut st.projections);
+        projections.retain_chunks(|c| !victim_set.contains(&c));
         for (v, items) in version_items.iter().enumerate() {
             for &g in items {
-                self.projections
+                projections
                     .add_version_chunk(VersionId(v as u32), ChunkId(group_slot[g as usize].0));
             }
         }
         for (g, members) in groups.iter().enumerate() {
             let chunk = ChunkId(group_slot[g].0);
             for &i in members {
-                self.projections.add_key_chunk(records[i as usize].pk, chunk);
+                projections.add_key_chunk(records[i as usize].pk, chunk);
             }
         }
+        let retired = Arc::make_mut(&mut st.retired);
         for &c in &victims {
-            self.retired.insert(c);
-            self.chunk_sizes[c as usize] = 0;
-            self.chunk_maps[c as usize] = ChunkMap::default();
+            retired.insert(c);
+            Arc::make_mut(&mut st.chunk_sizes)[c as usize] = 0;
+            st.chunk_maps[c as usize] = ChunkMap::default();
         }
 
-        // -- commit point: persist the metadata -----------------------
-        let (meta_modeled, meta_wait) = self.persist_meta()?;
+        // -- commit point: persist the metadata, publish the new
+        // generation to readers --------------------------------------
+        let (meta_modeled, meta_wait) = self.persist_meta_locked(st)?;
         stages.modeled_write += meta_modeled;
         stages.write += meta_wait;
+        self.publish(st);
 
-        // Stale decoded pairs of the retired generation (including
-        // the ones the extraction fetch just admitted) are
-        // unreachable through the rewritten projections, but drop
-        // them anyway to free budget.
-        for &c in &victims {
-            self.cache.invalidate(c);
-        }
-
-        // -- reclaim: batch-delete the old generation's keys ----------
+        // -- reclaim (phase A): drop the retired generation's cache
+        // entries and batch-delete its backend keys — immediately
+        // when no reader pins an older generation, deferred onto the
+        // resumable queue otherwise, so an in-flight pinned query can
+        // still fetch the old keys it planned against ----------------
         let t = Instant::now();
+        let publish_gen = st.generation;
         let keys: Vec<Key> = victims
             .iter()
             .flat_map(|&c| {
@@ -559,26 +742,37 @@ impl RStore {
                 ]
             })
             .collect();
-        // Past the commit point the compaction *is* durable — a
-        // reclamation failure must not report it as failed. Old keys
-        // a dying node kept behind are unreferenced orphans (the
-        // persisted metadata no longer knows their ids), so the error
-        // is contained in the report rather than propagated.
         let (modeled_delete, keys_deleted, reclamation_failed) =
-            match self.cluster.multi_delete_scatter(keys) {
-                Ok((modeled, removed)) => (modeled, removed, false),
-                Err(_) => (Duration::ZERO, 0, true),
+            if self.pins.oldest().is_some_and(|o| o < publish_gen) {
+                st.deferred.push(DeferredReclaim {
+                    publish_gen,
+                    chunk_ids: victims.clone(),
+                    keys,
+                });
+                (Duration::ZERO, 0, false)
+            } else {
+                // Stale decoded pairs of the retired generation
+                // (including the ones the extraction fetch just
+                // admitted) are unreachable through the rewritten
+                // projections, but drop them anyway to free budget.
+                for &c in &victims {
+                    self.cache.invalidate(c);
+                }
+                // Past the commit point the compaction *is* durable —
+                // a reclamation failure must not report it as failed.
+                // Old keys a dying node kept behind are unreferenced
+                // orphans (the persisted metadata no longer knows
+                // their ids), so the error is contained in the report
+                // rather than propagated.
+                match self.cluster.multi_delete_scatter(keys) {
+                    Ok((modeled, removed)) => (modeled, removed, false),
+                    Err(_) => (Duration::ZERO, 0, true),
+                }
             };
         stages.delete = t.elapsed();
         stages.modeled_delete = modeled_delete;
 
-        // Compaction is a natural self-healing point: the deletes just
-        // purged any hints for retired keys, so replaying what remains
-        // re-replicates only live data onto recovered nodes. Best
-        // effort — a node still down keeps its hints queued.
-        let _ = self.cluster.replay_hints();
-
-        let report = CompactionReport {
+        Ok(Some(SliceOutcome {
             victims: victims.len(),
             new_chunks,
             records_moved,
@@ -587,27 +781,8 @@ impl RStore {
             bytes_reclaimed,
             keys_deleted,
             reclamation_failed,
-            before,
-            after: self.fragmentation_stats(),
             stages,
-            total_time: t0.elapsed(),
-        };
-        self.last_compaction = Some(report);
-        if self.obs.enabled() {
-            let r = self.obs.registry();
-            r.compactions.inc();
-            r.compact_total.record_duration(report.total_time);
-            r.compact_stages.record("measure", stages.measure);
-            r.compact_stages.record("extract", stages.extract);
-            r.compact_stages.record("partition", stages.partition);
-            r.compact_stages.record("rebuild", stages.rebuild);
-            r.compact_stages.record("index", stages.index);
-            r.compact_stages.record("write", stages.write);
-            r.compact_stages.record("modeled_write", stages.modeled_write);
-            r.compact_stages.record("delete", stages.delete);
-            r.compact_stages.record("modeled_delete", stages.modeled_delete);
-        }
-        Ok(Some(report))
+        }))
     }
 
     /// Plans a rebuild of `victims` without touching the backend:
@@ -617,6 +792,7 @@ impl RStore {
     /// span contribution against the victims' current one.
     fn stage_rebuild(
         &self,
+        st: &StoreMut,
         victims: Vec<u32>,
         pending: &FxHashSet<u32>,
     ) -> Result<StagedRebuild, CoreError> {
@@ -679,7 +855,7 @@ impl RStore {
                 group_of_rec[i as usize] = g as u32;
             }
         }
-        let num_versions = self.graph.len();
+        let num_versions = st.graph.len();
         let mut version_items: Vec<Vec<u32>> = vec![Vec::new(); num_versions];
         let mut version_members: Vec<Vec<u32>> = vec![Vec::new(); num_versions];
         let mut mark: Vec<u32> = vec![u32::MAX; groups.len()];
@@ -689,7 +865,7 @@ impl RStore {
             }
             let mut items: Vec<u32> = Vec::new();
             let mut members: Vec<u32> = Vec::new();
-            for &(pk, origin) in &self.contents[v] {
+            for &(pk, origin) in &st.contents[v] {
                 let ck = CompositeKey::new(pk, origin);
                 if let Some(&i) = ord_of.get(&ck) {
                     members.push(i);
@@ -712,7 +888,7 @@ impl RStore {
             .iter()
             .map(|g| records[g[0] as usize].pk)
             .collect();
-        let tree = self.graph.to_tree();
+        let tree = st.graph.to_tree();
         let input = PartitionInput {
             tree: &tree,
             version_items: &version_items,
@@ -728,7 +904,7 @@ impl RStore {
         let victim_set: FxHashSet<u32> = victims.iter().copied().collect();
         let mut old_span = 0usize;
         for v in 0..num_versions {
-            old_span += self
+            old_span += st
                 .projections
                 .chunks_of_version(VersionId(v as u32))
                 .iter()
@@ -748,7 +924,7 @@ impl RStore {
         }
         let bytes_reclaimed = victims
             .iter()
-            .map(|&c| self.chunk_sizes[c as usize])
+            .map(|&c| st.chunk_sizes[c as usize])
             .sum();
 
         Ok(StagedRebuild {
@@ -767,6 +943,20 @@ impl RStore {
             partition,
         })
     }
+}
+
+/// What one cut-over slice moved and cost — folded into the run-wide
+/// [`CompactionReport`] by the slice loop.
+struct SliceOutcome {
+    victims: usize,
+    new_chunks: usize,
+    records_moved: usize,
+    subchunks_built: usize,
+    bytes_rewritten: usize,
+    bytes_reclaimed: usize,
+    keys_deleted: usize,
+    reclamation_failed: bool,
+    stages: CompactionStages,
 }
 
 /// A fully planned rebuild that has not touched the backend: the

@@ -7,6 +7,14 @@
 //! application-server memory (the paper sizes them at tens of MB for
 //! multi-GB datasets) and are persisted to the backend as compressed
 //! postings lists.
+//!
+//! Since the snapshot-isolation refactor the serving copy of these
+//! projections is frozen inside each published
+//! [`StoreSnapshot`](crate::store::StoreSnapshot) generation: the
+//! writer copies-on-write before extending them, readers plan
+//! against the `Arc` their pinned snapshot carries, and so a flush
+//! adding versions mid-query can never make a planned span
+//! inconsistent with the metadata it was derived from.
 
 use crate::error::CoreError;
 use crate::model::{ChunkId, PrimaryKey, VersionId};

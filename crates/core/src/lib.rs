@@ -64,4 +64,7 @@ pub use plan::{
     ExecutedQuery, FetchMetrics, HedgeConfig, QueryPlan, QuerySpec, ReadRouting, RecordStream,
 };
 pub use serve::{Admission, AdmitGuard, FetchPool, ServeStats, SMALL_SPAN_MAX};
-pub use store::{CommitRequest, RStore, RStoreBuilder, StoreConfig};
+pub use store::{
+    CommitRequest, PinnedSnapshot, RStore, RStoreBuilder, ReclaimReport, StoreConfig,
+    StoreSnapshot,
+};

@@ -268,6 +268,15 @@ pub struct MetricsRegistry {
     pub compact_stages: StageHists,
     /// `rstore_compact_runs_total`
     pub compactions: Counter,
+    // ── snapshot isolation (PR 10) ──────────────────────────────────
+    /// `rstore_generation_swaps_total` (snapshot publishes)
+    pub generation_swaps_total: Counter,
+    /// `rstore_snapshot_pin_seconds` (how long readers hold a
+    /// generation pinned, plan through extract)
+    pub snapshot_pin_seconds: Histogram,
+    /// `rstore_reclaimed_chunk_slots_total` (retired tombstone slots
+    /// moved to the free list or truncated by reclamation)
+    pub reclaimed_chunk_slots_total: Counter,
 }
 
 impl Default for MetricsRegistry {
@@ -307,6 +316,9 @@ impl MetricsRegistry {
             compact_total: Histogram::new(),
             compact_stages: StageHists::new(COMPACT_STAGES),
             compactions: Counter::default(),
+            generation_swaps_total: Counter::default(),
+            snapshot_pin_seconds: Histogram::new(),
+            reclaimed_chunk_slots_total: Counter::default(),
         }
     }
 
@@ -342,6 +354,9 @@ impl MetricsRegistry {
         render_hist(out, "rstore_compact_total_seconds", "End-to-end per-compaction time", "", &self.compact_total.snapshot());
         render_stage_hists(out, "rstore_compact_stage_seconds", "Per-stage compaction time", &self.compact_stages);
         render_counter(out, "rstore_compact_runs_total", "Compaction runs", self.compactions.get());
+        render_counter(out, "rstore_generation_swaps_total", "Snapshot generations published", self.generation_swaps_total.get());
+        render_hist(out, "rstore_snapshot_pin_seconds", "Reader snapshot pin hold time", "", &self.snapshot_pin_seconds.snapshot());
+        render_counter(out, "rstore_reclaimed_chunk_slots_total", "Retired chunk slots reclaimed", self.reclaimed_chunk_slots_total.get());
     }
 }
 
@@ -913,6 +928,12 @@ pub struct StoreStats {
     pub flushes: u64,
     /// Compaction runs.
     pub compactions: u64,
+    /// Current snapshot generation (monotonic across publishes).
+    pub generation: u64,
+    /// Readers currently holding snapshot pins.
+    pub pinned_readers: usize,
+    /// Deferred-reclamation batches waiting for old pins to drain.
+    pub reclaim_backlog: usize,
 }
 
 impl StoreStats {
@@ -928,9 +949,10 @@ impl StoreStats {
         out.push_str(&format!("\"versions\":{},", self.versions));
         out.push_str(&format!("\"storage_bytes\":{},", self.storage_bytes));
         out.push_str(&format!(
-            "\"fragmentation\":{{\"live_chunks\":{},\"retired_chunks\":{},\"mean_fill\":{},\"under_filled\":{},\"total_version_span\":{},\"mean_version_span\":{},\"max_version_span\":{},\"est_read_amplification\":{}}},",
+            "\"fragmentation\":{{\"live_chunks\":{},\"retired_chunks\":{},\"reclaimed_chunks\":{},\"mean_fill\":{},\"under_filled\":{},\"total_version_span\":{},\"mean_version_span\":{},\"max_version_span\":{},\"est_read_amplification\":{}}},",
             f.live_chunks,
             f.retired_chunks,
+            f.reclaimed_chunks,
             fnum(f.mean_fill),
             f.under_filled,
             f.total_version_span,
@@ -980,7 +1002,7 @@ impl StoreStats {
         out.push_str(&format!("\"queue_wait\":{},", self.queue_wait.json()));
         out.push_str(&format!("\"round_wall\":{},", self.round_wall.json()));
         out.push_str(&format!(
-            "\"queries\":{},\"shed\":{},\"deadline_exceeded\":{},\"slow_queries\":{},\"hedges\":{},\"hedge_wins\":{},\"retries\":{},\"failovers\":{},\"flushes\":{},\"compactions\":{}",
+            "\"queries\":{},\"shed\":{},\"deadline_exceeded\":{},\"slow_queries\":{},\"hedges\":{},\"hedge_wins\":{},\"retries\":{},\"failovers\":{},\"flushes\":{},\"compactions\":{},\"generation\":{},\"pinned_readers\":{},\"reclaim_backlog\":{}",
             self.queries,
             self.shed,
             self.deadline_exceeded,
@@ -990,7 +1012,10 @@ impl StoreStats {
             self.retries,
             self.failovers,
             self.flushes,
-            self.compactions
+            self.compactions,
+            self.generation,
+            self.pinned_readers,
+            self.reclaim_backlog
         ));
         out.push('}');
         out

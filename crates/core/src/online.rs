@@ -30,7 +30,7 @@ impl Default for OnlineConfig {
 /// Replays a generated dataset through the online commit path. The
 /// store must be empty; version ids assigned by the store will match
 /// the dataset's (both are sequential).
-pub fn replay_commits(store: &mut RStore, dataset: &Dataset) -> Result<(), CoreError> {
+pub fn replay_commits(store: &RStore, dataset: &Dataset) -> Result<(), CoreError> {
     for node in dataset.graph.nodes() {
         let delta = &dataset.deltas[node.id.index()];
         let puts = delta
@@ -69,7 +69,7 @@ pub fn replay_commits(store: &mut RStore, dataset: &Dataset) -> Result<(), CoreE
 /// Replays only the first `limit` versions (Fig. 13 measures quality
 /// at checkpoints: 250, 500, 750, 1001 versions).
 pub fn replay_commits_prefix(
-    store: &mut RStore,
+    store: &RStore,
     dataset: &Dataset,
     limit: usize,
 ) -> Result<(), CoreError> {
@@ -106,11 +106,11 @@ pub fn online_offline_ratio(
     make_store: impl Fn(usize) -> RStore,
 ) -> Result<f64, CoreError> {
     let prefix = truncate_dataset(dataset, limit);
-    let mut online = make_store(batch_size);
-    replay_commits(&mut online, &prefix)?;
+    let online = make_store(batch_size);
+    replay_commits(&online, &prefix)?;
     let online_span = online.total_version_span();
 
-    let mut offline = make_store(usize::MAX);
+    let offline = make_store(usize::MAX);
     offline.load_dataset(&prefix)?;
     let offline_span = offline.total_version_span();
     Ok(online_span as f64 / offline_span.max(1) as f64)

@@ -48,7 +48,7 @@ use crate::model::{ChunkId, PrimaryKey, Record, VersionId};
 use crate::obs::{MetricsRegistry, TraceSink, TID_NODE_BASE, TID_QUERY};
 use crate::query;
 use crate::serve::{FetchPool, RoundTicket, WaitGroup};
-use crate::store::{CHUNK_TABLE, CMAP_TABLE};
+use crate::store::{PinnedSnapshot, CHUNK_TABLE, CMAP_TABLE};
 use rstore_kvstore::{table_key, Cluster, Key, KvError};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -263,6 +263,11 @@ pub struct QueryPlan {
     /// Cache accounting (zeros when the cache is disabled).
     cache_hits: usize,
     cache_misses: usize,
+    /// The snapshot pin taken at admission. It rides inside the plan
+    /// so the whole plan → fetch → extract pipeline observes one
+    /// generation, and so reclamation knows a reader may still need
+    /// this generation's backend keys until the plan is dropped.
+    pin: PinnedSnapshot,
 }
 
 impl QueryPlan {
@@ -305,6 +310,11 @@ impl QueryPlan {
     /// True when no backend round trip is needed.
     pub fn fully_cached(&self) -> bool {
         self.misses.is_empty()
+    }
+
+    /// The generation of the snapshot this plan is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.pin.generation()
     }
 }
 
@@ -377,11 +387,15 @@ pub(crate) fn build_plan(
     routing: ReadRouting,
     spec: QuerySpec,
     chunk_ids: Vec<u32>,
+    pin: PinnedSnapshot,
 ) -> Result<QueryPlan, CoreError> {
     let mut resident = Vec::with_capacity(chunk_ids.len());
     let mut misses = Vec::new();
     for (slot, &c) in chunk_ids.iter().enumerate() {
-        let cached = cache.get(c);
+        // The probe floor is the generation whose publish last
+        // rewrote this chunk's backend map: an older cached entry
+        // would be torn against the pinned snapshot.
+        let cached = cache.get(c, pin.floor(c));
         if cached.is_none() {
             misses.push((slot, c));
         }
@@ -427,6 +441,7 @@ pub(crate) fn build_plan(
         batches,
         cache_hits,
         cache_misses,
+        pin,
     })
 }
 
@@ -478,9 +493,11 @@ pub struct FetchMetrics {
 /// Snapshot of the work done so far, attached to
 /// [`CoreError::DeadlineExceeded`] so a timed-out query's cost is
 /// still accountable. No records were produced (extraction never
-/// ran) and the caller patches wall-clock and queue-wait fields.
+/// ran) and the caller patches wall-clock, queue-wait and generation
+/// fields.
 fn partial_stats(metrics: &FetchMetrics, span: usize) -> crate::query::QueryStats {
     crate::query::QueryStats {
+        generation: 0,
         chunks_fetched: span,
         chunks_useful: 0,
         bytes_fetched: metrics.bytes_fetched,
@@ -795,6 +812,9 @@ impl ExecMode<'_> {
 struct FetchCtx {
     cluster: Arc<Cluster>,
     cache: Arc<ChunkCache>,
+    /// Generation the plan's pin admitted — stamps every cache insert
+    /// so later readers know how fresh the decoded chunk is.
+    gen: u64,
     pending: Vec<PendingChunk>,
     bytes: AtomicUsize,
     retried: AtomicUsize,
@@ -930,7 +950,7 @@ fn run_batch(ctx: &FetchCtx, batch: NodeBatch, progress: Option<&RoundProgress>)
             match decoded {
                 Ok(dc) => {
                     let dc = Arc::new(dc);
-                    ctx.cache.insert(p.id, Arc::clone(&dc));
+                    ctx.cache.insert(p.id, Arc::clone(&dc), ctx.gen);
                     let _ = p.decoded.set(dc);
                 }
                 Err(e) => record_err(&ctx.first_err, e),
@@ -1137,7 +1157,11 @@ pub(crate) fn execute_plan_with(
         batches,
         cache_hits,
         cache_misses,
+        pin,
     } = plan;
+    // `pin` stays bound to the end of this function: the snapshot
+    // generation the plan was built against remains pinned (and its
+    // backend keys un-reclaimed) until every fetch round is done.
 
     // `max_node_batch` is folded in per fetch round (a failover
     // retry can merge batches onto one surviving replica).
@@ -1162,6 +1186,7 @@ pub(crate) fn execute_plan_with(
         let ctx = Arc::new(FetchCtx {
             cluster: Arc::clone(cluster),
             cache: Arc::clone(cache),
+            gen: pin.generation(),
             pending,
             bytes: AtomicUsize::new(0),
             retried: AtomicUsize::new(0),

@@ -12,6 +12,11 @@ use std::time::Duration;
 /// plus decoded-chunk-cache effectiveness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
+    /// Generation of the [`StoreSnapshot`](crate::store::StoreSnapshot)
+    /// the query was pinned to: the whole plan → fetch → extract
+    /// pipeline observed exactly this generation's metadata, even if
+    /// mutators published newer ones mid-query.
+    pub generation: u64,
     /// Chunks the query planner touched — the query's *span*.
     pub chunks_fetched: usize,
     /// Chunks that actually contained requested records.

@@ -35,6 +35,16 @@
 //!   onto a saturated backend. Queue time is measured and charged to
 //!   [`QueryStats::queue_wait`](crate::query::QueryStats::queue_wait).
 //!
+//! Snapshot isolation composes with admission rather than living
+//! here: a query pins its
+//! [`StoreSnapshot`](crate::store::StoreSnapshot) generation at plan
+//! time, so the pin rides in the
+//! [`QueryPlan`](crate::plan::QueryPlan) across the admission queue
+//! and the fetch rounds — a query waiting out a full in-flight
+//! budget keeps its planned generation alive (deferring reclamation)
+//! rather than observing whatever generation is current when a pool
+//! slot frees up.
+//!
 //! # Why failover rounds survive the swap
 //!
 //! The round-based retry machinery (PRs 5–6) never depended on *who*

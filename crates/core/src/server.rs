@@ -159,26 +159,28 @@ impl ApplicationServer {
 
     /// Seals pending commits, then runs one query through the
     /// plan → fetch → extract pipeline. Every pull-style command is a
-    /// thin wrapper over this.
-    fn pull_spec(&mut self, spec: QuerySpec) -> Result<Vec<Record>, CoreError> {
+    /// thin wrapper over this. `&self`: sealing and querying both
+    /// work through the store's interior mutability, so pulls from
+    /// concurrent readers never serialize on the server value.
+    fn pull_spec(&self, spec: QuerySpec) -> Result<Vec<Record>, CoreError> {
         self.store.seal()?;
         self.store.query(spec)
     }
 
     /// Pulls the latest full version of a branch.
-    pub fn pull(&mut self, branch: &str) -> Result<Vec<Record>, CoreError> {
+    pub fn pull(&self, branch: &str) -> Result<Vec<Record>, CoreError> {
         let head = self.head(branch)?;
         self.pull_spec(QuerySpec::Version(head))
     }
 
     /// Pulls a specific version by id.
-    pub fn pull_version(&mut self, v: VersionId) -> Result<Vec<Record>, CoreError> {
+    pub fn pull_version(&self, v: VersionId) -> Result<Vec<Record>, CoreError> {
         self.pull_spec(QuerySpec::Version(v))
     }
 
     /// Partial pull: the branch head restricted to a key range.
     pub fn pull_range(
-        &mut self,
+        &self,
         branch: &str,
         lo: PrimaryKey,
         hi: PrimaryKey,
@@ -188,13 +190,13 @@ impl ApplicationServer {
     }
 
     /// One record from the branch head.
-    pub fn get(&mut self, branch: &str, pk: PrimaryKey) -> Result<Option<Record>, CoreError> {
+    pub fn get(&self, branch: &str, pk: PrimaryKey) -> Result<Option<Record>, CoreError> {
         let head = self.head(branch)?;
         Ok(self.pull_spec(QuerySpec::Record { pk, v: head })?.pop())
     }
 
     /// The evolution history of a key across all versions.
-    pub fn evolution(&mut self, pk: PrimaryKey) -> Result<Vec<Record>, CoreError> {
+    pub fn evolution(&self, pk: PrimaryKey) -> Result<Vec<Record>, CoreError> {
         self.pull_spec(QuerySpec::Evolution { pk })
     }
 

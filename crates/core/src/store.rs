@@ -31,6 +31,17 @@
 //! scatter-gather put) that the equivalence proptests and
 //! `bench_ingest` compare against; [`IngestStages`] makes each stage
 //! observable the way `QueryStats` made reads observable.
+//!
+//! Reads are **snapshot-isolated** from both paths: every query entry
+//! point takes `&RStore` and pins an immutable, generation-stamped
+//! [`StoreSnapshot`] at admission, while mutators build the next
+//! generation inside a writer-only lock and publish it with one swap
+//! at their meta commit point. A pinned reader therefore sees one
+//! whole generation for its entire plan → fetch → extract pipeline —
+//! flushes and compactions running concurrently never tear or block
+//! it — and epoch-based reclamation (see [`StoreSnapshot`] and
+//! [`RStore::reclaim`]) defers cache invalidation and backend deletes
+//! for retired chunks until no reader pins an older generation.
 
 use crate::cache::{CacheStats, ChunkCache};
 use crate::chunk::{Chunk, SubChunk};
@@ -40,7 +51,8 @@ use crate::error::CoreError;
 use crate::index::Projections;
 use crate::model::{ChunkId, CompositeKey, PrimaryKey, Record, VersionId};
 use crate::obs::{
-    self, Obs, ObsConfig, QueryOutcome, QueryTrace, SlowQuery, TraceSink, TID_QUERY,
+    self, MetricsRegistry, Obs, ObsConfig, QueryOutcome, QueryTrace, SlowQuery, TraceSink,
+    TID_QUERY,
 };
 use crate::partition::{PartitionInput, PartitionerKind};
 use crate::plan::{
@@ -56,6 +68,7 @@ use rstore_kvstore::{table_key, BreakerPolicy, Cluster, Key, KvError, WriteSumma
 use rstore_compress::varint;
 use rstore_vgraph::{Dataset, VersionDelta, VersionGraph};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -345,23 +358,17 @@ impl RStoreBuilder {
             serve.set_obs(Arc::clone(obs.registry()));
             cache.set_obs(Arc::clone(obs.registry()));
         }
+        let state = StoreMut::empty();
+        let current = Mutex::new(Arc::new(state.snapshot()));
         RStore {
             serve,
             cluster: Arc::new(cluster),
             cache,
             obs,
             config: self.config,
-            graph: VersionGraph::new(),
-            contents: Vec::new(),
-            projections: Projections::new(),
-            locator: FxHashMap::default(),
-            chunk_maps: Vec::new(),
-            chunk_sizes: Vec::new(),
-            retired: FxHashSet::default(),
-            pending: Vec::new(),
-            flushes_since_compaction: 0,
-            last_compaction: None,
-            last_compaction_error: None,
+            state: Mutex::new(state),
+            current,
+            pins: Arc::new(PinBoard::default()),
         }
     }
 }
@@ -643,6 +650,368 @@ impl CommitRequest {
     }
 }
 
+// ------------------------------------------------------------------
+// Snapshot isolation (PR 10)
+// ------------------------------------------------------------------
+
+/// One immutable generation of the query-visible metadata — the unit
+/// readers pin and mutators atomically swap.
+///
+/// # Invariants
+///
+/// * `generation` is strictly monotonic across publishes. A reader
+///   pinning generation `g` observes exactly the metadata published
+///   at `g` — never a torn mix of two generations — because every
+///   field was frozen together at the publish point.
+/// * Every field is behind an [`Arc`] shared with the writer-side
+///   state: publishing is O(1) pointer clones, and the writer
+///   copies-on-write ([`Arc::make_mut`]) before its next mutation, so
+///   a published snapshot is physically immutable.
+/// * The snapshot carries **no in-memory chunk maps**: the read path
+///   fetches maps from the backend (or the decoded-chunk cache), so a
+///   pinned snapshot stays valid while the writer rewrites its
+///   resident maps. Backend chunk maps only *grow* across flushes
+///   (placed records are never re-partitioned) and compaction never
+///   rewrites a live id's map, so a newer backend map is always a
+///   superset of the one a pinned snapshot planned against.
+/// * `map_gen[c]` is the generation whose publish last rewrote chunk
+///   `c`'s backend map — the cache-probe floor: a cached entry
+///   stamped below it may predate the rewrite and is dropped on
+///   probe (see [`ChunkCache::get`]).
+/// * A chunk id is live iff it is neither `retired` (compacted away;
+///   backend keys deleted, possibly deferred while old pins remain)
+///   nor `free` (retired id whose slot was reclaimed and may be
+///   reused by a later flush).
+pub struct StoreSnapshot {
+    generation: u64,
+    graph: Arc<VersionGraph>,
+    projections: Arc<Projections>,
+    /// Compressed bytes per chunk slot (0 for retired/free ids).
+    chunk_sizes: Arc<Vec<usize>>,
+    /// Per chunk slot: generation whose publish last rewrote the
+    /// chunk's backend map.
+    map_gen: Arc<Vec<u64>>,
+    retired: Arc<FxHashSet<u32>>,
+    free: Arc<FxHashSet<u32>>,
+    /// Records per version (the snapshot's view of the per-version
+    /// contents widths; the full contents lists stay writer-only).
+    record_counts: Arc<Vec<usize>>,
+    /// Placed records (locator width) at publish time.
+    placed_records: usize,
+}
+
+impl StoreSnapshot {
+    /// The generation this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The version graph frozen at this generation.
+    pub fn graph(&self) -> &Arc<VersionGraph> {
+        &self.graph
+    }
+
+    /// The projections frozen at this generation.
+    pub(crate) fn projections(&self) -> &Projections {
+        &self.projections
+    }
+
+    /// Compressed bytes per chunk slot (0 for retired/free ids).
+    pub(crate) fn chunk_sizes(&self) -> &[usize] {
+        &self.chunk_sizes
+    }
+
+    /// Records per version at publish time.
+    pub(crate) fn record_counts(&self) -> &[usize] {
+        &self.record_counts
+    }
+
+    /// Placed records (locator width) at publish time.
+    pub(crate) fn placed_records(&self) -> usize {
+        self.placed_records
+    }
+
+    /// Chunk ids retired by compaction, not yet reclaimed.
+    pub(crate) fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Reclaimed (reusable) chunk id slots.
+    pub(crate) fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Live chunks: total slots minus retired tombstones and freed
+    /// slots.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_sizes.len() - self.retired.len() - self.free.len()
+    }
+
+    /// Live chunk ids in ascending order.
+    pub fn live_chunk_ids(&self) -> Vec<u32> {
+        (0..self.chunk_sizes.len() as u32)
+            .filter(|c| !self.retired.contains(c) && !self.free.contains(c))
+            .collect()
+    }
+
+    /// The cache-probe floor for chunk `c` (see the type docs).
+    pub(crate) fn map_gen(&self, c: u32) -> u64 {
+        self.map_gen.get(c as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Refcounts of reader-pinned generations — a tiny epoch table. The
+/// writer consults the oldest pinned generation to decide whether a
+/// retired chunk's cache entries and backend keys can be reclaimed
+/// immediately or must be deferred until the old pins drain.
+#[derive(Debug, Default)]
+pub(crate) struct PinBoard {
+    pins: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl PinBoard {
+    fn pin(&self, generation: u64) {
+        *self.pins.lock().unwrap().entry(generation).or_insert(0) += 1;
+    }
+
+    fn unpin(&self, generation: u64) {
+        let mut pins = self.pins.lock().unwrap();
+        if let Some(n) = pins.get_mut(&generation) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&generation);
+            }
+        }
+    }
+
+    /// The oldest generation any reader still pins.
+    pub(crate) fn oldest(&self) -> Option<u64> {
+        self.pins.lock().unwrap().keys().next().copied()
+    }
+
+    /// Total readers currently holding pins.
+    pub(crate) fn count(&self) -> usize {
+        self.pins.lock().unwrap().values().sum()
+    }
+}
+
+/// A reader's lease on one [`StoreSnapshot`] generation: planning and
+/// execution resolve all metadata through this handle, and the pin it
+/// holds blocks reclamation of the generation's chunks until dropped.
+/// Dropping is cheap — one refcount update plus a histogram sample,
+/// never backend I/O.
+pub struct PinnedSnapshot {
+    snap: Arc<StoreSnapshot>,
+    board: Arc<PinBoard>,
+    obs: Option<Arc<MetricsRegistry>>,
+    start: Instant,
+}
+
+impl PinnedSnapshot {
+    /// The cache-probe floor for chunk `c`.
+    pub(crate) fn floor(&self, c: u32) -> u64 {
+        self.snap.map_gen(c)
+    }
+}
+
+impl std::ops::Deref for PinnedSnapshot {
+    type Target = StoreSnapshot;
+    fn deref(&self) -> &StoreSnapshot {
+        &self.snap
+    }
+}
+
+impl std::fmt::Debug for PinnedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedSnapshot")
+            .field("generation", &self.snap.generation)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for PinnedSnapshot {
+    fn drop(&mut self) {
+        self.board.unpin(self.snap.generation);
+        if let Some(r) = &self.obs {
+            r.snapshot_pin_seconds.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+/// Reclamation work for retired chunks whose generation may still be
+/// pinned: drained (cache drop + backend delete) only once no reader
+/// pins a generation older than `publish_gen`.
+#[derive(Debug)]
+pub(crate) struct DeferredReclaim {
+    /// Generation whose publish retired these chunks; a reader pinned
+    /// strictly before it may still plan fetches of the old keys.
+    pub(crate) publish_gen: u64,
+    /// Victim chunk ids (their cache entries drop lazily on drain).
+    pub(crate) chunk_ids: Vec<u32>,
+    /// Backend keys (chunk + cmap blobs) to delete on drain.
+    pub(crate) keys: Vec<Key>,
+}
+
+/// Outcome of one [`RStore::reclaim`] pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReclaimReport {
+    /// Deferred reclamation batches drained this pass.
+    pub deferred_drained: usize,
+    /// Backend keys deleted draining them.
+    pub keys_deleted: usize,
+    /// Retired tombstone slots moved to the reusable free list.
+    pub slots_reclaimed: usize,
+    /// Trailing free slots truncated outright (id space shrunk).
+    pub slots_truncated: usize,
+}
+
+/// The writer-side state: the `Arc`'d fields shared with the
+/// published snapshot (copied-on-write before each mutation) plus
+/// writer-only state no reader consults (the in-memory chunk maps,
+/// the locator, the delta store). Guarded by `RStore::state`, so
+/// exactly one mutator runs at a time while readers proceed against
+/// pinned snapshots.
+pub(crate) struct StoreMut {
+    /// Generation of the most recently published snapshot.
+    pub(crate) generation: u64,
+    pub(crate) graph: Arc<VersionGraph>,
+    pub(crate) projections: Arc<Projections>,
+    /// Compressed bytes per chunk slot (0 for retired/free ids).
+    pub(crate) chunk_sizes: Arc<Vec<usize>>,
+    /// Per chunk slot: generation whose publish last rewrote the
+    /// chunk's backend map.
+    pub(crate) map_gen: Arc<Vec<u64>>,
+    /// Chunk ids retired by compaction: their backend keys are
+    /// deleted (or deferred) and no projection references them.
+    pub(crate) retired: Arc<FxHashSet<u32>>,
+    /// Retired ids whose slots were reclaimed; reused by later
+    /// flushes before fresh ids are minted.
+    pub(crate) free: Arc<FxHashSet<u32>>,
+    /// Records per version (snapshot view of the contents widths).
+    pub(crate) record_counts: Arc<Vec<usize>>,
+    /// Per version: sorted `(pk, origin)` pairs (writer-only).
+    pub(crate) contents: Vec<Vec<(PrimaryKey, VersionId)>>,
+    /// Composite key → (chunk, chunk-local ordinal) (writer-only).
+    pub(crate) locator: FxHashMap<CompositeKey, (u32, u32)>,
+    /// In-memory chunk maps (authoritative; persisted per batch).
+    /// Indexed by chunk id; retired ids keep an empty tombstone map
+    /// until a reclamation pass frees or truncates the slot.
+    pub(crate) chunk_maps: Vec<ChunkMap>,
+    /// The delta store: commits awaiting a partitioning pass.
+    pending: Vec<(VersionId, VersionDelta)>,
+    /// Batch flushes since the last compaction (the auto-trigger
+    /// counter).
+    pub(crate) flushes_since_compaction: usize,
+    /// Report of the most recent compaction, for observability.
+    pub(crate) last_compaction: Option<CompactionReport>,
+    /// Error of the most recent compaction attempt, if it failed;
+    /// cleared by the next successful attempt.
+    pub(crate) last_compaction_error: Option<CoreError>,
+    /// Compaction victims selected but not yet rebuilt — the
+    /// resumable queue budgeted incremental slices drain across
+    /// calls.
+    pub(crate) victim_queue: Vec<u32>,
+    /// Retired-chunk reclamation waiting for old pins to drain.
+    pub(crate) deferred: Vec<DeferredReclaim>,
+}
+
+impl StoreMut {
+    fn empty() -> Self {
+        Self {
+            generation: 1,
+            graph: Arc::new(VersionGraph::new()),
+            projections: Arc::new(Projections::new()),
+            chunk_sizes: Arc::new(Vec::new()),
+            map_gen: Arc::new(Vec::new()),
+            retired: Arc::new(FxHashSet::default()),
+            free: Arc::new(FxHashSet::default()),
+            record_counts: Arc::new(Vec::new()),
+            contents: Vec::new(),
+            locator: FxHashMap::default(),
+            chunk_maps: Vec::new(),
+            pending: Vec::new(),
+            flushes_since_compaction: 0,
+            last_compaction: None,
+            last_compaction_error: None,
+            victim_queue: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            generation: self.generation,
+            graph: Arc::clone(&self.graph),
+            projections: Arc::clone(&self.projections),
+            chunk_sizes: Arc::clone(&self.chunk_sizes),
+            map_gen: Arc::clone(&self.map_gen),
+            retired: Arc::clone(&self.retired),
+            free: Arc::clone(&self.free),
+            record_counts: Arc::clone(&self.record_counts),
+            placed_records: self.locator.len(),
+        }
+    }
+
+    /// Version ids still buffered in the delta store (compaction must
+    /// not claim them in rebuilt chunk maps: their records are
+    /// unplaced and chunk maps require strictly increasing pushes).
+    pub(crate) fn pending_version_ids(&self) -> FxHashSet<u32> {
+        self.pending.iter().map(|&(v, _)| v.as_u32()).collect()
+    }
+
+    /// Live chunk ids (neither retired nor freed), ascending.
+    pub(crate) fn live_chunk_ids(&self) -> Vec<u32> {
+        (0..self.chunk_maps.len() as u32)
+            .filter(|c| !self.retired.contains(c) && !self.free.contains(c))
+            .collect()
+    }
+}
+
+/// The `n` chunk id slots the next allocation will hand out —
+/// reclaimed free slots first (ascending; the bounded-id-space
+/// guarantee), then fresh ids past the tail — **without mutating**
+/// the writer state. Writers that must stay rollback-free (the
+/// compaction slices) address backend writes with the peeked ids and
+/// only [`claim_chunk_ids`] after those writes are durable; the two
+/// agree as long as no allocation happens in between (the state lock
+/// is held throughout).
+pub(crate) fn peek_chunk_ids(st: &StoreMut, n: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = st.free.iter().copied().collect();
+    ids.sort_unstable();
+    ids.truncate(n);
+    let mut next = st.chunk_maps.len() as u32;
+    while ids.len() < n {
+        ids.push(next);
+        next += 1;
+    }
+    ids
+}
+
+/// Claims `n` chunk id slots (the same ids [`peek_chunk_ids`] would
+/// return): free slots leave the free list, fresh ids extend
+/// `chunk_maps`, `chunk_sizes` and `map_gen` with default slots. The
+/// caller overwrites every returned slot.
+pub(crate) fn claim_chunk_ids(st: &mut StoreMut, n: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = Vec::with_capacity(n);
+    if !st.free.is_empty() {
+        let free = Arc::make_mut(&mut st.free);
+        let mut reusable: Vec<u32> = free.iter().copied().collect();
+        reusable.sort_unstable();
+        for id in reusable.into_iter().take(n) {
+            free.remove(&id);
+            ids.push(id);
+        }
+    }
+    while ids.len() < n {
+        let id = st.chunk_maps.len() as u32;
+        st.chunk_maps.push(ChunkMap::default());
+        Arc::make_mut(&mut st.chunk_sizes).push(0);
+        Arc::make_mut(&mut st.map_gen).push(0);
+        ids.push(id);
+    }
+    ids
+}
+
 /// The RStore instance (application-server state + backend handle).
 pub struct RStore {
     /// Behind `Arc` so pooled fetch jobs — which cannot borrow from
@@ -660,35 +1029,16 @@ pub struct RStore {
     /// it without borrowing.
     pub(crate) obs: Arc<Obs>,
     pub(crate) config: StoreConfig,
-    pub(crate) graph: VersionGraph,
-    /// Per version: sorted `(pk, origin)` pairs.
-    pub(crate) contents: Vec<Vec<(PrimaryKey, VersionId)>>,
-    pub(crate) projections: Projections,
-    /// Composite key → (chunk, chunk-local ordinal).
-    pub(crate) locator: FxHashMap<CompositeKey, (u32, u32)>,
-    /// In-memory chunk maps (authoritative; persisted per batch).
-    /// Indexed by chunk id; retired ids keep an empty tombstone map so
-    /// ids never shift.
-    pub(crate) chunk_maps: Vec<ChunkMap>,
-    /// Compressed bytes per chunk (0 for retired ids).
-    pub(crate) chunk_sizes: Vec<usize>,
-    /// Chunk ids retired by compaction: their backend keys are
-    /// deleted (or orphaned) and no projection references them.
-    pub(crate) retired: FxHashSet<u32>,
-    /// The delta store: commits awaiting a partitioning pass.
-    pending: Vec<(VersionId, VersionDelta)>,
-    /// Batch flushes since the last compaction (the auto-trigger
-    /// counter).
-    pub(crate) flushes_since_compaction: usize,
-    /// Report of the most recent compaction (explicit or
-    /// auto-triggered), for observability.
-    pub(crate) last_compaction: Option<CompactionReport>,
-    /// Error of the most recent compaction attempt, if it failed;
-    /// cleared by the next successful attempt. Auto-triggered runs
-    /// surface failures only here (the flush that triggered them was
-    /// already durable); explicit [`RStore::compact`] calls also
-    /// propagate the error.
-    pub(crate) last_compaction_error: Option<CoreError>,
+    /// The writer-side state: one mutator at a time holds this lock
+    /// while readers keep serving off pinned snapshots.
+    pub(crate) state: Mutex<StoreMut>,
+    /// The published snapshot mutators swap at their commit points.
+    /// A plain mutex stands in for an atomic Arc swap: the critical
+    /// section is one pointer clone either side.
+    pub(crate) current: Mutex<Arc<StoreSnapshot>>,
+    /// Refcounts of reader-pinned generations (epoch table for
+    /// deferred reclamation).
+    pub(crate) pins: Arc<PinBoard>,
 }
 
 impl RStore {
@@ -702,9 +1052,47 @@ impl RStore {
         &self.config
     }
 
-    /// The version graph.
-    pub fn graph(&self) -> &VersionGraph {
-        &self.graph
+    /// The current published snapshot, unpinned — for cheap
+    /// point-in-time metadata reads. Query paths use [`RStore::pin`]
+    /// so reclamation respects them.
+    pub(crate) fn snapshot(&self) -> Arc<StoreSnapshot> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// Pins the current snapshot: the returned handle keeps observing
+    /// this generation while mutators publish newer ones, and
+    /// reclamation of its chunks is blocked until the pin drops.
+    pub fn pin(&self) -> PinnedSnapshot {
+        let snap = self.snapshot();
+        self.pins.pin(snap.generation);
+        PinnedSnapshot {
+            snap,
+            board: Arc::clone(&self.pins),
+            obs: self
+                .obs
+                .enabled()
+                .then(|| Arc::clone(self.obs.registry())),
+            start: Instant::now(),
+        }
+    }
+
+    /// Publishes the next generation: bumps the counter and swaps the
+    /// current snapshot — O(1) `Arc` clones. This is the single
+    /// commit point every mutator funnels through after its meta
+    /// write lands.
+    pub(crate) fn publish(&self, st: &mut StoreMut) {
+        st.generation += 1;
+        let snap = Arc::new(st.snapshot());
+        *self.current.lock().unwrap() = snap;
+        if self.obs.enabled() {
+            self.obs.registry().generation_swaps_total.inc();
+        }
+    }
+
+    /// The version graph (the published snapshot's view; an `Arc`, so
+    /// holding it never blocks mutators).
+    pub fn graph(&self) -> Arc<VersionGraph> {
+        Arc::clone(&self.snapshot().graph)
     }
 
     /// Backend cluster handle.
@@ -719,27 +1107,49 @@ impl RStore {
     }
 
     /// Number of live chunks in the backend (retired compaction
-    /// victims excluded).
+    /// victims and reclaimed free slots excluded).
     pub fn chunk_count(&self) -> usize {
-        self.chunk_maps.len() - self.retired.len()
+        self.snapshot().chunk_count()
     }
 
-    /// Live chunk ids in ascending order. Chunk ids are assigned
-    /// densely at creation but never reused, so after a compaction the
-    /// live set has holes where the retired generation used to be.
-    pub fn live_chunk_ids(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.chunk_maps.len() as u32).filter(|c| !self.retired.contains(c))
+    /// Total chunk id slots, live or not — the quantity the
+    /// bounded-memory reclamation test watches.
+    pub fn chunk_slot_count(&self) -> usize {
+        self.snapshot().chunk_sizes.len()
     }
 
-    /// Chunk ids retired by past compactions.
+    /// Live chunk ids in ascending order. After a compaction the live
+    /// set has holes where retired ids sit as tombstones until a
+    /// [`RStore::reclaim`] pass frees them for reuse.
+    pub fn live_chunk_ids(&self) -> Vec<u32> {
+        self.snapshot().live_chunk_ids()
+    }
+
+    /// Chunk ids retired by past compactions, not yet reclaimed.
     pub fn retired_chunk_count(&self) -> usize {
-        self.retired.len()
+        self.snapshot().retired.len()
+    }
+
+    /// The published snapshot generation (bumped by every mutator
+    /// publish).
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation
+    }
+
+    /// Readers currently holding snapshot pins.
+    pub fn pinned_readers(&self) -> usize {
+        self.pins.count()
+    }
+
+    /// Deferred-reclamation batches waiting for old pins to drain.
+    pub fn reclaim_backlog(&self) -> usize {
+        self.state.lock().unwrap().deferred.len()
     }
 
     /// Report of the most recent [`RStore::compact`] run (explicit or
     /// auto-triggered by the flush cadence), if any.
-    pub fn last_compaction(&self) -> Option<&CompactionReport> {
-        self.last_compaction.as_ref()
+    pub fn last_compaction(&self) -> Option<CompactionReport> {
+        self.state.lock().unwrap().last_compaction
     }
 
     /// Error of the most recent compaction attempt, if it failed;
@@ -749,52 +1159,47 @@ impl RStore {
     /// here rather than poisoning the commit; a failed compaction
     /// leaves the store fully serving (see the `compact` module
     /// docs).
-    pub fn last_compaction_error(&self) -> Option<&CoreError> {
-        self.last_compaction_error.as_ref()
+    pub fn last_compaction_error(&self) -> Option<CoreError> {
+        self.state.lock().unwrap().last_compaction_error.clone()
     }
 
     /// Number of versions committed or loaded.
     pub fn version_count(&self) -> usize {
-        self.graph.len()
+        self.snapshot().graph.len()
     }
 
     /// Records in version `v`.
     pub fn version_record_count(&self, v: VersionId) -> Result<usize, CoreError> {
-        self.check_version(v)?;
-        Ok(self.contents[v.index()].len())
+        let snap = self.snapshot();
+        if !snap.graph.contains(v) {
+            return Err(CoreError::UnknownVersion(v.as_u32()));
+        }
+        Ok(snap.record_counts[v.index()])
     }
 
     /// The span of version `v` (chunks a full retrieval touches).
     pub fn version_span(&self, v: VersionId) -> usize {
-        self.projections.version_span(v)
+        self.snapshot().projections.version_span(v)
     }
 
     /// Σ_v span(v) — the Fig. 8 metric.
     pub fn total_version_span(&self) -> usize {
-        self.projections.total_version_span()
+        self.snapshot().projections.total_version_span()
     }
 
     /// The key span of `pk` (Fig. 12 metric).
     pub fn key_span(&self, pk: PrimaryKey) -> usize {
-        self.projections.key_span(pk)
+        self.snapshot().projections.key_span(pk)
     }
 
     /// Serialized sizes of the two projections (§2.4 accounting).
     pub fn index_bytes(&self) -> (usize, usize) {
-        self.projections.serialized_bytes()
+        self.snapshot().projections.serialized_bytes()
     }
 
     /// Total compressed chunk bytes (storage-cost proxy, §2.5).
     pub fn storage_bytes(&self) -> usize {
-        self.chunk_sizes.iter().sum()
-    }
-
-    fn check_version(&self, v: VersionId) -> Result<(), CoreError> {
-        if self.graph.contains(v) {
-            Ok(())
-        } else {
-            Err(CoreError::UnknownVersion(v.as_u32()))
-        }
+        self.snapshot().chunk_sizes.iter().sum()
     }
 
     /// Worker threads the ingest pipeline runs on (resolves the
@@ -827,8 +1232,10 @@ impl RStore {
     /// [`StoreConfig::ingest_threads`] cores (see the module docs).
     ///
     /// The store must be empty.
-    pub fn load_dataset(&mut self, dataset: &Dataset) -> Result<LoadReport, CoreError> {
-        if !self.graph.is_empty() {
+    pub fn load_dataset(&self, dataset: &Dataset) -> Result<LoadReport, CoreError> {
+        let mut guard = self.state.lock().unwrap();
+        let st = &mut *guard;
+        if !st.graph.is_empty() {
             return Err(CoreError::BadCommit("store is not empty".into()));
         }
         let t0 = Instant::now();
@@ -885,14 +1292,15 @@ impl RStore {
             for &g in items {
                 let sc = subchunk_slots[g as usize].take().expect("item in one chunk");
                 for &member in &plan.groups[g as usize] {
-                    self.locator
+                    st.locator
                         .insert(record_store.key(member), (chunk_idx as u32, local));
                     local += 1;
                 }
                 chunk.subchunks.push(sc);
             }
-            self.chunk_sizes.push(chunk.compressed_bytes());
-            self.chunk_maps.push(ChunkMap::new(local as usize));
+            Arc::make_mut(&mut st.chunk_sizes).push(chunk.compressed_bytes());
+            Arc::make_mut(&mut st.map_gen).push(st.generation + 1);
+            st.chunk_maps.push(ChunkMap::new(local as usize));
             chunks.push(chunk);
         }
         let jobs: Vec<(u32, Chunk)> = chunks
@@ -905,8 +1313,8 @@ impl RStore {
         outcome.fold_into(&mut stages);
 
         // Adopt graph and contents, then index every version.
-        self.graph = dataset.graph.clone();
-        self.contents = (0..self.graph.len())
+        st.graph = Arc::new(dataset.graph.clone());
+        st.contents = (0..st.graph.len())
             .map(|v| {
                 materialized
                     .contents(VersionId(v as u32))
@@ -915,25 +1323,27 @@ impl RStore {
                     .collect()
             })
             .collect();
+        st.record_counts = Arc::new(st.contents.iter().map(|c| c.len()).collect());
         let num_records = record_store.len();
-        let versions: Vec<VersionId> = self.graph.ids().collect();
+        let versions: Vec<VersionId> = st.graph.ids().collect();
 
         // Stages 4+5 — index + write: per-chunk grouping, parallel
         // chunk-map builds, serialized maps ride the streaming writer.
         let t = Instant::now();
-        let (_, index_outcome) = self.index_versions(&versions)?;
+        let (_, index_outcome) = self.index_versions_locked(st, &versions)?;
         stages.index = t.elapsed();
         index_outcome.fold_into(&mut stages);
-        let (meta_modeled, meta_wait) = self.persist_meta()?;
+        let (meta_modeled, meta_wait) = self.persist_meta_locked(st)?;
         stages.modeled_write += meta_modeled;
         stages.write += meta_wait;
+        self.publish(st);
         self.record_ingest_stages(&stages);
 
         Ok(LoadReport {
-            num_chunks: self.chunk_maps.len(),
+            num_chunks: st.chunk_maps.len(),
             num_records,
             num_subchunks: plan.num_groups(),
-            total_version_span: self.total_version_span(),
+            total_version_span: st.projections.total_version_span(),
             raw_bytes,
             compressed_bytes,
             partition_time: stages.partition,
@@ -954,34 +1364,36 @@ impl RStore {
     /// the serialized maps stream to the backend through the same
     /// writer stage the chunk blobs used. Returns the dirty-map count
     /// and the write accounting.
-    fn index_versions(
-        &mut self,
+    fn index_versions_locked(
+        &self,
+        st: &mut StoreMut,
         versions: &[VersionId],
-    ) -> Result<(usize, StreamOutcome), CoreError> {
+    ) -> Result<(Vec<u32>, StreamOutcome), CoreError> {
         let workers = self.ingest_workers();
         // Pass 1 — group the batch per chunk. Outer loop ascends, so
         // each chunk's work list has strictly increasing versions —
         // the `push_version` precondition.
+        let projections = Arc::make_mut(&mut st.projections);
         let mut per_chunk: FxHashMap<u32, Vec<(VersionId, Vec<usize>)>> = FxHashMap::default();
         let mut touched: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
         for &v in versions {
-            for &(pk, origin) in &self.contents[v.index()] {
+            for &(pk, origin) in &st.contents[v.index()] {
                 let ck = CompositeKey::new(pk, origin);
-                let &(chunk, local) = self
+                let &(chunk, local) = st
                     .locator
                     .get(&ck)
                     .unwrap_or_else(|| panic!("record {ck} not placed"));
                 touched.entry(chunk).or_default().push(local as usize);
                 // Key projection: every placed record's key points at
                 // its chunk.
-                self.projections.add_key_chunk(pk, ChunkId(chunk));
+                projections.add_key_chunk(pk, ChunkId(chunk));
             }
             for (chunk, mut locals) in touched.drain() {
                 locals.sort_unstable();
-                self.projections.add_version_chunk(v, ChunkId(chunk));
+                projections.add_version_chunk(v, ChunkId(chunk));
                 per_chunk.entry(chunk).or_default().push((v, locals));
             }
-            self.projections.ensure_version(v);
+            projections.ensure_version(v);
         }
 
         // Pass 2 — independent chunk-map builds: each dirty map (a
@@ -990,7 +1402,7 @@ impl RStore {
         // any write is attempted, so a failed write leaves the
         // resident maps whole and the next successful flush rewrites
         // them completely (the pre-pipeline self-healing behaviour).
-        let jobs: Vec<MapBuildJob<'_>> = self
+        let jobs: Vec<MapBuildJob<'_>> = st
             .chunk_maps
             .iter_mut()
             .enumerate()
@@ -1013,13 +1425,16 @@ impl RStore {
         // the chunk blobs (per-node batches ship while later pushes
         // queue; one deferred scatter put on the serial path).
         let outcome = stream_writes(&self.cluster, workers, writes)?;
-        // Drop any cached decoded copy: the resident (chunk, map)
-        // pair is stale the moment the rewritten map lands in the
-        // backend.
+        // Stamp the rewritten maps with the generation about to
+        // publish: cached decoded copies of older generations fail
+        // the probe floor and drop lazily — no synchronous
+        // invalidation loop in this critical section (the flush tail
+        // sweeps resident stale entries outside it).
+        let mg = Arc::make_mut(&mut st.map_gen);
         for &c in &dirty {
-            self.cache.invalidate(c);
+            mg[c as usize] = st.generation + 1;
         }
-        Ok((dirty.len(), outcome))
+        Ok((dirty, outcome))
     }
 
     /// Persists the projections, version graph, chunk count and the
@@ -1030,28 +1445,37 @@ impl RStore {
     /// `(modeled write time, wall time blocked on the put)` for the
     /// stage accounting; serialization happens before the clock starts
     /// so only backend time counts as write-blocked.
-    pub(crate) fn persist_meta(&self) -> Result<(Duration, Duration), CoreError> {
-        let mut retired: Vec<u32> = self.retired.iter().copied().collect();
-        retired.sort_unstable();
-        let mut retired_bytes = Vec::with_capacity(4 + retired.len() * 2);
-        varint::write_u64(&mut retired_bytes, retired.len() as u64);
-        for c in retired {
-            varint::write_u32(&mut retired_bytes, c);
-        }
+    pub(crate) fn persist_meta_locked(
+        &self,
+        st: &StoreMut,
+    ) -> Result<(Duration, Duration), CoreError> {
+        let encode_ids = |ids: &FxHashSet<u32>| {
+            let mut sorted: Vec<u32> = ids.iter().copied().collect();
+            sorted.sort_unstable();
+            let mut bytes = Vec::with_capacity(4 + sorted.len() * 2);
+            varint::write_u64(&mut bytes, sorted.len() as u64);
+            for c in sorted {
+                varint::write_u32(&mut bytes, c);
+            }
+            bytes
+        };
+        let retired_bytes = encode_ids(&st.retired);
+        let free_bytes = encode_ids(&st.free);
         let pairs = vec![
             (
                 table_key(META_TABLE, b"projections"),
-                Bytes::from(self.projections.serialize()),
+                Bytes::from(st.projections.serialize()),
             ),
             (
                 table_key(META_TABLE, b"graph"),
-                Bytes::from(self.graph.to_bytes()),
+                Bytes::from(st.graph.to_bytes()),
             ),
             (
                 table_key(META_TABLE, b"chunk_count"),
-                Bytes::from((self.chunk_maps.len() as u64).to_be_bytes().to_vec()),
+                Bytes::from((st.chunk_maps.len() as u64).to_be_bytes().to_vec()),
             ),
             (table_key(META_TABLE, b"retired"), Bytes::from(retired_bytes)),
+            (table_key(META_TABLE, b"free"), Bytes::from(free_bytes)),
         ];
         let t = Instant::now();
         let modeled = self.cluster.multi_put_scatter(pairs)?;
@@ -1097,6 +1521,22 @@ impl RStore {
                 return Err(CoreError::Codec("trailing bytes in retired list".into()));
             }
         }
+        // The reclaimed free-slot list (absent on stores persisted
+        // before snapshot reclamation existed — treated as empty).
+        let mut free: FxHashSet<u32> = FxHashSet::default();
+        if let Some(bytes) = cluster.get(&table_key(META_TABLE, b"free"))? {
+            let mut r = varint::VarintReader::new(&bytes);
+            let n = r.read_u64()? as usize;
+            if n > bytes.len() {
+                return Err(CoreError::Codec("free count exceeds input".into()));
+            }
+            for _ in 0..n {
+                free.insert(r.read_u32()?);
+            }
+            if !r.is_empty() {
+                return Err(CoreError::Codec("trailing bytes in free list".into()));
+            }
+        }
 
         if config.breaker.enabled {
             cluster.set_breaker(config.breaker);
@@ -1113,23 +1553,30 @@ impl RStore {
             serve.set_obs(Arc::clone(obs.registry()));
             cache.set_obs(Arc::clone(obs.registry()));
         }
-        let mut store = RStore {
+        let mut st = StoreMut::empty();
+        st.graph = Arc::new(graph);
+        st.projections = Arc::new(projections);
+        st.retired = Arc::new(retired);
+        st.free = Arc::new(free);
+        st.chunk_maps = vec![ChunkMap::default(); chunk_count];
+        st.chunk_sizes = Arc::new(vec![0; chunk_count]);
+        // Not persisted: after a reopen every cached decoded map is
+        // gone anyway, so generation 1 (the initial publish) is a
+        // sound floor for every slot.
+        st.map_gen = Arc::new(vec![1; chunk_count]);
+        // Publish the initial generation *before* the recovery scan:
+        // the scan runs through the ordinary pinned plan → fetch
+        // pipeline, which needs a snapshot to pin.
+        let current = Mutex::new(Arc::new(st.snapshot()));
+        let store = RStore {
             serve,
             cluster: Arc::new(cluster),
             cache,
             obs,
             config,
-            graph,
-            contents: Vec::new(),
-            projections,
-            locator: FxHashMap::default(),
-            chunk_maps: Vec::with_capacity(chunk_count),
-            chunk_sizes: Vec::with_capacity(chunk_count),
-            retired,
-            pending: Vec::new(),
-            flushes_since_compaction: 0,
-            last_compaction: None,
-            last_compaction_error: None,
+            state: Mutex::new(st),
+            current,
+            pins: Arc::new(PinBoard::default()),
         };
 
         // Rebuild chunk-derived state with one scan over the *live*
@@ -1137,19 +1584,17 @@ impl RStore {
         // pipeline (which also warms the cache when one is
         // configured). Retired ids keep empty tombstone slots so ids
         // never shift.
-        let live: Vec<u32> = (0..chunk_count as u32)
-            .filter(|c| !store.retired.contains(c))
-            .collect();
+        let live = store.snapshot().live_chunk_ids();
         let scan = store.plan_chunks(live.clone())?;
         let fetched = store.execute(scan)?;
+        let mut guard = store.state.lock().unwrap();
+        let st = &mut *guard;
         let mut contents_maps: Vec<FxHashMap<PrimaryKey, VersionId>> =
-            vec![FxHashMap::default(); store.graph.len()];
-        store.chunk_maps.resize(chunk_count, ChunkMap::default());
-        store.chunk_sizes.resize(chunk_count, 0);
+            vec![FxHashMap::default(); st.graph.len()];
         for (&c, dc) in live.iter().zip(fetched.into_chunks()) {
             let keys = dc.local_keys();
             for (local, ck) in keys.iter().enumerate() {
-                store.locator.insert(*ck, (c, local as u32));
+                st.locator.insert(*ck, (c, local as u32));
             }
             for (v, bitmap) in dc.map.iter() {
                 for local in bitmap.iter_ones() {
@@ -1157,16 +1602,16 @@ impl RStore {
                     contents_maps[v.index()].insert(ck.pk, ck.origin);
                 }
             }
-            store.chunk_sizes[c as usize] = dc.chunk.compressed_bytes();
+            Arc::make_mut(&mut st.chunk_sizes)[c as usize] = dc.chunk.compressed_bytes();
             // Sole owner (cache disabled) moves the map out; a cached
             // copy keeps its Arc and the map is cloned.
             let map = match Arc::try_unwrap(dc) {
                 Ok(owned) => owned.map,
                 Err(shared) => shared.map.clone(),
             };
-            store.chunk_maps[c as usize] = map;
+            st.chunk_maps[c as usize] = map;
         }
-        store.contents = contents_maps
+        st.contents = contents_maps
             .into_iter()
             .map(|m| {
                 let mut list: Vec<(PrimaryKey, VersionId)> = m.into_iter().collect();
@@ -1174,6 +1619,9 @@ impl RStore {
                 list
             })
             .collect();
+        st.record_counts = Arc::new(st.contents.iter().map(|c| c.len()).collect());
+        store.publish(st);
+        drop(guard);
         Ok(store)
     }
 
@@ -1184,9 +1632,11 @@ impl RStore {
     /// Commits a new version; returns its id. The delta goes to the
     /// write buffer (delta store) and is partitioned when the batch
     /// fills ([`StoreConfig::batch_size`]) or on [`RStore::seal`].
-    pub fn commit(&mut self, req: CommitRequest) -> Result<VersionId, CoreError> {
+    pub fn commit(&self, req: CommitRequest) -> Result<VersionId, CoreError> {
+        let mut guard = self.state.lock().unwrap();
+        let st = &mut *guard;
         // Resolve the request into a validated VersionDelta.
-        let (v, delta, new_contents) = self.resolve_commit(&req)?;
+        let (v, delta, new_contents) = Self::resolve_commit(st, &req)?;
         // Durable delta store write (the paper's "separate storage
         // area" for received deltas).
         let mut delta_bytes = Vec::new();
@@ -1203,22 +1653,33 @@ impl RStore {
             Bytes::from(delta_bytes),
         )?;
 
-        self.contents.push(new_contents);
-        self.pending.push((v, delta));
-        if self.pending.len() >= self.config.batch_size {
-            self.flush_batch()?;
+        Arc::make_mut(&mut st.record_counts).push(new_contents.len());
+        st.contents.push(new_contents);
+        st.pending.push((v, delta));
+        if st.pending.len() >= self.config.batch_size {
+            // The flush publishes at its own tail; if it fails, still
+            // publish so readers see the durably committed version
+            // (the flush's in-memory state self-heals on the next
+            // successful flush, exactly as before).
+            let flushed = self.flush_locked(st);
+            if flushed.is_err() {
+                self.publish(st);
+            }
+            flushed?;
+        } else {
+            self.publish(st);
         }
         Ok(v)
     }
 
     fn resolve_commit(
-        &mut self,
+        st: &mut StoreMut,
         req: &CommitRequest,
     ) -> Result<ResolvedCommit, CoreError> {
         // Validate everything before mutating the graph, so a failed
         // commit leaves the store untouched.
         if req.is_root {
-            if !self.graph.is_empty() {
+            if !st.graph.is_empty() {
                 return Err(CoreError::BadCommit(
                     "root commit on a non-empty store".into(),
                 ));
@@ -1228,15 +1689,17 @@ impl RStore {
                 return Err(CoreError::BadCommit("commit without parent".into()));
             }
             for &p in &req.parents {
-                self.check_version(p)?;
+                if !st.graph.contains(p) {
+                    return Err(CoreError::UnknownVersion(p.as_u32()));
+                }
             }
         }
-        let v = VersionId(self.graph.len() as u32);
+        let v = VersionId(st.graph.len() as u32);
 
         let parent_contents: &[(PrimaryKey, VersionId)] = if req.is_root {
             &[]
         } else {
-            &self.contents[req.parents[0].index()]
+            &st.contents[req.parents[0].index()]
         };
         let lookup = |pk: PrimaryKey| -> Option<VersionId> {
             parent_contents
@@ -1288,10 +1751,11 @@ impl RStore {
         contents.sort_unstable();
 
         // All checks passed: record the version in the graph.
+        let graph = Arc::make_mut(&mut st.graph);
         let assigned = if req.is_root {
-            self.graph.add_root()
+            graph.add_root()
         } else {
-            self.graph.add_version(&req.parents)
+            graph.add_version(&req.parents)
         };
         debug_assert_eq!(assigned, v);
         Ok((v, delta, contents))
@@ -1299,14 +1763,7 @@ impl RStore {
 
     /// Number of commits waiting in the delta store.
     pub fn pending_commits(&self) -> usize {
-        self.pending.len()
-    }
-
-    /// Version ids still buffered in the delta store (compaction must
-    /// not claim them in rebuilt chunk maps: their records are
-    /// unplaced and chunk maps require strictly increasing pushes).
-    pub(crate) fn pending_version_ids(&self) -> FxHashSet<u32> {
-        self.pending.iter().map(|&(v, _)| v.as_u32()).collect()
+        self.state.lock().unwrap().pending.len()
     }
 
     /// Flushes the delta store: partitions the batch's new records
@@ -1314,8 +1771,17 @@ impl RStore {
     /// updates chunk maps and projections, and persists everything —
     /// through the same parallel, pipelined stages as
     /// [`RStore::load_dataset`].
-    pub fn flush_batch(&mut self) -> Result<FlushReport, CoreError> {
-        if self.pending.is_empty() {
+    pub fn flush_batch(&self) -> Result<FlushReport, CoreError> {
+        let mut guard = self.state.lock().unwrap();
+        self.flush_locked(&mut guard)
+    }
+
+    /// [`RStore::flush_batch`] body, on an already-held state lock
+    /// (so `commit` → flush and flush → auto-compact never re-enter
+    /// the mutex). Readers keep serving the pre-flush snapshot until
+    /// the publish at the tail.
+    fn flush_locked(&self, st: &mut StoreMut) -> Result<FlushReport, CoreError> {
+        if st.pending.is_empty() {
             return Ok(FlushReport::default());
         }
         let flush_t0 = Instant::now();
@@ -1324,7 +1790,7 @@ impl RStore {
             workers,
             ..IngestStages::default()
         };
-        let batch = std::mem::take(&mut self.pending);
+        let batch = std::mem::take(&mut st.pending);
         let versions: Vec<VersionId> = batch.iter().map(|&(v, _)| v).collect();
 
         // Gather the batch's new records and give them batch-local
@@ -1355,9 +1821,9 @@ impl RStore {
 
             // Stage 2 — partition. version_items over the full tree:
             // new records appear only in batch versions.
-            let mut version_items: Vec<Vec<u32>> = vec![Vec::new(); self.graph.len()];
+            let mut version_items: Vec<Vec<u32>> = vec![Vec::new(); st.graph.len()];
             for &v in &versions {
-                let mut items: Vec<u32> = self.contents[v.index()]
+                let mut items: Vec<u32> = st.contents[v.index()]
                     .iter()
                     .filter_map(|&(pk, origin)| {
                         batch_ord.get(&CompositeKey::new(pk, origin)).copied()
@@ -1366,7 +1832,7 @@ impl RStore {
                 items.sort_unstable();
                 version_items[v.index()] = items;
             }
-            let tree = self.graph.to_tree();
+            let tree = st.graph.to_tree();
             let input = PartitionInput {
                 tree: &tree,
                 version_items: &version_items,
@@ -1378,32 +1844,35 @@ impl RStore {
             let partitioning = partitioner.partition(&input);
             stages.partition = t.elapsed();
 
-            // Stage 3 — assemble the new chunks after the existing
-            // ones and stream them out while later ones encode.
+            // Stage 3 — assemble the new chunks into freshly
+            // allocated id slots (reclaimed free slots first, then
+            // fresh ids) and stream them out while later ones encode.
             let t = Instant::now();
-            let base_chunk = self.chunk_maps.len() as u32;
+            let ids = claim_chunk_ids(st, partitioning.num_chunks);
             let mut subchunk_slots: Vec<Option<SubChunk>> = built.into_iter().map(Some).collect();
             let mut chunks: Vec<Chunk> = Vec::with_capacity(partitioning.num_chunks);
             for (ci, items) in partitioning.chunk_items().iter().enumerate() {
-                let chunk_id = ChunkId(base_chunk + ci as u32);
+                let chunk_id = ChunkId(ids[ci]);
                 let mut chunk = Chunk::new();
                 for (local, &item) in items.iter().enumerate() {
                     let sc = subchunk_slots[item as usize].take().expect("one chunk");
-                    self.locator.insert(
+                    st.locator.insert(
                         records[item as usize].composite_key(),
                         (chunk_id.0, local as u32),
                     );
                     chunk.subchunks.push(sc);
                 }
-                self.chunk_sizes.push(chunk.compressed_bytes());
-                self.chunk_maps.push(ChunkMap::new(items.len()));
+                let slot = ids[ci] as usize;
+                Arc::make_mut(&mut st.chunk_sizes)[slot] = chunk.compressed_bytes();
+                Arc::make_mut(&mut st.map_gen)[slot] = st.generation + 1;
+                st.chunk_maps[slot] = ChunkMap::new(items.len());
                 chunks.push(chunk);
             }
             new_chunks = partitioning.num_chunks;
             let jobs: Vec<(u32, Chunk)> = chunks
                 .into_iter()
-                .enumerate()
-                .map(|(i, c)| (base_chunk + i as u32, c))
+                .zip(ids.iter())
+                .map(|(c, &id)| (id, c))
                 .collect();
             let outcome = stream_chunk_blobs(&self.cluster, workers, jobs)?;
             stages.assemble = t.elapsed();
@@ -1413,12 +1882,25 @@ impl RStore {
         // Stages 4+5 — index the batch versions (updates old and new
         // chunk maps, each persisted once through the writer stage).
         let t = Instant::now();
-        let (maps_rewritten, index_outcome) = self.index_versions(&versions)?;
+        let (dirty, index_outcome) = self.index_versions_locked(st, &versions)?;
+        let maps_rewritten = dirty.len();
         stages.index = t.elapsed();
         index_outcome.fold_into(&mut stages);
-        let (meta_modeled, meta_wait) = self.persist_meta()?;
+        let (meta_modeled, meta_wait) = self.persist_meta_locked(st)?;
         stages.modeled_write += meta_modeled;
         stages.write += meta_wait;
+        self.publish(st);
+        // Sweep resident cache entries of the rewritten maps *after*
+        // the publish: entries stamped below the new generation are
+        // stale (their decoded map predates the rewrite) and safe to
+        // drop unconditionally — backend chunk maps only grow, so a
+        // reader still pinning the old generation refetches a
+        // superset and extracts identical answers.
+        for &c in &dirty {
+            self.cache.invalidate_below(c, st.generation);
+        }
+        // Piggyback any deferred reclamation whose old pins drained.
+        self.drain_deferred(st);
         self.record_ingest_stages(&stages);
         if self.obs.enabled() {
             let r = self.obs.registry();
@@ -1438,9 +1920,9 @@ impl RStore {
         // (see `compact.rs`) and is surfaced via
         // [`RStore::last_compaction_error`] (which `compact` records
         // itself) instead of propagating.
-        self.flushes_since_compaction += 1;
-        if self.config.compaction.auto_due(self.flushes_since_compaction) {
-            let _ = self.compact();
+        st.flushes_since_compaction += 1;
+        if self.config.compaction.auto_due(st.flushes_since_compaction) {
+            let _ = self.compact_locked(st);
         }
         Ok(FlushReport {
             versions: versions.len(),
@@ -1460,45 +1942,155 @@ impl RStore {
     /// [`SyncPolicy`](rstore_kvstore::SyncPolicy)), and any hinted
     /// writes that missed a replica during an outage are replayed so
     /// the sealed data is fully replicated again.
-    pub fn seal(&mut self) -> Result<FlushReport, CoreError> {
+    pub fn seal(&self) -> Result<FlushReport, CoreError> {
         let report = self.flush_batch()?;
         self.cluster.sync_all()?;
         self.cluster.replay_hints()?;
         Ok(report)
     }
 
+    /// Drains every deferred-reclamation batch whose retiring
+    /// generation is no longer protected by an older pin: the
+    /// victims' cache entries drop and their backend keys delete —
+    /// off a mutator's (or explicit reclaim pass's) thread, never a
+    /// reader's. Returns `(batches drained, keys deleted)`.
+    pub(crate) fn drain_deferred(&self, st: &mut StoreMut) -> (usize, usize) {
+        if st.deferred.is_empty() {
+            return (0, 0);
+        }
+        let oldest = self.pins.oldest();
+        let mut drained = 0usize;
+        let mut keys_deleted = 0usize;
+        let mut keep = Vec::new();
+        for d in st.deferred.drain(..) {
+            if oldest.is_some_and(|o| o < d.publish_gen) {
+                keep.push(d);
+                continue;
+            }
+            let DeferredReclaim { chunk_ids, keys, .. } = d;
+            for c in chunk_ids {
+                self.cache.invalidate(c);
+            }
+            if !keys.is_empty() {
+                keys_deleted += keys.len();
+                // Best-effort: a failed delete leaves orphan blobs no
+                // metadata references — harmless, like a crash
+                // between the meta commit point and the cleanup.
+                let _ = self.cluster.multi_delete_scatter(keys);
+            }
+            drained += 1;
+        }
+        st.deferred = keep;
+        (drained, keys_deleted)
+    }
+
+    /// Explicit reclamation pass — Phase B of the retire protocol.
+    /// Drains eligible deferred deletions, moves unblocked retired
+    /// ids to the reusable free list, and truncates trailing free
+    /// slots outright, so `chunk_maps` tombstones do not accumulate
+    /// without bound across thousands of compactions. Persists and
+    /// publishes when anything changed.
+    pub fn reclaim(&self) -> Result<ReclaimReport, CoreError> {
+        let mut guard = self.state.lock().unwrap();
+        let st = &mut *guard;
+        let (deferred_drained, keys_deleted) = self.drain_deferred(st);
+        // A retired id still referenced by a deferred batch keeps its
+        // tombstone: freeing it for reuse before its old keys are
+        // deleted could let a pinned reader fetch a mix of old and
+        // new blobs under one id.
+        let blocked: FxHashSet<u32> = st
+            .deferred
+            .iter()
+            .flat_map(|d| d.chunk_ids.iter().copied())
+            .collect();
+        let movable: Vec<u32> = st
+            .retired
+            .iter()
+            .copied()
+            .filter(|c| !blocked.contains(c))
+            .collect();
+        let slots_reclaimed = movable.len();
+        if !movable.is_empty() {
+            let retired = Arc::make_mut(&mut st.retired);
+            let free = Arc::make_mut(&mut st.free);
+            for c in movable {
+                retired.remove(&c);
+                free.insert(c);
+            }
+        }
+        // Trailing freed slots shrink the id space outright instead
+        // of waiting as reusable tombstones.
+        let mut slots_truncated = 0usize;
+        while let Some(last) = st.chunk_maps.len().checked_sub(1) {
+            if !st.free.contains(&(last as u32)) {
+                break;
+            }
+            Arc::make_mut(&mut st.free).remove(&(last as u32));
+            st.chunk_maps.pop();
+            Arc::make_mut(&mut st.chunk_sizes).pop();
+            Arc::make_mut(&mut st.map_gen).pop();
+            slots_truncated += 1;
+        }
+        if deferred_drained > 0 || slots_reclaimed > 0 || slots_truncated > 0 {
+            self.persist_meta_locked(st)?;
+            self.publish(st);
+        }
+        if self.obs.enabled() {
+            let n = (slots_reclaimed + slots_truncated) as u64;
+            self.obs.registry().reclaimed_chunk_slots_total.add(n);
+        }
+        Ok(ReclaimReport {
+            deferred_drained,
+            keys_deleted,
+            slots_reclaimed,
+            slots_truncated,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Queries (§2.1 / §2.4): plan → fetch → extract
     // ------------------------------------------------------------------
 
-    /// Validates the spec's version reference before planning.
-    fn check_spec(&self, spec: &QuerySpec) -> Result<(), CoreError> {
+    /// Validates the spec's version reference against the pinned
+    /// snapshot before planning.
+    fn check_spec(snap: &StoreSnapshot, spec: &QuerySpec) -> Result<(), CoreError> {
         match *spec {
             QuerySpec::Version(v)
             | QuerySpec::Record { v, .. }
-            | QuerySpec::Range { v, .. } => self.check_version(v),
+            | QuerySpec::Range { v, .. } => {
+                if snap.graph.contains(v) {
+                    Ok(())
+                } else {
+                    Err(CoreError::UnknownVersion(v.as_u32()))
+                }
+            }
             QuerySpec::Evolution { .. } | QuerySpec::Scan => Ok(()),
         }
     }
 
-    /// Stage 1 — **plan**: consult the projections once for the
-    /// query's span (index-ANDing for record retrieval, §2.4), probe
-    /// the decoded-chunk cache, and group the missing backend keys by
-    /// owning node. No backend round trip happens here.
+    /// Stage 1 — **plan**: pin the current snapshot, consult its
+    /// projections once for the query's span (index-ANDing for record
+    /// retrieval, §2.4), probe the decoded-chunk cache, and group the
+    /// missing backend keys by owning node. No backend round trip
+    /// happens here. The pin rides inside the returned plan, so the
+    /// whole plan → fetch → extract pipeline observes exactly one
+    /// generation even while mutators publish newer ones.
     pub fn plan_query(&self, spec: QuerySpec) -> Result<QueryPlan, CoreError> {
-        self.check_spec(&spec)?;
+        let pin = self.pin();
+        Self::check_spec(&pin, &spec)?;
         // A full scan plans over the *live* ids (compaction-retired
         // ids have no backend keys); the projections never reference
         // retired chunks, so every other spec is safe already.
-        let chunk_ids = self
+        let chunk_ids = pin
             .projections
-            .chunks_for(&spec, || self.live_chunk_ids().collect());
+            .chunks_for(&spec, || pin.live_chunk_ids());
         plan::build_plan(
             &self.cluster,
             &self.cache,
             self.config.read_routing,
             spec,
             chunk_ids,
+            pin,
         )
     }
 
@@ -1512,6 +2104,7 @@ impl RStore {
             self.config.read_routing,
             QuerySpec::Scan,
             chunk_ids,
+            self.pin(),
         )
     }
 
@@ -1685,6 +2278,9 @@ impl RStore {
         obs::render_gauge(&mut out, "rstore_store_mean_version_span", "Mean per-version chunk span", "", frag.mean_version_span);
         obs::render_gauge(&mut out, "rstore_store_read_amplification", "Estimated read amplification", "", frag.est_read_amplification);
         obs::render_gauge(&mut out, "rstore_store_storage_bytes", "Stored compressed chunk bytes", "", self.storage_bytes() as f64);
+        obs::render_gauge(&mut out, "rstore_store_generation", "Published snapshot generation", "", self.generation() as f64);
+        obs::render_gauge(&mut out, "rstore_store_pinned_readers", "Readers holding snapshot pins", "", self.pinned_readers() as f64);
+        obs::render_gauge(&mut out, "rstore_store_reclaim_backlog", "Deferred reclamation batches awaiting old pins", "", self.reclaim_backlog() as f64);
 
         // Per-node gauges + modeled service-time histograms off the
         // health scoreboard (the distribution behind the hedge EWMA).
@@ -1742,6 +2338,9 @@ impl RStore {
         obs::StoreStats {
             versions: self.version_count(),
             storage_bytes: self.storage_bytes(),
+            generation: self.generation(),
+            pinned_readers: self.pinned_readers(),
+            reclaim_backlog: self.reclaim_backlog(),
             fragmentation: self.fragmentation_stats(),
             cache: self.cache_stats(),
             serve: self.serve.stats(),
@@ -1786,6 +2385,7 @@ impl RStore {
         let plan = self.plan_query(spec)?;
         drop(plan_span);
         let chunks_fetched = plan.span();
+        let generation = plan.generation();
         let mut stream = match self.execute_traced(plan, self.config.default_deadline, trace.as_ref())
         {
             Ok(executed) => executed.into_stream(),
@@ -1801,6 +2401,7 @@ impl RStore {
                 };
                 stats.chunks_fetched = chunks_fetched;
                 stats.elapsed = t0.elapsed();
+                stats.generation = generation;
                 self.obs
                     .finish_query(seq, &spec, &stats, trace.as_ref(), outcome);
                 return Err(e);
@@ -1831,6 +2432,7 @@ impl RStore {
             elapsed: t0.elapsed(),
             modeled_network: fetch.modeled_network,
             queue_wait: fetch.queue_wait,
+            generation,
         };
         self.obs
             .finish_query(seq, &spec, &stats, trace.as_ref(), QueryOutcome::Ok);

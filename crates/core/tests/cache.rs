@@ -20,7 +20,7 @@ fn test_dataset(seed: u64) -> Dataset {
 
 fn loaded_store(dataset: &Dataset, cache_budget: usize) -> RStore {
     let cluster = Cluster::builder().nodes(2).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(2048)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .cache_budget(cache_budget)
@@ -99,7 +99,7 @@ fn query_stats_report_hits_and_misses() {
 #[test]
 fn flush_batch_invalidates_rewritten_chunks() {
     let cluster = Cluster::builder().nodes(2).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(4096)
         .batch_size(1) // flush every commit
         .cache_budget(usize::MAX / 2)
@@ -180,7 +180,7 @@ fn reopen_with_cache_preserves_contents() {
             .nodes(2)
             .engine(rstore_kvstore::EngineKind::Log { dir: dir.clone() })
             .build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(2048)
             .cache_budget(1 << 20)
             .build(cluster);

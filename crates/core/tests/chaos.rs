@@ -84,8 +84,8 @@ proptest! {
 
         let calm = {
             let cluster = Cluster::builder().nodes(3).replication(2).build();
-            let mut s = store_on(cluster);
-            replay_commits(&mut s, &ds).unwrap();
+            let s = store_on(cluster);
+            replay_commits(&s, &ds).unwrap();
             s
         };
         let chaotic = {
@@ -94,8 +94,8 @@ proptest! {
                 .replication(2)
                 .faults(chaos_plan(fault_seed))
                 .build();
-            let mut s = store_on(cluster);
-            replay_commits(&mut s, &ds).unwrap();
+            let s = store_on(cluster);
+            replay_commits(&s, &ds).unwrap();
             // Seal: durability barrier + hint replay. A node still
             // refusing requests (mid-outage) keeps its hints queued,
             // so drive replay until the outage expires and the queue
@@ -207,8 +207,8 @@ fn injected_crash_during_ingest_seals_durable_and_reopens() {
 
     let calm = {
         let cluster = Cluster::builder().nodes(3).replication(2).build();
-        let mut s = store_on(cluster);
-        replay_commits(&mut s, &ds).unwrap();
+        let s = store_on(cluster);
+        replay_commits(&s, &ds).unwrap();
         s
     };
 
@@ -226,8 +226,8 @@ fn injected_crash_during_ingest_seals_durable_and_reopens() {
             .sync_policy(SyncPolicy::Always)
             .faults(plan)
             .build();
-        let mut store = store_on(cluster);
-        replay_commits(&mut store, &ds).unwrap();
+        let store = store_on(cluster);
+        replay_commits(&store, &ds).unwrap();
         assert!(
             store.cluster().stats().faults_injected > 0,
             "the scripted crash never fired"
@@ -283,12 +283,12 @@ fn torn_tail_after_compaction_recovers_to_commit_point() {
 
     let calm = {
         let cluster = Cluster::builder().nodes(2).build();
-        let mut s = RStore::builder()
+        let s = RStore::builder()
             .chunk_capacity(2048)
             .cache_budget(0)
             .batch_size(3)
             .build(cluster);
-        replay_commits(&mut s, &ds).unwrap();
+        replay_commits(&s, &ds).unwrap();
         s
     };
 
@@ -301,13 +301,13 @@ fn torn_tail_after_compaction_recovers_to_commit_point() {
             .nodes(2)
             .engine(EngineKind::Log { dir: dir.clone() })
             .build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(2048)
             .cache_budget(0)
             .batch_size(3)
             .compaction(eager)
             .build(cluster);
-        replay_commits(&mut store, &ds).unwrap();
+        replay_commits(&store, &ds).unwrap();
         store.compact().unwrap().expect("eager policy must compact");
         store.seal().unwrap();
         (store.chunk_count(), store.retired_chunk_count())
@@ -356,10 +356,10 @@ fn torn_tail_after_compaction_recovers_to_commit_point() {
 fn hint_replay_restores_replication_on_recovered_node() {
     let ds = chaos_dataset(41, 16, 30);
     let cluster = Cluster::builder().nodes(3).replication(2).build();
-    let mut store = store_on(cluster);
+    let store = store_on(cluster);
 
     store.cluster().set_node_down(0, true);
-    replay_commits(&mut store, &ds).unwrap();
+    replay_commits(&store, &ds).unwrap();
     assert!(
         store.cluster().pending_hints() > 0,
         "writes during the outage must leave hints"
@@ -414,8 +414,8 @@ fn query_stats_report_retries_under_faults() {
         .replication(1)
         .faults(plan)
         .build();
-    let mut store = store_on(cluster);
-    replay_commits(&mut store, &ds).unwrap();
+    let store = store_on(cluster);
+    replay_commits(&store, &ds).unwrap();
 
     let mut retries = 0usize;
     let mut failovers = 0usize;
@@ -438,8 +438,8 @@ fn query_stats_report_retries_under_faults() {
         .faults(plan)
         .retry(RetryPolicy::none())
         .build();
-    let mut bare = store_on(cluster);
-    let failed = replay_commits(&mut bare, &ds).is_err()
+    let bare = store_on(cluster);
+    let failed = replay_commits(&bare, &ds).is_err()
         || (0..bare.version_count())
             .any(|v| bare.get_version(VersionId(v as u32)).is_err());
     assert!(failed, "without retries the faults must surface");

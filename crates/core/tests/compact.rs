@@ -122,12 +122,12 @@ proptest! {
                 .compaction(eager())
                 .build(Cluster::builder().nodes(nodes).build())
         };
-        let mut plain = build(3);
-        let mut compacted = build(3);
-        replay_commits(&mut plain, &ds).unwrap();
-        replay_commits(&mut compacted, &ds).unwrap();
+        let plain = build(3);
+        let compacted = build(3);
+        replay_commits(&plain, &ds).unwrap();
+        replay_commits(&compacted, &ds).unwrap();
 
-        let live_before: Vec<u32> = compacted.live_chunk_ids().collect();
+        let live_before: Vec<u32> = compacted.live_chunk_ids();
         match compacted.compact().unwrap() {
             Some(report) => {
                 prop_assert!(report.victims >= 2);
@@ -147,7 +147,7 @@ proptest! {
 
         // Retired ids answer nothing at the backend any more.
         for c in live_before {
-            if compacted.live_chunk_ids().any(|l| l == c) {
+            if compacted.live_chunk_ids().contains(&c) {
                 continue;
             }
             for table in [CHUNK_TABLE, CMAP_TABLE] {
@@ -168,10 +168,10 @@ proptest! {
 #[test]
 fn compaction_after_fragmenting_replay_shrinks_span_and_fanout() {
     let ds = fragmenting_dataset(99, 70);
-    let mut plain = store_with(4, 3, eager());
-    let mut compacted = store_with(4, 3, eager());
-    replay_commits(&mut plain, &ds).unwrap();
-    replay_commits(&mut compacted, &ds).unwrap();
+    let plain = store_with(4, 3, eager());
+    let compacted = store_with(4, 3, eager());
+    replay_commits(&plain, &ds).unwrap();
+    replay_commits(&compacted, &ds).unwrap();
     // 70 commits at batch size 3: well over 20 flushes.
     assert!(ds.graph.len() / 3 >= 20);
 
@@ -245,10 +245,10 @@ fn compaction_after_fragmenting_replay_shrinks_span_and_fanout() {
 #[test]
 fn repeated_compaction_converges_and_stays_correct() {
     let ds = fragmenting_dataset(7, 48);
-    let mut plain = store_with(2, 4, CompactionConfig::default());
-    let mut compacted = store_with(2, 4, CompactionConfig::default());
-    replay_commits(&mut plain, &ds).unwrap();
-    replay_commits(&mut compacted, &ds).unwrap();
+    let plain = store_with(2, 4, CompactionConfig::default());
+    let compacted = store_with(2, 4, CompactionConfig::default());
+    replay_commits(&plain, &ds).unwrap();
+    replay_commits(&compacted, &ds).unwrap();
 
     let mut converged = false;
     for round in 0..5 {
@@ -278,8 +278,8 @@ fn reopen_after_compaction_recovers() {
     let dir = std::env::temp_dir().join(format!("rstore-compact-reopen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let ds = fragmenting_dataset(21, 40);
-    let mut plain = store_with(2, 3, eager());
-    replay_commits(&mut plain, &ds).unwrap();
+    let plain = store_with(2, 3, eager());
+    replay_commits(&plain, &ds).unwrap();
 
     let config = StoreConfig {
         chunk_capacity: 2048,
@@ -293,8 +293,8 @@ fn reopen_after_compaction_recovers() {
             .nodes(2)
             .engine(EngineKind::Log { dir: dir.clone() })
             .build();
-        let mut store = store_on(cluster, 3, eager());
-        replay_commits(&mut store, &ds).unwrap();
+        let store = store_on(cluster, 3, eager());
+        replay_commits(&store, &ds).unwrap();
         store.compact().unwrap().expect("must compact");
         assert_queries_agree(&plain, &store, 30);
         (store.chunk_count(), store.retired_chunk_count())
@@ -306,7 +306,7 @@ fn reopen_after_compaction_recovers() {
         .nodes(2)
         .engine(EngineKind::Log { dir: dir.clone() })
         .build();
-    let mut store = RStore::reopen(config, cluster).unwrap();
+    let store = RStore::reopen(config, cluster).unwrap();
     assert_eq!(store.chunk_count(), live_after);
     assert_eq!(store.retired_chunk_count(), retired_after);
     assert_queries_agree(&plain, &store, 30);
@@ -335,13 +335,13 @@ fn reopen_after_compaction_recovers() {
 #[test]
 fn down_node_mid_compaction_leaves_old_generation_serving() {
     let ds = fragmenting_dataset(13, 40);
-    let mut plain = store_with(3, 3, eager());
+    let plain = store_with(3, 3, eager());
     // Replication 1: a down node makes part of the key space
     // unreachable instead of failing over.
     let cluster = Cluster::builder().nodes(3).replication(1).build();
-    let mut store = store_on(cluster, 3, eager());
-    replay_commits(&mut plain, &ds).unwrap();
-    replay_commits(&mut store, &ds).unwrap();
+    let store = store_on(cluster, 3, eager());
+    replay_commits(&plain, &ds).unwrap();
+    replay_commits(&store, &ds).unwrap();
 
     store.cluster().set_node_down(1, true);
     match store.compact() {
@@ -372,10 +372,10 @@ fn auto_compaction_triggers_on_flush_cadence() {
         every_flushes: 6,
         ..CompactionConfig::default()
     };
-    let mut plain = store_with(2, 4, CompactionConfig::default());
-    let mut store = store_with(2, 4, auto);
-    replay_commits(&mut plain, &ds).unwrap();
-    replay_commits(&mut store, &ds).unwrap();
+    let plain = store_with(2, 4, CompactionConfig::default());
+    let store = store_with(2, 4, auto);
+    replay_commits(&plain, &ds).unwrap();
+    replay_commits(&store, &ds).unwrap();
 
     let report = store.last_compaction().expect("cadence must have fired");
     assert!(report.victims >= 2);
@@ -391,7 +391,7 @@ fn auto_compaction_triggers_on_flush_cadence() {
 /// it, and an empty seal is the default report.
 #[test]
 fn seal_returns_final_flush_report() {
-    let mut store = store_with(2, usize::MAX, CompactionConfig::default());
+    let store = store_with(2, usize::MAX, CompactionConfig::default());
     let mut req = rstore_core::store::CommitRequest::root(
         (0..8u64).map(|pk| (pk, vec![7u8; 64])).collect::<Vec<_>>(),
     );
@@ -411,10 +411,10 @@ fn seal_returns_final_flush_report() {
 #[test]
 fn fragmentation_stats_expose_layout_decay() {
     let ds = fragmenting_dataset(31, 40);
-    let mut offline = store_with(2, usize::MAX, CompactionConfig::default());
+    let offline = store_with(2, usize::MAX, CompactionConfig::default());
     offline.load_dataset(&ds).unwrap();
-    let mut online = store_with(2, 3, CompactionConfig::default());
-    replay_commits(&mut online, &ds).unwrap();
+    let online = store_with(2, 3, CompactionConfig::default());
+    replay_commits(&online, &ds).unwrap();
 
     let off = offline.fragmentation_stats();
     let on = online.fragmentation_stats();

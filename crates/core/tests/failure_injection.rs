@@ -15,7 +15,7 @@ fn loaded_store() -> (RStore, rstore_vgraph::Dataset) {
     spec.root_records = 30;
     let ds = spec.generate();
     let cluster = Cluster::builder().nodes(2).build();
-    let mut store = RStore::builder().chunk_capacity(1024).build(cluster);
+    let store = RStore::builder().chunk_capacity(1024).build(cluster);
     store.load_dataset(&ds).unwrap();
     (store, ds)
 }
@@ -87,7 +87,7 @@ fn unreplicated_node_loss_is_an_error_not_a_wrong_answer() {
     spec.root_records = 30;
     let ds = spec.generate();
     let cluster = Cluster::builder().nodes(3).replication(1).build();
-    let mut store = RStore::builder().chunk_capacity(1024).build(cluster);
+    let store = RStore::builder().chunk_capacity(1024).build(cluster);
     store.load_dataset(&ds).unwrap();
 
     store.cluster().set_node_down(1, true);

@@ -56,7 +56,7 @@ fn hedges_fire_and_win_against_a_scripted_slow_node() {
 
     let calm = {
         let cluster = Cluster::builder().nodes(4).replication(2).build();
-        let mut s = RStore::builder()
+        let s = RStore::builder()
             .chunk_capacity(1024)
             .cache_budget(0)
             .build(cluster);
@@ -77,7 +77,7 @@ fn hedges_fire_and_win_against_a_scripted_slow_node() {
         .network(slow)
         .faults(FaultPlan::new(7).rule(FaultRule::latency(Duration::from_millis(3)).on_node(0)))
         .build();
-    let mut hedged = RStore::builder()
+    let hedged = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .hedge(eager_hedge())
@@ -133,7 +133,7 @@ fn deadline_exceeded_carries_partial_stats() {
         // sleeping, so a nanosecond budget always trips.
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .build(cluster);
@@ -187,7 +187,7 @@ fn default_deadline_applies_and_explicit_none_overrides() {
         .replication(2)
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .default_deadline(Duration::from_nanos(1))
@@ -228,7 +228,7 @@ fn breaker_opens_routes_around_and_recloses_after_cooldown() {
         .faults(faults)
         .retry(RetryPolicy::none())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .breaker(BreakerPolicy::new(2, 6))
@@ -291,7 +291,7 @@ fn all_replicas_open_matches_node_down_planning_error() {
         .faults(faults)
         .retry(RetryPolicy::none())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .breaker(BreakerPolicy::new(1, u64::MAX))
@@ -300,7 +300,7 @@ fn all_replicas_open_matches_node_down_planning_error() {
 
     let twin = {
         let cluster = Cluster::builder().nodes(2).replication(1).build();
-        let mut s = RStore::builder()
+        let s = RStore::builder()
             .chunk_capacity(1024)
             .cache_budget(0)
             .build(cluster);
@@ -387,7 +387,7 @@ proptest! {
 
         let oracle = {
             let cluster = Cluster::builder().nodes(NODES).replication(replication).build();
-            let mut s = RStore::builder()
+            let s = RStore::builder()
                 .chunk_capacity(1024)
                 .cache_budget(0)
                 .read_routing(routing)
@@ -407,7 +407,7 @@ proptest! {
             .network(NetworkModel::lan_virtual())
             .faults(faults)
             .build();
-        let mut hedged = RStore::builder()
+        let hedged = RStore::builder()
             .chunk_capacity(1024)
             .cache_budget(0)
             .read_routing(routing)

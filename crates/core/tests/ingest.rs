@@ -112,8 +112,8 @@ proptest! {
     #[test]
     fn parallel_bulk_load_matches_serial_reference(spec in spec_strategy()) {
         let ds = spec.generate();
-        let mut serial = store_with(4, 1, 3, 64);
-        let mut parallel = store_with(4, 4, 3, 64);
+        let serial = store_with(4, 1, 3, 64);
+        let parallel = store_with(4, 4, 3, 64);
         let rs = serial.load_dataset(&ds).unwrap();
         let rp = parallel.load_dataset(&ds).unwrap();
         prop_assert_eq!(rp.num_chunks, rs.num_chunks);
@@ -134,10 +134,10 @@ proptest! {
         let ds = spec.generate();
         // Small batches force several flushes, so existing chunk maps
         // are rewritten (the §4 batching trick) repeatedly.
-        let mut serial = store_with(3, 1, 1, 4);
-        let mut parallel = store_with(3, 4, 1, 4);
-        replay_commits(&mut serial, &ds).unwrap();
-        replay_commits(&mut parallel, &ds).unwrap();
+        let serial = store_with(3, 1, 1, 4);
+        let parallel = store_with(3, 4, 1, 4);
+        replay_commits(&serial, &ds).unwrap();
+        replay_commits(&parallel, &ds).unwrap();
         assert_backend_identical(&serial, &parallel);
         assert_queries_agree(&serial, &parallel, spec.root_records as u64);
     }
@@ -154,7 +154,7 @@ fn load_reports_per_stage_breakdown() {
         .nodes(4)
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(2048)
         .ingest_threads(2)
         .build(cluster);
@@ -174,7 +174,7 @@ fn load_reports_per_stage_breakdown() {
 
     // The flush path reports the same breakdown.
     use rstore_core::store::CommitRequest;
-    let mut online = RStore::builder()
+    let online = RStore::builder()
         .chunk_capacity(2048)
         .ingest_threads(2)
         .batch_size(usize::MAX)
@@ -216,7 +216,7 @@ fn down_node_during_bulk_load_is_clean_error() {
     // unwritable instead of failing over.
     let cluster = Cluster::builder().nodes(3).replication(1).build();
     cluster.set_node_down(1, true);
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .ingest_threads(4)
         .build(cluster);
@@ -269,8 +269,8 @@ fn down_node_during_flush_is_clean_error() {
     // once the node is back, every first-half version still answers
     // exactly as an undisturbed reference store does.
     store.cluster().set_node_down(2, false);
-    let mut reference = store_with(3, 1, 1, usize::MAX);
-    replay_commits(&mut reference, &half).unwrap();
+    let reference = store_with(3, 1, 1, usize::MAX);
+    replay_commits(&reference, &half).unwrap();
     for v in 0..half.graph.len() {
         let got = store.get_version(VersionId(v as u32)).unwrap();
         let want = reference.get_version(VersionId(v as u32)).unwrap();

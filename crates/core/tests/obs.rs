@@ -186,7 +186,7 @@ fn build_store(ds: &Dataset, configure: impl FnOnce(rstore_core::store::RStoreBu
         .chunk_capacity(2048)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .cache_budget(0);
-    let mut store = configure(builder).build(cluster);
+    let store = configure(builder).build(cluster);
     store.load_dataset(ds).unwrap();
     store
 }

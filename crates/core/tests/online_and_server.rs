@@ -19,7 +19,7 @@ fn fresh_store(batch_size: usize) -> RStore {
 
 #[test]
 fn manual_commits_roundtrip() {
-    let mut store = fresh_store(2);
+    let store = fresh_store(2);
     let v0 = store
         .commit(CommitRequest::root([
             (0u64, b"alpha".to_vec()),
@@ -64,7 +64,7 @@ fn manual_commits_roundtrip() {
 
 #[test]
 fn bad_commits_are_rejected_and_leave_store_intact() {
-    let mut store = fresh_store(10);
+    let store = fresh_store(10);
     let v0 = store
         .commit(CommitRequest::root([(0u64, b"x".to_vec())]))
         .unwrap();
@@ -103,10 +103,10 @@ fn online_replay_matches_offline_load() {
     spec.root_records = 40;
     let ds = spec.generate();
 
-    let mut online_store = fresh_store(5);
-    online::replay_commits(&mut online_store, &ds).unwrap();
+    let online_store = fresh_store(5);
+    online::replay_commits(&online_store, &ds).unwrap();
 
-    let mut offline_store = fresh_store(64);
+    let offline_store = fresh_store(64);
     offline_store.load_dataset(&ds).unwrap();
 
     assert!(online::stores_agree(&online_store, &offline_store).unwrap());
@@ -118,8 +118,8 @@ fn online_replay_with_batch_one() {
     spec.num_versions = 12;
     spec.root_records = 20;
     let ds = spec.generate();
-    let mut store = fresh_store(1);
-    online::replay_commits(&mut store, &ds).unwrap();
+    let store = fresh_store(1);
+    online::replay_commits(&store, &ds).unwrap();
     assert_eq!(store.version_count(), 12);
     let last = store.get_version(VersionId(11)).unwrap();
     assert!(!last.is_empty());
@@ -219,13 +219,14 @@ fn server_branching_and_merge() {
         b"master-change"
     );
     // The merge node records both parents in the version graph.
-    let node = server.store().graph().node(merged);
+    let graph = server.store().graph();
+    let node = graph.node(merged);
     assert_eq!(node.parents, vec![m1, e1]);
 }
 
 #[test]
 fn server_partial_pull_and_point_get() {
-    let mut server = ApplicationServer::init(
+    let server = ApplicationServer::init(
         fresh_store(4),
         (0u64..20).map(|pk| (pk, format!("v{pk}").into_bytes())),
     )
@@ -271,10 +272,10 @@ fn server_attach_to_loaded_store() {
     let mut spec = DatasetSpec::tiny(81);
     spec.num_versions = 15;
     let ds = spec.generate();
-    let mut store = fresh_store(8);
+    let store = fresh_store(8);
     store.load_dataset(&ds).unwrap();
     let leaves = ds.graph.leaves();
-    let mut server = ApplicationServer::attach(store);
+    let server = ApplicationServer::attach(store);
     assert!(server.branches().len() >= leaves.len());
     let head = server.head(MASTER).unwrap();
     assert_eq!(head, VersionId(14));

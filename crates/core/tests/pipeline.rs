@@ -40,7 +40,7 @@ fn spec_strategy() -> impl Strategy<Value = DatasetSpec> {
 
 fn loaded_store(ds: &rstore_vgraph::Dataset, nodes: usize, cache_budget: usize) -> RStore {
     let cluster = Cluster::builder().nodes(nodes).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(cache_budget)
         .build(cluster);
@@ -238,7 +238,7 @@ fn query_stats_report_scatter_gather_fanout() {
         .nodes(4)
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .build(cluster);

@@ -112,7 +112,7 @@ proptest! {
         let ds = spec.generate();
         let kind = all_kinds()[kind_idx];
         let cluster = Cluster::builder().nodes(2).build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(1024)
             .max_subchunk(k)
             .partitioner(kind)
@@ -213,7 +213,7 @@ proptest! {
         use rand::rngs::StdRng;
         let mut rng = StdRng::seed_from_u64(seed);
         let cluster = Cluster::builder().nodes(2).build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(512)
             .batch_size(batch)
             .build(cluster);

@@ -21,7 +21,7 @@ fn loaded_store(
         .nodes(nodes)
         .replication(replication)
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         // Cache disabled: every plan must fetch, so routing and
         // failover are exercised on each query.

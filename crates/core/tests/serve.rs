@@ -36,7 +36,7 @@ fn dataset(seed: u64, versions: usize, roots: usize) -> Dataset {
 }
 
 fn loaded_store(ds: &Dataset, cluster: Cluster) -> RStore {
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         // Cache disabled: every query must fetch, so the pool and the
         // failover machinery are exercised on each execution.
@@ -140,7 +140,7 @@ proptest! {
 fn failover_does_not_double_count_contacted_nodes() {
     let ds = dataset(77, 20, 120);
     let cluster = Cluster::builder().nodes(3).replication(2).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .read_routing(ReadRouting::Balanced)
@@ -231,7 +231,7 @@ fn fetch_threads_bounded_under_64_concurrent_queries() {
         .nodes(6)
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .fetch_threads(4)
@@ -357,7 +357,7 @@ fn store_admission_accounts_queue_wait_and_sheds() {
         .nodes(3)
         .network(NetworkModel::lan())
         .build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .cache_budget(0)
         .max_concurrent_queries(1)
@@ -407,7 +407,7 @@ fn store_admission_accounts_queue_wait_and_sheds() {
             .nodes(3)
             .network(NetworkModel::lan())
             .build();
-        let mut s = RStore::builder()
+        let s = RStore::builder()
             .chunk_capacity(1024)
             .cache_budget(0)
             .max_concurrent_queries(1)

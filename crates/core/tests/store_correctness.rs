@@ -98,7 +98,7 @@ fn spec_branched() -> DatasetSpec {
 #[test]
 fn bottom_up_answers_all_queries() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
+    let store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -106,7 +106,7 @@ fn bottom_up_answers_all_queries() {
 #[test]
 fn bottom_up_with_beta_answers_all_queries() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: 4 }, 1, 2048);
+    let store = build_store(PartitionerKind::BottomUp { beta: 4 }, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -114,7 +114,7 @@ fn bottom_up_with_beta_answers_all_queries() {
 #[test]
 fn shingle_answers_all_queries() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::Shingle { num_hashes: 4 }, 1, 2048);
+    let store = build_store(PartitionerKind::Shingle { num_hashes: 4 }, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -122,7 +122,7 @@ fn shingle_answers_all_queries() {
 #[test]
 fn depth_first_answers_all_queries() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::DepthFirst, 1, 2048);
+    let store = build_store(PartitionerKind::DepthFirst, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -130,7 +130,7 @@ fn depth_first_answers_all_queries() {
 #[test]
 fn breadth_first_answers_all_queries() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::BreadthFirst, 1, 2048);
+    let store = build_store(PartitionerKind::BreadthFirst, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -138,7 +138,7 @@ fn breadth_first_answers_all_queries() {
 #[test]
 fn subchunk_baseline_answers_all_queries() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::SubchunkBaseline, 1, 2048);
+    let store = build_store(PartitionerKind::SubchunkBaseline, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -149,7 +149,7 @@ fn single_address_answers_all_queries() {
     spec.num_versions = 20;
     spec.root_records = 30;
     let ds = spec.generate();
-    let mut store = build_store(PartitionerKind::SingleAddress, 1, 2048);
+    let store = build_store(PartitionerKind::SingleAddress, 1, 2048);
     store.load_dataset(&ds).unwrap();
     check_all_queries(&store, &ds);
 }
@@ -159,7 +159,7 @@ fn compression_k5_answers_all_queries() {
     let mut spec = spec_branched();
     spec.pd = 0.05;
     let ds = spec.generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 5, 2048);
+    let store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 5, 2048);
     let report = store.load_dataset(&ds).unwrap();
     assert!(report.compression_ratio() > 1.0);
     check_all_queries(&store, &ds);
@@ -174,7 +174,7 @@ fn compression_k25_on_chain_answers_all_queries() {
     spec.record_size = 256;
     spec.update_frac = 0.3;
     let ds = spec.generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 25, 4096);
+    let store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 25, 4096);
     let report = store.load_dataset(&ds).unwrap();
     assert!(
         report.compression_ratio() > 2.0,
@@ -187,7 +187,7 @@ fn compression_k25_on_chain_answers_all_queries() {
 #[test]
 fn load_report_is_consistent() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
+    let store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
     let report = store.load_dataset(&ds).unwrap();
     assert_eq!(report.num_chunks, store.chunk_count());
     assert_eq!(report.total_version_span, store.total_version_span());
@@ -201,7 +201,7 @@ fn load_report_is_consistent() {
 #[test]
 fn loading_twice_fails() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::DepthFirst, 1, 2048);
+    let store = build_store(PartitionerKind::DepthFirst, 1, 2048);
     store.load_dataset(&ds).unwrap();
     assert!(store.load_dataset(&ds).is_err());
 }
@@ -209,7 +209,7 @@ fn loading_twice_fails() {
 #[test]
 fn unknown_version_is_an_error() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::DepthFirst, 1, 2048);
+    let store = build_store(PartitionerKind::DepthFirst, 1, 2048);
     store.load_dataset(&ds).unwrap();
     assert!(store.get_version(VersionId(9999)).is_err());
     assert!(store.get_record(0, VersionId(9999)).is_err());
@@ -218,7 +218,7 @@ fn unknown_version_is_an_error() {
 #[test]
 fn stats_reflect_span_and_usefulness() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
+    let store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
     store.load_dataset(&ds).unwrap();
     let v = VersionId(10);
     let (records, stats) = store.get_version_with_stats(v).unwrap();
@@ -232,7 +232,7 @@ fn stats_reflect_span_and_usefulness() {
 #[test]
 fn evolution_returns_versions_in_order() {
     let ds = spec_branched().generate();
-    let mut store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
+    let store = build_store(PartitionerKind::BottomUp { beta: usize::MAX }, 1, 2048);
     store.load_dataset(&ds).unwrap();
     let evo = store.get_evolution(0).unwrap();
     assert!(!evo.is_empty());

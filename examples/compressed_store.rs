@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for k in [1usize, 2, 5, 12, 25, 50] {
         let cluster = Cluster::builder().nodes(2).build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(16 * 1024)
             .max_subchunk(k)
             .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (name, kind) in kinds {
         let cluster = Cluster::builder().nodes(4).build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(8 * 1024)
             .partitioner(kind)
             .build(cluster);

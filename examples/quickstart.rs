@@ -12,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = Cluster::builder().nodes(4).replication(2).build();
 
     // RStore sits on top as a layer, exactly as in the paper.
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(16 * 1024)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .batch_size(4)

@@ -258,7 +258,7 @@ fn run() -> Result<(), CoreError> {
                 eprintln!("init does not accept --del");
                 exit(2);
             }
-            let mut store = RStore::builder()
+            let store = RStore::builder()
                 .batch_size(1)
                 .build(open_cluster(&args));
             let v = store.commit(CommitRequest::root(sets))?;
@@ -274,7 +274,7 @@ fn run() -> Result<(), CoreError> {
                     parent = it.next().and_then(|s| s.parse::<u32>().ok());
                 }
             }
-            let mut store = open_store(&args)?;
+            let store = open_store(&args)?;
             let parent = VersionId(
                 parent.unwrap_or_else(|| (store.version_count() - 1) as u32),
             );
@@ -366,8 +366,12 @@ fn run() -> Result<(), CoreError> {
             let (vbytes, kbytes) = store.index_bytes();
             let frag = store.fragmentation_stats();
             println!("versions:            {}", store.version_count());
+            println!("generation:          {}", store.generation());
+            println!("pinned readers:      {}", store.pinned_readers());
+            println!("reclaim backlog:     {}", store.reclaim_backlog());
             println!("chunks:              {}", store.chunk_count());
             println!("retired chunks:      {}", store.retired_chunk_count());
+            println!("reclaimed chunks:    {}", frag.reclaimed_chunks);
             println!("stored chunk bytes:  {}", store.storage_bytes());
             println!("total version span:  {}", store.total_version_span());
             println!("version->chunks idx: {vbytes} B");
@@ -537,7 +541,7 @@ fn run() -> Result<(), CoreError> {
                     out_dir = PathBuf::from(d);
                 }
             }
-            let mut store = RStore::builder()
+            let store = RStore::builder()
                 .batch_size(1)
                 .trace_sample(1.0)
                 .slow_query_threshold(Duration::ZERO)
@@ -594,7 +598,7 @@ fn run() -> Result<(), CoreError> {
             );
         }
         "compact" => {
-            let mut store = open_store(&args)?;
+            let store = open_store(&args)?;
             match store.compact()? {
                 Some(r) => println!(
                     "compacted {} chunks into {} ({} records moved), \

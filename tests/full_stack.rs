@@ -27,7 +27,7 @@ fn sixteen_node_cluster_serves_all_versions() {
     let dataset = spec.generate();
 
     let cluster = Cluster::builder().nodes(16).replication(3).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(4096)
         .partitioner(PartitionerKind::BottomUp { beta: usize::MAX })
         .build(cluster);
@@ -43,7 +43,7 @@ fn queries_survive_node_failure_with_replication() {
     let dataset = spec.generate();
 
     let cluster = Cluster::builder().nodes(4).replication(2).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(4096)
         .partitioner(PartitionerKind::DepthFirst)
         .build(cluster);
@@ -71,7 +71,7 @@ fn log_engine_store_survives_reload_of_cluster() {
             .nodes(2)
             .engine(rstore::kvstore::EngineKind::Log { dir: dir.clone() })
             .build();
-        let mut store = RStore::builder()
+        let store = RStore::builder()
             .chunk_capacity(4096)
             .build(cluster);
         store.load_dataset(&dataset).unwrap();
@@ -106,7 +106,7 @@ fn network_model_accounts_modeled_time() {
         .nodes(4)
         .network(NetworkModel::lan_virtual())
         .build();
-    let mut store = RStore::builder().chunk_capacity(4096).build(cluster);
+    let store = RStore::builder().chunk_capacity(4096).build(cluster);
     store.load_dataset(&dataset).unwrap();
     store.cluster().reset_stats();
 
@@ -132,9 +132,9 @@ fn online_and_offline_stores_agree_end_to_end() {
             .batch_size(batch)
             .build(cluster)
     };
-    let mut online = make(7);
-    rstore::core::online::replay_commits(&mut online, &dataset).unwrap();
-    let mut offline = make(64);
+    let online = make(7);
+    rstore::core::online::replay_commits(&online, &dataset).unwrap();
+    let offline = make(64);
     offline.load_dataset(&dataset).unwrap();
     assert!(rstore::core::online::stores_agree(&online, &offline).unwrap());
     check_against_oracle(&online, &dataset);
@@ -146,7 +146,7 @@ fn merge_dag_loads_via_tree_conversion() {
     // verify queries on every version (Fig. 4 semantics: partitioning
     // uses the primary-parent tree; queries see the full DAG).
     let cluster = Cluster::builder().nodes(2).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(1024)
         .batch_size(3)
         .build(cluster);
@@ -205,7 +205,7 @@ fn reopen_restores_full_query_capability() {
     };
 
     let (span, chunks) = {
-        let mut store = RStore::builder().chunk_capacity(2048).build(make_cluster());
+        let store = RStore::builder().chunk_capacity(2048).build(make_cluster());
         store.load_dataset(&dataset).unwrap();
         (store.total_version_span(), store.chunk_count())
     };
@@ -222,7 +222,7 @@ fn reopen_restores_full_query_capability() {
     check_against_oracle(&store, &dataset);
 
     // The reopened store accepts new commits.
-    let mut store = store;
+    let store = store;
     let head = VersionId((dataset.graph.len() - 1) as u32);
     let v = store
         .commit(CommitRequest::child_of(head).put(99999, b"fresh".to_vec()))
@@ -247,7 +247,7 @@ fn compression_stack_spans_all_crates() {
     let dataset = spec.generate();
 
     let cluster = Cluster::builder().nodes(3).replication(2).build();
-    let mut store = RStore::builder()
+    let store = RStore::builder()
         .chunk_capacity(8192)
         .max_subchunk(10)
         .build(cluster);
